@@ -1,0 +1,79 @@
+// Distributed training: trains the same model twice on a 4-machine
+// in-process cluster — once without a remote-feature cache and once with
+// the VIP cache — demonstrating that caching removes most feature
+// communication without changing the learning trajectory. Pass -tcp to
+// run the feature and gradient collectives over real loopback TCP instead
+// of in-process channels.
+//
+// Run with:
+//
+//	go run ./examples/distributed-training [-tcp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"salientpp"
+	"salientpp/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	useTCP := flag.Bool("tcp", false, "use loopback TCP transports")
+	flag.Parse()
+
+	ds, err := salientpp.NewProductsDataset(6000, true, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	transport := "in-process channels"
+	if *useTCP {
+		transport = "loopback TCP"
+	}
+	fmt.Printf("dataset %s on 4 machines over %s\n\n", ds.Name, transport)
+
+	run := func(alpha float64) (finalLoss, valAcc float64, remote, hits int64) {
+		cluster, err := salientpp.NewCluster(ds, salientpp.ClusterConfig{
+			K: 4, Alpha: alpha, GPUFraction: 1, VIPReorder: true,
+			Hidden: 32, Layers: 2, UseTCP: *useTCP,
+			Train: salientpp.TrainConfig{
+				Fanouts: []int{10, 5}, BatchSize: 64,
+				PipelineDepth: 10, SamplerWorkers: 2, LR: 0.01, Seed: 21,
+			},
+			ModelSeed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.Close()
+		for epoch := 0; epoch < 4; epoch++ {
+			stats, err := cluster.TrainEpochAll(epoch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			finalLoss = 0
+			remote, hits = 0, 0
+			for _, s := range stats {
+				finalLoss += s.Loss / float64(len(stats))
+				remote += int64(s.Gather.RemoteFetch)
+				hits += int64(s.Gather.CacheHits)
+			}
+		}
+		valAcc, err = cluster.EvaluateAll(dataset.SplitVal, []int{15, 15}, 64, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return finalLoss, valAcc, remote, hits
+	}
+
+	lossNo, accNo, remoteNo, _ := run(0)
+	lossVIP, accVIP, remoteVIP, hitsVIP := run(0.32)
+
+	fmt.Printf("%-22s %-12s %-10s %-16s %s\n", "configuration", "final loss", "val acc", "remote/epoch", "cache hits/epoch")
+	fmt.Printf("%-22s %-12.3f %-10.3f %-16d %d\n", "no cache (α=0)", lossNo, accNo, remoteNo, 0)
+	fmt.Printf("%-22s %-12.3f %-10.3f %-16d %d\n", "VIP cache (α=0.32)", lossVIP, accVIP, remoteVIP, hitsVIP)
+	fmt.Printf("\ncommunication reduction: %.1fx; training quality unchanged (same seeds, same trajectory)\n",
+		float64(remoteNo)/float64(remoteVIP))
+}

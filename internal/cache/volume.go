@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"sort"
+)
+
+// Workload captures, for one partition, the per-vertex access counts of a
+// fixed set of evaluation epochs. Because SALIENT++ caches are static, the
+// remote communication volume of any cache is a simple functional of these
+// counts:
+//
+//	volume = Σ_{v remote, v ∉ cache} count(v)
+//
+// so one sampling pass evaluates every policy and capacity exactly — and
+// ranking by count itself ("oracle") is provably the volume-minimizing
+// static cache for the measured epochs.
+type Workload struct {
+	// Part is the partition measured.
+	Part int32
+	// Parts is the global assignment (aliases the caller's slice).
+	Parts []int32
+	// Counts[v] is the number of minibatches whose input set contained v.
+	Counts []int64
+	// Epochs is the number of evaluation epochs sampled.
+	Epochs int
+}
+
+// NewWorkload samples epochs evaluation epochs of the partition's training
+// minibatches and records access counts. The RNG stream is derived from
+// seed, so distinct policies can be compared on identical epochs.
+func NewWorkload(ctx *Context, epochs int, seed uint64) (*Workload, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	counts, err := simulateCounts(ctx, epochs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Part: ctx.Part, Parts: ctx.Parts, Counts: counts, Epochs: epochs}, nil
+}
+
+// RemoteTotal returns the no-cache communication volume (total remote
+// vertex fetches over all evaluation epochs) — Figure 2's upper bound.
+func (w *Workload) RemoteTotal() int64 {
+	var total int64
+	for v, c := range w.Counts {
+		if w.Parts[v] != w.Part {
+			total += c
+		}
+	}
+	return total
+}
+
+// RemoteVolume returns the communication volume with the given cache.
+func (w *Workload) RemoteVolume(c *Cache) int64 {
+	var total int64
+	for v, cnt := range w.Counts {
+		if cnt != 0 && w.Parts[v] != w.Part && !c.Has(int32(v)) {
+			total += cnt
+		}
+	}
+	return total
+}
+
+// OracleVolume returns the minimum possible volume for any static cache of
+// the given capacity: withhold the `capacity` highest-count remote
+// vertices — Figure 2's lower bound.
+func (w *Workload) OracleVolume(capacity int) int64 {
+	remote := make([]int64, 0, len(w.Counts))
+	var total int64
+	for v, c := range w.Counts {
+		if w.Parts[v] != w.Part && c > 0 {
+			remote = append(remote, c)
+			total += c
+		}
+	}
+	if capacity >= len(remote) {
+		return 0
+	}
+	sort.Slice(remote, func(i, j int) bool { return remote[i] > remote[j] })
+	for i := 0; i < capacity; i++ {
+		total -= remote[i]
+	}
+	return total
+}
+
+// PerEpoch converts a total volume to a per-epoch average.
+func (w *Workload) PerEpoch(total int64) float64 {
+	if w.Epochs == 0 {
+		return 0
+	}
+	return float64(total) / float64(w.Epochs)
+}

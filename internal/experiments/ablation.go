@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"salientpp/internal/dataset"
+	"salientpp/internal/partition"
+	"salientpp/internal/vip"
+)
+
+// AblationResult compares remote communication volume (vertices per
+// epoch, no caching) of the standard partitioning objective against the
+// VIP-weighted objective suggested as future work in the paper's §6.
+type AblationResult struct {
+	BaselineRemote    float64
+	VIPWeightedRemote float64
+}
+
+// AblationVIPPartition partitions ds twice — with the paper's standard
+// balance constraints, and with an additional constraint that balances
+// global VIP mass across partitions (so no machine concentrates
+// frequently-sampled vertices) — and measures the uncached remote
+// communication volume of each deployment.
+func AblationVIPPartition(ds *dataset.Dataset, k int, scale Scale) (*AblationResult, error) {
+	dims := PaperDims(ds.Name)
+
+	// Baseline.
+	base, err := Deploy(ds, k, dims, scale.Batch, false, scale.Seed, scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	baseScen, err := base.Scenario(nil, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	baseWork, err := base.Workload(baseScen)
+	if err != nil {
+		return nil, err
+	}
+
+	// VIP-weighted objective: global VIP mass as an extra constraint.
+	p0 := vip.UniformSeeds(ds.NumVertices(), ds.TrainIDs(), scale.Batch)
+	res, err := vip.Probabilities(ds.Graph, p0, vip.Config{Fanouts: dims.Fanouts, BatchSize: scale.Batch, IncludeSeeds: true}, false)
+	if err != nil {
+		return nil, err
+	}
+	vipWeight := make([]float32, ds.NumVertices())
+	for v, p := range res.P {
+		vipWeight[v] = float32(p)
+	}
+	weights := append(SplitWeights(ds), vipWeight)
+	pres, err := partition.Partition(ds.Graph, partition.Config{K: k, Weights: weights, Seed: scale.Seed})
+	if err != nil {
+		return nil, err
+	}
+	weighted, err := DeployWithParts(ds, pres.Parts, k, dims, scale.Batch, false, scale.Seed, scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	wScen, err := weighted.Scenario(nil, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	wWork, err := weighted.Workload(wScen)
+	if err != nil {
+		return nil, err
+	}
+
+	return &AblationResult{
+		BaselineRemote:    float64(baseWork.RemoteVertices()),
+		VIPWeightedRemote: float64(wWork.RemoteVertices()),
+	}, nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"salientpp/internal/cache"
+	"salientpp/internal/dataset"
+	"salientpp/internal/dist"
+	"salientpp/internal/rng"
+	"salientpp/internal/sample"
+	"salientpp/internal/tensor"
+)
+
+// TestModelMatchesRuntime cross-validates the two execution paths: the
+// performance model's workload classification (perfmodel.BuildWorkload)
+// must agree, batch by batch and category by category, with what the real
+// distributed feature store actually does (dist.Store.Gather) for the
+// identical sampled minibatches. This is the consistency guarantee that
+// lets the event simulator stand in for the real cluster in Table 1 and
+// Figures 4–9.
+func TestModelMatchesRuntime(t *testing.T) {
+	ds, err := dataset.Generate(dataset.SyntheticConfig{
+		Name: "xval", NumVertices: 4000, AvgDegree: 12, FeatureDim: 8,
+		NumClasses: 4, TrainFrac: 0.2, FeatureNoise: 0.3,
+		Materialize: true, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 2
+	dep, err := Deploy(ds, k, ModelDims{Hidden: 16, Fanouts: []int{5, 3}}, 32, true, 21, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rankings, err := dep.Rankings(cache.VIP{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const alpha, gpuFrac = 0.25, 0.5
+	scen, err := dep.Scenario(rankings, alpha, gpuFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workSeed = uint64(0x5eed)
+	w, err := BuildWorkloadForTest(scen, workSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Real runtime side: stores with the same layout, caches, and GPU
+	// split, fed the *same* sampled minibatches (same RNG derivation as
+	// BuildWorkload).
+	comms, err := dist.NewLocalGroup(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms[0].Close()
+	rds := dep.Data
+	stores := make([]*dist.Store, k)
+	for m := 0; m < k; m++ {
+		lo, hi := dep.Layout.Starts[m], dep.Layout.Starts[m+1]
+		local := tensor.New(int(hi-lo), rds.FeatureDim)
+		for v := lo; v < hi; v++ {
+			copy(local.Row(int(v-lo)), rds.FeatureRow(int32(v)))
+		}
+		cdata := tensor.New(scen.Caches[m].Len(), rds.FeatureDim)
+		for i, v := range scen.Caches[m].IDs() {
+			copy(cdata.Row(i), rds.FeatureRow(v))
+		}
+		st, err := dist.NewStore(comms[m], dep.Layout, rds.FeatureDim, local, scen.Caches[m], cdata, gpuFrac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[m] = st
+	}
+
+	smp, err := sample.NewSampler(rds.Graph, scen.Fanouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reproduce BuildWorkload's exact sampling streams.
+	mfgsPer := make([][]*sample.MFG, k)
+	base := rng.New(workSeed)
+	for m := 0; m < k; m++ {
+		mr := base.Split(uint64(m))
+		batches := sample.EpochBatches(dep.TrainPer[m], scen.Batch, mr.Split(0))
+		mfgsPer[m] = sample.PrepareEpoch(smp, batches, mr.Split(1), 2)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, k)
+	for m := 0; m < k; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for b := 0; b < w.Rounds; b++ {
+				var ids []int32
+				if b < len(mfgsPer[m]) {
+					ids = mfgsPer[m][b].InputIDs()
+				}
+				feats, stats, err := stores[m].Gather(ids)
+				if err != nil {
+					errs <- err
+					return
+				}
+				model := w.PerMachine[m][b]
+				if stats.LocalGPU != model.LocalGPU || stats.LocalCPU != model.LocalCPU ||
+					stats.CacheHits != model.CacheHits || stats.RemoteFetch != model.RemoteFetch {
+					errs <- fmt.Errorf("machine %d batch %d: runtime %+v vs model {gpu:%d cpu:%d hits:%d remote:%d}",
+						m, b, stats, model.LocalGPU, model.LocalCPU, model.CacheHits, model.RemoteFetch)
+					return
+				}
+				for p := 0; p < k; p++ {
+					if stats.RemoteByPeer[p] != model.RemoteByPeer[p] {
+						errs <- fmt.Errorf("machine %d batch %d: per-peer mismatch", m, b)
+						return
+					}
+				}
+				// The gathered features must also be correct, proving the
+				// classification agreement is not vacuous.
+				for i, v := range ids {
+					want := rds.FeatureRow(v)
+					got := feats.Row(i)
+					for j := range want {
+						if want[j] != got[j] {
+							errs <- fmt.Errorf("machine %d batch %d row %d: feature mismatch", m, b, i)
+							return
+						}
+					}
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

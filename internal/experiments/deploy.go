@@ -1,0 +1,197 @@
+// Package experiments contains the harnesses that regenerate every table
+// and figure in the paper's evaluation (Table 1, Figure 2, Figures 4–9,
+// Tables 2 and 4, and the §5.3 accuracy runs), at configurable scale.
+// The cmd/ tools and the repository-root benchmarks are thin wrappers over
+// these functions; EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+
+	"salientpp/internal/cache"
+	"salientpp/internal/dataset"
+	"salientpp/internal/dist"
+	"salientpp/internal/graph"
+	"salientpp/internal/partition"
+	"salientpp/internal/perfmodel"
+	"salientpp/internal/vip"
+)
+
+// Deployment is a partitioned, reordered dataset ready for workload
+// measurement: the common preprocessing shared by all timing experiments
+// (paper §4.1).
+type Deployment struct {
+	Name     string
+	Data     *dataset.Dataset // reordered; features need not be materialized
+	Layout   *dist.Layout
+	Parts    []int32 // reordered id space
+	TrainIDs []int32 // reordered
+	TrainPer [][]int32
+	K        int
+	Fanouts  []int
+	Batch    int
+	Seed     uint64
+	Workers  int
+	// Model dimensions used for flop/byte accounting.
+	InDim, Hidden, Classes int
+}
+
+// ModelDims carries the GNN hyperparameters of Table 3.
+type ModelDims struct {
+	Hidden  int
+	Fanouts []int
+}
+
+// PaperDims returns the paper's per-dataset architecture (Table 3).
+func PaperDims(name string) ModelDims {
+	switch name {
+	case "products-sim":
+		return ModelDims{Hidden: 256, Fanouts: []int{15, 10, 5}}
+	case "mag240-sim":
+		return ModelDims{Hidden: 1024, Fanouts: []int{25, 15}}
+	default: // papers-sim
+		return ModelDims{Hidden: 256, Fanouts: []int{15, 10, 5}}
+	}
+}
+
+// SplitWeights derives the paper's multi-constraint balance weights from a
+// dataset's splits.
+func SplitWeights(ds *dataset.Dataset) [][]float32 {
+	isTrain := make([]bool, ds.NumVertices())
+	isVal := make([]bool, ds.NumVertices())
+	isTest := make([]bool, ds.NumVertices())
+	for v, s := range ds.Splits {
+		switch s {
+		case dataset.SplitTrain:
+			isTrain[v] = true
+		case dataset.SplitVal:
+			isVal[v] = true
+		case dataset.SplitTest:
+			isTest[v] = true
+		}
+	}
+	return partition.SalientWeights(ds.Graph, isTrain, isVal, isTest)
+}
+
+// Deploy partitions ds into k parts with the paper's balance constraints,
+// runs partition-wise VIP analysis, and reorders vertices so partitions
+// are contiguous and (when vipReorder) VIP-ranked within each partition.
+func Deploy(ds *dataset.Dataset, k int, dims ModelDims, batch int, vipReorder bool, seed uint64, workers int) (*Deployment, error) {
+	pres, err := partition.Partition(ds.Graph, partition.Config{
+		K:       k,
+		Weights: SplitWeights(ds),
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return DeployWithParts(ds, pres.Parts, k, dims, batch, vipReorder, seed, workers)
+}
+
+// DeployWithParts finishes deployment from a precomputed partition
+// assignment: VIP analysis, reordering, layout, and per-machine training
+// sets. Used by partitioning ablations that supply custom objectives.
+func DeployWithParts(ds *dataset.Dataset, assignment []int32, k int, dims ModelDims, batch int, vipReorder bool, seed uint64, workers int) (*Deployment, error) {
+	pres := &partition.Result{Parts: assignment, K: k}
+
+	var score []float64
+	if vipReorder {
+		vcfg := vip.Config{Fanouts: dims.Fanouts, BatchSize: batch, IncludeSeeds: true}
+		vips, err := vip.ForPartitions(ds.Graph, pres.Parts, k, ds.TrainIDs(), vcfg)
+		if err != nil {
+			return nil, err
+		}
+		score = make([]float64, ds.NumVertices())
+		for v := range score {
+			score[v] = vips[pres.Parts[v]][v]
+		}
+	}
+	perm, starts, err := graph.PartitionOrder(pres.Parts, k, score)
+	if err != nil {
+		return nil, err
+	}
+	rds, err := ds.Relabel(perm)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := dist.NewLayout(starts)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]int32, ds.NumVertices())
+	for old, p := range pres.Parts {
+		parts[perm[old]] = p
+	}
+	train := rds.TrainIDs()
+	trainPer := make([][]int32, k)
+	for _, v := range train {
+		p := layout.Owner(v)
+		trainPer[p] = append(trainPer[p], v)
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	return &Deployment{
+		Name: ds.Name, Data: rds, Layout: layout, Parts: parts,
+		TrainIDs: train, TrainPer: trainPer, K: k,
+		Fanouts: dims.Fanouts, Batch: batch, Seed: seed, Workers: workers,
+		InDim: ds.FeatureDim, Hidden: dims.Hidden, Classes: ds.NumClasses,
+	}, nil
+}
+
+// Rankings computes the per-partition remote-vertex rankings of a policy
+// once; they are independent of cache capacity, so α sweeps reuse them.
+func (d *Deployment) Rankings(policy cache.Policy) ([][]int32, error) {
+	out := make([][]int32, d.K)
+	for p := 0; p < d.K; p++ {
+		ctx := d.cacheContext(int32(p))
+		r, err := policy.Rank(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s ranking partition %d: %w", policy.Name(), p, err)
+		}
+		out[p] = r
+	}
+	return out, nil
+}
+
+func (d *Deployment) cacheContext(part int32) *cache.Context {
+	return &cache.Context{
+		G: d.Data.Graph, Parts: d.Parts, K: d.K, Part: part,
+		TrainIDs: d.TrainIDs, Fanouts: d.Fanouts, BatchSize: d.Batch,
+		Seed: d.Seed + uint64(part)*101, Workers: d.Workers,
+	}
+}
+
+// Scenario assembles a perfmodel scenario: caches cut from rankings at
+// replication factor alpha (nil rankings or alpha<=0 disables caching) and
+// a gpuFraction share of each partition resident on device.
+func (d *Deployment) Scenario(rankings [][]int32, alpha, gpuFraction float64) (*perfmodel.Scenario, error) {
+	n := d.Data.NumVertices()
+	s := &perfmodel.Scenario{
+		Graph: d.Data.Graph, Layout: d.Layout, TrainPer: d.TrainPer,
+		GPURows: make([]int, d.K),
+		Fanouts: d.Fanouts, Batch: d.Batch,
+		FeatureBytes: d.Data.FeatureBytes(),
+		InDim:        d.InDim, Hidden: d.Hidden, Classes: d.Classes,
+	}
+	for p := 0; p < d.K; p++ {
+		s.GPURows[p] = int(gpuFraction * float64(d.Layout.PartSize(p)))
+	}
+	if alpha > 0 && rankings != nil {
+		capacity := cache.CapacityForAlpha(alpha, n, d.K)
+		s.Caches = make([]*cache.Cache, d.K)
+		for p := 0; p < d.K; p++ {
+			c, err := cache.FromRanking(rankings[p], capacity, n)
+			if err != nil {
+				return nil, err
+			}
+			s.Caches[p] = c
+		}
+	}
+	return s, nil
+}
+
+// Workload builds the measured epoch workload for a scenario.
+func (d *Deployment) Workload(s *perfmodel.Scenario) (*perfmodel.Workload, error) {
+	return perfmodel.BuildWorkload(s, d.Seed^0xbeef, d.Workers)
+}

@@ -1,0 +1,10 @@
+package experiments
+
+import "salientpp/internal/perfmodel"
+
+// BuildWorkloadForTest exposes the deployment-independent workload builder
+// with the exact seed/worker derivation the harness uses, for the
+// model-vs-runtime cross-validation test.
+func BuildWorkloadForTest(s *perfmodel.Scenario, seed uint64) (*perfmodel.Workload, error) {
+	return perfmodel.BuildWorkload(s, seed, 2)
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig4Shapes(t *testing.T) {
+	rows, err := Fig4(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		// Paper ordering: partitioned (sequential) slowest; each
+		// optimization helps; everything positive.
+		if !(r.Sequential > r.Pipelined) {
+			t.Fatalf("%s: pipelining did not help (%.4f vs %.4f)", r.Dataset, r.Sequential, r.Pipelined)
+		}
+		if !(r.Pipelined >= r.Cached) {
+			t.Fatalf("%s: caching hurt (%.4f vs %.4f)", r.Dataset, r.Pipelined, r.Cached)
+		}
+		if r.Cached <= 0 {
+			t.Fatalf("%s: non-positive epoch time", r.Dataset)
+		}
+	}
+	if !strings.Contains(RenderFig4(rows), "papers-sim") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	rows, err := Fig5(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows=%d want 12 (3 datasets x 4 K)", len(rows))
+	}
+	// Scaling: for each dataset, K=16 must beat K=2; memory multiple is
+	// 1+α and never exceeds 1.32 (vs full replication's K).
+	byDS := map[string]map[int]Fig5Row{}
+	for _, r := range rows {
+		if byDS[r.Dataset] == nil {
+			byDS[r.Dataset] = map[int]Fig5Row{}
+		}
+		byDS[r.Dataset][r.K] = r
+		if r.MemoryMultiple != 1+r.Alpha {
+			t.Fatalf("memory multiple %v != 1+α", r.MemoryMultiple)
+		}
+		if r.MemoryMultiple > 1.32 {
+			t.Fatalf("memory multiple %v implausible", r.MemoryMultiple)
+		}
+	}
+	for name, ks := range byDS {
+		if !(ks[16].EpochSeconds < ks[2].EpochSeconds) {
+			t.Fatalf("%s: no speedup 2->16 (%.4f vs %.4f)", name, ks[2].EpochSeconds, ks[16].EpochSeconds)
+		}
+	}
+	if !strings.Contains(RenderFig5(rows), "memory") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	rows, err := Fig6(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noReorder, vipReorder []Fig6Row
+	for _, r := range rows {
+		if r.VIPReorder {
+			vipReorder = append(vipReorder, r)
+		} else {
+			noReorder = append(noReorder, r)
+		}
+	}
+	// β=100% must not be slower than β=0 for either ordering, and the VIP
+	// ordering at low β must not be worse than no-reorder at the same β.
+	if noReorder[len(noReorder)-1].EpochSeconds > noReorder[0].EpochSeconds+1e-9 {
+		t.Fatalf("no-reorder: more GPU residency slowed things down")
+	}
+	if vipReorder[1].EpochSeconds > noReorder[1].EpochSeconds+1e-9 {
+		t.Fatalf("VIP reorder worse than no reorder at low β: %.5f vs %.5f",
+			vipReorder[1].EpochSeconds, noReorder[1].EpochSeconds)
+	}
+	if !strings.Contains(RenderFig6(rows), "VIP reorder") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	rows, err := Fig7(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch time is non-increasing in α for every (dataset, K) series.
+	type key struct {
+		ds string
+		k  int
+	}
+	last := map[key]float64{}
+	for _, r := range rows {
+		kk := key{r.Dataset, r.K}
+		if prev, ok := last[kk]; ok && r.EpochSeconds > prev*1.05 {
+			t.Fatalf("%s K=%d: epoch grew with α (%.5f -> %.5f)", r.Dataset, r.K, prev, r.EpochSeconds)
+		}
+		last[kk] = r.EpochSeconds
+	}
+	if !strings.Contains(RenderFig7(rows), "replication") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	rows, err := Fig9(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 Gbps is never faster than 8 Gbps for the same configuration, and
+	// within a series epoch time falls with α.
+	type key struct {
+		ds     string
+		policy string
+		alpha  float64
+	}
+	at := map[key]map[float64]float64{}
+	for _, r := range rows {
+		kk := key{r.Dataset, r.Policy, r.Alpha}
+		if at[kk] == nil {
+			at[kk] = map[float64]float64{}
+		}
+		at[kk][r.NetGbps] = r.EpochSeconds
+	}
+	for kk, nets := range at {
+		if nets[4] < nets[8]-1e-9 {
+			t.Fatalf("%v: 4 Gbps faster than 8 Gbps (%.5f vs %.5f)", kk, nets[4], nets[8])
+		}
+	}
+	if !strings.Contains(RenderFig9(rows), "Gbps") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblationVIPPartitionRuns(t *testing.T) {
+	scale := SmallScale()
+	ds, err := scale.makeDataset("papers-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AblationVIPPartition(ds, 4, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineRemote <= 0 || res.VIPWeightedRemote <= 0 {
+		t.Fatalf("degenerate ablation volumes: %+v", res)
+	}
+}

@@ -1,0 +1,653 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"salientpp/internal/cache"
+	"salientpp/internal/dataset"
+	"salientpp/internal/metrics"
+	"salientpp/internal/perfmodel"
+)
+
+// Scale sets dataset sizes for the timing experiments. The paper's graphs
+// (111M–121M vertices) are replaced by their reduced-scale analogs; the
+// performance model keeps compute/communication ratios intact because the
+// feature and hidden dimensions are preserved verbatim.
+//
+// TrainBoost multiplies the training fraction of the *sparse-label*
+// datasets (papers, mag240) for timing runs only. At the paper's 1%
+// fraction a reduced-scale graph yields just a handful of minibatch
+// rounds per machine, so fixed per-round latencies (pipeline fill,
+// gradient-sync setup) would swamp the quantities under study. Boosting
+// the label density restores the paper's rounds-per-epoch regime without
+// altering any per-batch statistic. Documented in DESIGN.md/EXPERIMENTS.md.
+type Scale struct {
+	ProductsN, PapersN, Mag240N int
+	Batch                       int
+	TrainBoost                  float64
+	Workers                     int
+	Seed                        uint64
+}
+
+// DefaultScale is used by the CLI harness (a few minutes end to end).
+func DefaultScale() Scale {
+	return Scale{ProductsN: 60000, PapersN: 200000, Mag240N: 100000, Batch: 128, TrainBoost: 8, Workers: 2, Seed: 7}
+}
+
+// SmallScale is used by unit tests and testing.B benchmarks.
+func SmallScale() Scale {
+	return Scale{ProductsN: 8000, PapersN: 20000, Mag240N: 10000, Batch: 32, TrainBoost: 8, Workers: 2, Seed: 7}
+}
+
+// alphaForK reproduces Table 1's replication factors: 8% on 2 machines,
+// 16% on 4, 32% on 8 and beyond.
+func alphaForK(k int) float64 {
+	switch {
+	case k <= 1:
+		return 0
+	case k == 2:
+		return 0.08
+	case k == 4:
+		return 0.16
+	default:
+		return 0.32
+	}
+}
+
+func (s Scale) makeDataset(name string) (*dataset.Dataset, error) {
+	boost := s.TrainBoost
+	if boost < 1 {
+		boost = 1
+	}
+	frac := func(f float64) float64 {
+		f *= boost
+		if f > 0.2 {
+			f = 0.2
+		}
+		return f
+	}
+	switch name {
+	case "products-sim":
+		// Products is already densely labeled; no boost needed.
+		return dataset.ProductsSim(s.ProductsN, false, s.Seed)
+	case "papers-sim":
+		return dataset.Generate(dataset.SyntheticConfig{
+			Name: "papers-sim", NumVertices: s.PapersN, AvgDegree: 28.8,
+			FeatureDim: 128, NumClasses: 32,
+			TrainFrac: frac(0.0108), ValFrac: 0.0011, TestFrac: 0.0019,
+			FeatureNoise: 0.6, Seed: s.Seed,
+		})
+	case "mag240-sim":
+		return dataset.Generate(dataset.SyntheticConfig{
+			Name: "mag240-sim", NumVertices: s.Mag240N, AvgDegree: 21.5,
+			FeatureDim: 768, NumClasses: 32,
+			TrainFrac: frac(0.0091), ValFrac: 0.0011, TestFrac: 0.0007,
+			FeatureNoise: 0.6, Seed: s.Seed,
+		})
+	}
+	return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+}
+
+// simulateCell deploys nothing new — it prices one (system, cache, GPU
+// fraction) configuration of an existing deployment.
+func simulateCell(d *Deployment, sys perfmodel.System, rankings [][]int32, alpha, gpuFrac float64, hw perfmodel.Hardware) (*perfmodel.Result, error) {
+	scen, err := d.Scenario(rankings, alpha, gpuFrac)
+	if err != nil {
+		return nil, err
+	}
+	w, err := d.Workload(scen)
+	if err != nil {
+		return nil, err
+	}
+	return perfmodel.Simulate(sys, w, hw)
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Result holds per-system, per-K epoch times, raw (simulated
+// seconds at reduced scale) and normalized so the 1-machine
+// full-replication cell reads the paper's 20.7 s.
+type Table1Result struct {
+	Ks         []int
+	Systems    []string
+	Raw        map[string][]float64 // NaN marks the paper's "—" cells
+	Normalized map[string][]float64
+	NormFactor float64
+}
+
+// Table1 reproduces the progressive-optimization table on papers-sim.
+func Table1(scale Scale) (*Table1Result, error) {
+	ds, err := scale.makeDataset("papers-sim")
+	if err != nil {
+		return nil, err
+	}
+	dims := PaperDims(ds.Name)
+	hw := perfmodel.DefaultHardware()
+	res := &Table1Result{
+		Ks:      []int{1, 2, 4, 8},
+		Systems: []string{"SALIENT (full replication)", "+ Partitioned features", "+ Pipeline communication", "+ Feature caching"},
+		Raw:     map[string][]float64{},
+	}
+	for _, s := range res.Systems {
+		res.Raw[s] = make([]float64, len(res.Ks))
+	}
+	var base float64
+	for ki, k := range res.Ks {
+		dep, err := Deploy(ds, k, dims, scale.Batch, true, scale.Seed, scale.Workers)
+		if err != nil {
+			return nil, err
+		}
+		full, err := simulateCell(dep, perfmodel.SystemFullReplication, nil, 0, 1, hw)
+		if err != nil {
+			return nil, err
+		}
+		res.Raw[res.Systems[0]][ki] = full.EpochSeconds
+		if k == 1 {
+			base = full.EpochSeconds
+			for _, s := range res.Systems[1:] {
+				res.Raw[s][ki] = math.NaN()
+			}
+			continue
+		}
+		seq, err := simulateCell(dep, perfmodel.SystemSequential, nil, 0, 1, hw)
+		if err != nil {
+			return nil, err
+		}
+		res.Raw[res.Systems[1]][ki] = seq.EpochSeconds
+		pipe, err := simulateCell(dep, perfmodel.SystemPipelined, nil, 0, 1, hw)
+		if err != nil {
+			return nil, err
+		}
+		res.Raw[res.Systems[2]][ki] = pipe.EpochSeconds
+		rankings, err := dep.Rankings(cache.VIP{})
+		if err != nil {
+			return nil, err
+		}
+		cached, err := simulateCell(dep, perfmodel.SystemPipelined, rankings, alphaForK(k), 1, hw)
+		if err != nil {
+			return nil, err
+		}
+		res.Raw[res.Systems[3]][ki] = cached.EpochSeconds
+	}
+	res.NormFactor = 20.7 / base
+	res.Normalized = map[string][]float64{}
+	for s, row := range res.Raw {
+		nr := make([]float64, len(row))
+		for i, v := range row {
+			nr[i] = v * res.NormFactor
+		}
+		res.Normalized[s] = nr
+	}
+	return res, nil
+}
+
+// Render formats both raw and normalized tables.
+func (r *Table1Result) Render() string {
+	render := func(title string, cells map[string][]float64) string {
+		headers := []string{"System"}
+		for _, k := range r.Ks {
+			headers = append(headers, fmt.Sprintf("K=%d", k))
+		}
+		t := metrics.NewTable(title, headers...)
+		for _, s := range r.Systems {
+			row := []any{s}
+			for _, v := range cells[s] {
+				if math.IsNaN(v) {
+					row = append(row, "—")
+				} else {
+					row = append(row, fmt.Sprintf("%.3fs", v))
+				}
+			}
+			t.AddRow(row...)
+		}
+		return t.String()
+	}
+	out := render("Table 1 (raw simulated seconds at reduced scale)", r.Raw)
+	out += "\n" + render(fmt.Sprintf("Table 1 (normalized: full-replication K=1 pinned to the paper's 20.7 s; factor %.1fx)", r.NormFactor), r.Normalized)
+	return out
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// Fig4Row is one dataset's successive-optimization epoch times.
+type Fig4Row struct {
+	Dataset    string
+	K          int
+	Alpha      float64
+	Sequential float64
+	Pipelined  float64
+	Cached     float64
+}
+
+// Fig4 reproduces the optimization-impact bars: products (4 partitions,
+// α=.16), papers (8, α=.32), mag240 (16, α=.32).
+func Fig4(scale Scale) ([]Fig4Row, error) {
+	hw := perfmodel.DefaultHardware()
+	configs := []struct {
+		name  string
+		k     int
+		alpha float64
+	}{
+		{"products-sim", 4, 0.16},
+		{"papers-sim", 8, 0.32},
+		{"mag240-sim", 16, 0.32},
+	}
+	var rows []Fig4Row
+	for _, c := range configs {
+		ds, err := scale.makeDataset(c.name)
+		if err != nil {
+			return nil, err
+		}
+		dep, err := Deploy(ds, c.k, PaperDims(c.name), scale.Batch, true, scale.Seed, scale.Workers)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := simulateCell(dep, perfmodel.SystemSequential, nil, 0, 1, hw)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := simulateCell(dep, perfmodel.SystemPipelined, nil, 0, 1, hw)
+		if err != nil {
+			return nil, err
+		}
+		rankings, err := dep.Rankings(cache.VIP{})
+		if err != nil {
+			return nil, err
+		}
+		cached, err := simulateCell(dep, perfmodel.SystemPipelined, rankings, c.alpha, 1, hw)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig4Row{
+			Dataset: c.name, K: c.k, Alpha: c.alpha,
+			Sequential: seq.EpochSeconds, Pipelined: pipe.EpochSeconds, Cached: cached.EpochSeconds,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig4 formats the rows.
+func RenderFig4(rows []Fig4Row) string {
+	t := metrics.NewTable("Figure 4: impact of pipelining and VIP caching (simulated epoch seconds)",
+		"dataset", "K", "α", "partitioned", "+pipelining", "+VIP cache", "total speedup")
+	for _, r := range rows {
+		t.AddRow(r.Dataset, r.K, fmt.Sprintf("%.2f", r.Alpha),
+			fmt.Sprintf("%.3f", r.Sequential), fmt.Sprintf("%.3f", r.Pipelined), fmt.Sprintf("%.3f", r.Cached),
+			fmt.Sprintf("%.2fx", r.Sequential/r.Cached))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Fig5Row is one (dataset, K) scalability measurement.
+type Fig5Row struct {
+	Dataset      string
+	K            int
+	Alpha        float64
+	EpochSeconds float64
+	// MemoryMultiple is total feature memory across machines as a multiple
+	// of the unreplicated dataset (1+α).
+	MemoryMultiple float64
+}
+
+// Fig5 reproduces the scalability and memory plot for all three datasets
+// on 2–16 machines with SALIENT++ (VIP cache + pipeline).
+func Fig5(scale Scale) ([]Fig5Row, error) {
+	hw := perfmodel.DefaultHardware()
+	var rows []Fig5Row
+	for _, name := range []string{"products-sim", "papers-sim", "mag240-sim"} {
+		ds, err := scale.makeDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{2, 4, 8, 16} {
+			dep, err := Deploy(ds, k, PaperDims(name), scale.Batch, true, scale.Seed, scale.Workers)
+			if err != nil {
+				return nil, err
+			}
+			rankings, err := dep.Rankings(cache.VIP{})
+			if err != nil {
+				return nil, err
+			}
+			alpha := alphaForK(k)
+			res, err := simulateCell(dep, perfmodel.SystemPipelined, rankings, alpha, 1, hw)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig5Row{
+				Dataset: name, K: k, Alpha: alpha,
+				EpochSeconds: res.EpochSeconds, MemoryMultiple: 1 + alpha,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig5 formats the rows.
+func RenderFig5(rows []Fig5Row) string {
+	t := metrics.NewTable("Figure 5: SALIENT++ scalability and total feature memory",
+		"dataset", "K", "α", "epoch (s)", "memory (×dataset)")
+	for _, r := range rows {
+		t.AddRow(r.Dataset, r.K, fmt.Sprintf("%.2f", r.Alpha),
+			fmt.Sprintf("%.3f", r.EpochSeconds), fmt.Sprintf("%.2f", r.MemoryMultiple))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6Row is one (reorder, β) measurement.
+type Fig6Row struct {
+	VIPReorder   bool
+	GPUFraction  float64
+	EpochSeconds float64
+}
+
+// Fig6 reproduces the local CPU/GPU split experiment: papers, 4 machines,
+// α=0.15, varying the fraction β of each local partition held on device,
+// with and without VIP-based local reordering.
+func Fig6(scale Scale) ([]Fig6Row, error) {
+	ds, err := scale.makeDataset("papers-sim")
+	if err != nil {
+		return nil, err
+	}
+	hw := perfmodel.DefaultHardware()
+	betas := []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0}
+	var rows []Fig6Row
+	for _, reorder := range []bool{false, true} {
+		dep, err := Deploy(ds, 4, PaperDims(ds.Name), scale.Batch, reorder, scale.Seed, scale.Workers)
+		if err != nil {
+			return nil, err
+		}
+		rankings, err := dep.Rankings(cache.VIP{})
+		if err != nil {
+			return nil, err
+		}
+		for _, beta := range betas {
+			res, err := simulateCell(dep, perfmodel.SystemPipelined, rankings, 0.15, beta, hw)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig6Row{VIPReorder: reorder, GPUFraction: beta, EpochSeconds: res.EpochSeconds})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig6 formats the rows.
+func RenderFig6(rows []Fig6Row) string {
+	t := metrics.NewTable("Figure 6: % of local partition on GPU vs epoch time (papers-sim, 4 machines, α=0.15)",
+		"ordering", "β (on GPU)", "epoch (s)")
+	for _, r := range rows {
+		name := "no reorder"
+		if r.VIPReorder {
+			name = "VIP reorder"
+		}
+		t.AddRow(name, fmt.Sprintf("%.0f%%", 100*r.GPUFraction), fmt.Sprintf("%.3f", r.EpochSeconds))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Fig7Row is one (dataset, K, α) measurement.
+type Fig7Row struct {
+	Dataset      string
+	K            int
+	Alpha        float64
+	EpochSeconds float64
+}
+
+// Fig7 reproduces the replication-factor sweep: papers on 4 and 8
+// partitions, mag240 on 8 and 16, α ∈ [0, 0.32]. GPU residency matches
+// the paper's setting (90% for papers, 10% for mag240).
+func Fig7(scale Scale) ([]Fig7Row, error) {
+	hw := perfmodel.DefaultHardware()
+	alphas := []float64{0, 0.08, 0.16, 0.24, 0.32}
+	configs := []struct {
+		name    string
+		ks      []int
+		gpuFrac float64
+	}{
+		{"papers-sim", []int{4, 8}, 0.9},
+		{"mag240-sim", []int{8, 16}, 0.1},
+	}
+	var rows []Fig7Row
+	for _, c := range configs {
+		ds, err := scale.makeDataset(c.name)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range c.ks {
+			dep, err := Deploy(ds, k, PaperDims(c.name), scale.Batch, true, scale.Seed, scale.Workers)
+			if err != nil {
+				return nil, err
+			}
+			rankings, err := dep.Rankings(cache.VIP{})
+			if err != nil {
+				return nil, err
+			}
+			for _, alpha := range alphas {
+				res, err := simulateCell(dep, perfmodel.SystemPipelined, rankings, alpha, c.gpuFrac, hw)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig7Row{Dataset: c.name, K: k, Alpha: alpha, EpochSeconds: res.EpochSeconds})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig7 formats the rows.
+func RenderFig7(rows []Fig7Row) string {
+	t := metrics.NewTable("Figure 7: replication factor vs epoch time", "dataset", "K", "α", "epoch (s)")
+	for _, r := range rows {
+		t.AddRow(r.Dataset, r.K, fmt.Sprintf("%.2f", r.Alpha), fmt.Sprintf("%.3f", r.EpochSeconds))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// Fig8Row is one breakdown configuration.
+type Fig8Row struct {
+	Pipelining bool
+	Alpha      float64
+	Result     *perfmodel.Result
+}
+
+// Fig8 reproduces the performance breakdown: papers, 8 machines, all local
+// features on GPU, pipelining on/off × α ∈ {0, 0.32}.
+func Fig8(scale Scale) ([]Fig8Row, error) {
+	ds, err := scale.makeDataset("papers-sim")
+	if err != nil {
+		return nil, err
+	}
+	hw := perfmodel.DefaultHardware()
+	dep, err := Deploy(ds, 8, PaperDims(ds.Name), scale.Batch, true, scale.Seed, scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rankings, err := dep.Rankings(cache.VIP{})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for _, pipelining := range []bool{false, true} {
+		for _, alpha := range []float64{0, 0.32} {
+			sys := perfmodel.SystemSequential
+			if pipelining {
+				sys = perfmodel.SystemPipelined
+			}
+			rk := rankings
+			if alpha == 0 {
+				rk = nil
+			}
+			res, err := simulateCell(dep, sys, rk, alpha, 1, hw)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig8Row{Pipelining: pipelining, Alpha: alpha, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig8 formats the rows.
+func RenderFig8(rows []Fig8Row) string {
+	t := metrics.NewTable("Figure 8: breakdown on papers-sim, 8 machines (machine-0 attribution, seconds)",
+		"pipelining", "α", "epoch", "Train", "Train(sync)", "Startup", "BatchPrep(comm)", "BatchPrep(comp)")
+	for _, r := range rows {
+		pl := "off"
+		if r.Pipelining {
+			pl = "on"
+		}
+		res := r.Result
+		t.AddRow(pl, fmt.Sprintf("%.2f", r.Alpha),
+			fmt.Sprintf("%.3f", res.EpochSeconds), fmt.Sprintf("%.3f", res.Train),
+			fmt.Sprintf("%.3f", res.TrainSync), fmt.Sprintf("%.3f", res.Startup),
+			fmt.Sprintf("%.3f", res.PrepComm), fmt.Sprintf("%.3f", res.PrepComp))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+// Fig9Row is one slow-network measurement.
+type Fig9Row struct {
+	Dataset      string
+	NetGbps      float64
+	Policy       string
+	Alpha        float64
+	EpochSeconds float64
+}
+
+// Fig9 reproduces the slow-network comparison of the VIP-analytic and
+// VIP-simulation policies: 16 machines, token-bucket-shaped 4 and 8 Gbps
+// networks, α sweeps matching the paper's panels.
+func Fig9(scale Scale) ([]Fig9Row, error) {
+	configs := []struct {
+		name    string
+		alphas  []float64
+		gpuFrac float64
+	}{
+		{"papers-sim", []float64{0.16, 0.32, 0.64, 0.96, 1.28}, 0.9},
+		{"mag240-sim", []float64{0.08, 0.16, 0.32, 0.48}, 0.1},
+	}
+	policies := []cache.Policy{cache.VIP{}, cache.Simulated{Epochs: 2}}
+	var rows []Fig9Row
+	for _, c := range configs {
+		ds, err := scale.makeDataset(c.name)
+		if err != nil {
+			return nil, err
+		}
+		dep, err := Deploy(ds, 16, PaperDims(c.name), scale.Batch, true, scale.Seed, scale.Workers)
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range policies {
+			rankings, err := dep.Rankings(pol)
+			if err != nil {
+				return nil, err
+			}
+			polName := "VIP (analytic)"
+			if pol.Name() == "sim." {
+				polName = "VIP (simulation)"
+			}
+			for _, gbps := range []float64{4, 8} {
+				hw := perfmodel.DefaultHardware().WithNetwork(25, gbps)
+				for _, alpha := range c.alphas {
+					res, err := simulateCell(dep, perfmodel.SystemPipelined, rankings, alpha, c.gpuFrac, hw)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, Fig9Row{
+						Dataset: c.name, NetGbps: gbps, Policy: polName,
+						Alpha: alpha, EpochSeconds: res.EpochSeconds,
+					})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig9 formats the rows.
+func RenderFig9(rows []Fig9Row) string {
+	t := metrics.NewTable("Figure 9: VIP-analytic vs VIP-simulation on slow networks (16 machines)",
+		"dataset", "network", "policy", "α", "epoch (s)")
+	for _, r := range rows {
+		t.AddRow(r.Dataset, fmt.Sprintf("%.0f Gbps", r.NetGbps), r.Policy,
+			fmt.Sprintf("%.2f", r.Alpha), fmt.Sprintf("%.3f", r.EpochSeconds))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------- Table 4
+
+// Table4Result compares SALIENT++ with the DistDGL-like baseline.
+type Table4Result struct {
+	SalientPP float64
+	DistDGL   float64
+	Speedup   float64
+}
+
+// Table4 reproduces the system comparison on papers-sim with 8 machines.
+func Table4(scale Scale) (*Table4Result, error) {
+	ds, err := scale.makeDataset("papers-sim")
+	if err != nil {
+		return nil, err
+	}
+	hw := perfmodel.DefaultHardware()
+	dep, err := Deploy(ds, 8, PaperDims(ds.Name), scale.Batch, true, scale.Seed, scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rankings, err := dep.Rankings(cache.VIP{})
+	if err != nil {
+		return nil, err
+	}
+	spp, err := simulateCell(dep, perfmodel.SystemPipelined, rankings, 0.32, 1, hw)
+	if err != nil {
+		return nil, err
+	}
+	dgl, err := simulateCell(dep, perfmodel.SystemDistDGL, nil, 0, 1, hw)
+	if err != nil {
+		return nil, err
+	}
+	return &Table4Result{
+		SalientPP: spp.EpochSeconds,
+		DistDGL:   dgl.EpochSeconds,
+		Speedup:   dgl.EpochSeconds / spp.EpochSeconds,
+	}, nil
+}
+
+// Render formats the comparison.
+func (r *Table4Result) Render() string {
+	t := metrics.NewTable("Table 4: system comparison on papers-sim, 8 machines (simulated)",
+		"system", "epoch (s)", "notes")
+	t.AddRow("SALIENT++", fmt.Sprintf("%.3f", r.SalientPP), "α=0.32, VIP cache, deep pipeline")
+	t.AddRow("DistDGL-like", fmt.Sprintf("%.3f", r.DistDGL), "per-hop sampling RPCs, no cache, no pipeline")
+	t.AddRow("speedup", fmt.Sprintf("%.1fx", r.Speedup), "paper reports 12.7x vs public DistDGL")
+	return t.String()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2 renders the dataset summary (paper Table 2, scaled).
+func Table2(scale Scale) (string, error) {
+	t := metrics.NewTable("Table 2: synthetic dataset analogs (scaled; relative statistics match the paper)",
+		"dataset", "#vertices", "#edges(stored)", "#feat", "train", "val", "test")
+	for _, name := range []string{"products-sim", "papers-sim", "mag240-sim"} {
+		ds, err := scale.makeDataset(name)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(ds.Name, ds.NumVertices(), ds.Graph.NumEdges(), ds.FeatureDim,
+			ds.CountSplit(dataset.SplitTrain), ds.CountSplit(dataset.SplitVal), ds.CountSplit(dataset.SplitTest))
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format: magic, version, N, M, offsets, adjacency, sorted flag.
+// Little-endian throughout. The format is versioned so the partitioner CLI
+// can persist preprocessed graphs between runs.
+const (
+	ioMagic   uint32 = 0x53505047 // "SPPG"
+	ioVersion uint32 = 1
+)
+
+// Write serializes the graph to w in the versioned binary format above.
+func (g *CSR) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	le := binary.LittleEndian
+	var hdr [24]byte
+	le.PutUint32(hdr[0:], ioMagic)
+	le.PutUint32(hdr[4:], ioVersion)
+	le.PutUint64(hdr[8:], uint64(g.NumVertices()))
+	le.PutUint64(hdr[16:], uint64(g.NumEdges()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, o := range g.Offsets {
+		le.PutUint64(buf[:], uint64(o))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+	}
+	for _, a := range g.Adj {
+		le.PutUint32(buf[:4], uint32(a))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	flag := byte(0)
+	if g.sorted {
+		flag = 1
+	}
+	if err := bw.WriteByte(flag); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a graph written by Write.
+func ReadFrom(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	le := binary.LittleEndian
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if m := le.Uint32(hdr[0:]); m != ioMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", m)
+	}
+	if v := le.Uint32(hdr[4:]); v != ioVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", v)
+	}
+	n := int(le.Uint64(hdr[8:]))
+	m := int64(le.Uint64(hdr[16:]))
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: corrupt sizes n=%d m=%d", n, m)
+	}
+	g := &CSR{Offsets: make([]int64, n+1), Adj: make([]int32, m)}
+	var buf [8]byte
+	for i := range g.Offsets {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return nil, fmt.Errorf("graph: reading offsets: %w", err)
+		}
+		g.Offsets[i] = int64(le.Uint64(buf[:]))
+	}
+	for i := range g.Adj {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+		}
+		g.Adj[i] = int32(le.Uint32(buf[:4]))
+	}
+	flag, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading sorted flag: %w", err)
+	}
+	g.sorted = flag == 1
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: deserialized graph invalid: %w", err)
+	}
+	return g, nil
+}

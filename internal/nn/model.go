@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"fmt"
+
+	"salientpp/internal/rng"
+	"salientpp/internal/sample"
+	"salientpp/internal/tensor"
+)
+
+// Model is an L-layer GraphSAGE classifier: SAGE→ReLU(→dropout) repeated,
+// with the final SAGE layer emitting class logits. The layer count must
+// equal the MFG depth (one block per layer).
+type Model struct {
+	Layers  []*SAGEConv
+	Dropout float64
+
+	// forward caches (valid between Forward and Backward)
+	caches  []*sageCache
+	acts    []*tensor.Matrix // post-ReLU activations per hidden layer
+	masks   []*tensor.Matrix // dropout masks per hidden layer
+	dropRNG *rng.RNG
+}
+
+// NewModel builds a GraphSAGE with the given dimensions: inDim → hidden
+// (layers-1 times) → classes, He-initialized from seed.
+func NewModel(inDim, hidden, classes, layers int, dropout float64, seed uint64) (*Model, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("nn: need at least one layer")
+	}
+	if inDim <= 0 || hidden <= 0 || classes <= 1 {
+		return nil, fmt.Errorf("nn: invalid dims in=%d hidden=%d classes=%d", inDim, hidden, classes)
+	}
+	r := rng.New(seed)
+	m := &Model{Dropout: dropout, dropRNG: r.Split(999)}
+	for l := 0; l < layers; l++ {
+		in := hidden
+		if l == 0 {
+			in = inDim
+		}
+		out := hidden
+		if l == layers-1 {
+			out = classes
+		}
+		layer := NewSAGEConv(in, out)
+		layer.WSelf.W.HeInit(in, r.Split(uint64(3*l)))
+		layer.WNeigh.W.HeInit(in, r.Split(uint64(3*l+1)))
+		// Bias stays zero.
+		m.Layers = append(m.Layers, layer)
+	}
+	return m, nil
+}
+
+// Forward runs the model over one minibatch. x holds features for
+// mfg.InputIDs() in order; training enables dropout. Returns seed logits.
+func (m *Model) Forward(mfg *sample.MFG, x *tensor.Matrix, training bool) (*tensor.Matrix, error) {
+	if len(mfg.Blocks) != len(m.Layers) {
+		return nil, fmt.Errorf("nn: MFG has %d blocks for %d layers", len(mfg.Blocks), len(m.Layers))
+	}
+	if x.Rows != len(mfg.InputIDs()) {
+		return nil, fmt.Errorf("nn: feature rows %d != MFG inputs %d", x.Rows, len(mfg.InputIDs()))
+	}
+	m.caches = m.caches[:0]
+	m.acts = m.acts[:0]
+	m.masks = m.masks[:0]
+
+	h := x
+	for li, layer := range m.Layers {
+		out, cache := layer.Forward(mfg.Blocks[li], h)
+		m.caches = append(m.caches, cache)
+		if li < len(m.Layers)-1 {
+			out.ReLU()
+			act := out.Clone() // keep pre-dropout activation for ReLU backward
+			m.acts = append(m.acts, act)
+			mask := tensor.New(out.Rows, out.Cols)
+			if training && m.Dropout > 0 {
+				out.Dropout(m.Dropout, mask, m.dropRNG)
+			} else {
+				for i := range mask.Data {
+					mask.Data[i] = 1
+				}
+			}
+			m.masks = append(m.masks, mask)
+		}
+		h = out
+	}
+	return h, nil
+}
+
+// Backward propagates dLogits through the cached forward pass,
+// accumulating parameter gradients. Forward must have been called first
+// with training semantics matching this call.
+func (m *Model) Backward(dLogits *tensor.Matrix) {
+	grad := dLogits
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		grad = m.Layers[li].Backward(m.caches[li], grad)
+		if li > 0 {
+			// Undo dropout and ReLU of the previous hidden activation.
+			grad.Mul(m.masks[li-1])
+			tensor.ReLUBackward(grad, m.acts[li-1])
+		}
+	}
+}
+
+// Params returns all learnable parameters in a stable order.
+func (m *Model) Params() []*Param {
+	var out []*Param
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all gradients.
+func (m *Model) ZeroGrad() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParameters returns the total scalar parameter count.
+func (m *Model) NumParameters() int {
+	t := 0
+	for _, p := range m.Params() {
+		t += p.NumValues()
+	}
+	return t
+}
+
+// GradientBytes returns the wire size of one gradient synchronization
+// (float32 per parameter), used by the performance model for the
+// all-reduce volume.
+func (m *Model) GradientBytes() int64 { return int64(m.NumParameters()) * 4 }
+
+// CopyWeightsFrom copies parameter values (not optimizer state) from o.
+// Used to give every distributed rank identical initial weights.
+func (m *Model) CopyWeightsFrom(o *Model) error {
+	mp, op := m.Params(), o.Params()
+	if len(mp) != len(op) {
+		return fmt.Errorf("nn: model shapes differ")
+	}
+	for i := range mp {
+		if !mp[i].W.SameShape(op[i].W) {
+			return fmt.Errorf("nn: parameter %d shape differs", i)
+		}
+		copy(mp[i].W.Data, op[i].W.Data)
+	}
+	return nil
+}

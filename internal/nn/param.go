@@ -1,0 +1,32 @@
+// Package nn implements the GraphSAGE model trained by SALIENT++: mean
+// aggregation through message-flow-graph blocks, ReLU, dropout, a fused
+// softmax/cross-entropy head, and the Adam optimizer — forward and backward
+// passes written from scratch over the tensor package.
+package nn
+
+import "salientpp/internal/tensor"
+
+// Param is a learnable tensor with its gradient accumulator and Adam
+// moment estimates.
+type Param struct {
+	W *tensor.Matrix // value
+	G *tensor.Matrix // gradient (accumulated per step)
+	M *tensor.Matrix // Adam first moment
+	V *tensor.Matrix // Adam second moment
+}
+
+// NewParam allocates a parameter of the given shape with zeroed state.
+func NewParam(rows, cols int) *Param {
+	return &Param{
+		W: tensor.New(rows, cols),
+		G: tensor.New(rows, cols),
+		M: tensor.New(rows, cols),
+		V: tensor.New(rows, cols),
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// NumValues returns the number of scalar parameters.
+func (p *Param) NumValues() int { return len(p.W.Data) }

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"salientpp/internal/sample"
+	"salientpp/internal/tensor"
+)
+
+// SAGEConv is a GraphSAGE layer with mean aggregation:
+//
+//	out_i = h_i·Wself + mean_{j ∈ sampled(i)} h_j·Wneigh + bias
+//
+// which is the "concat then linear" formulation with the linear layer
+// split into its self and neighbor halves (algebraically identical,
+// avoids materializing the concatenation).
+type SAGEConv struct {
+	InDim, OutDim int
+	WSelf, WNeigh *Param
+	Bias          *Param
+}
+
+// NewSAGEConv builds a layer; weights are initialized by the caller (see
+// Model) so that the whole model shares one RNG stream.
+func NewSAGEConv(inDim, outDim int) *SAGEConv {
+	return &SAGEConv{
+		InDim:  inDim,
+		OutDim: outDim,
+		WSelf:  NewParam(inDim, outDim),
+		WNeigh: NewParam(inDim, outDim),
+		Bias:   NewParam(1, outDim),
+	}
+}
+
+// sageCache stores forward intermediates needed by the backward pass.
+type sageCache struct {
+	block *sample.Block
+	h     *tensor.Matrix // layer input (numInputs × InDim)
+	agg   *tensor.Matrix // mean-aggregated neighbors (numDst × InDim)
+}
+
+// Forward computes layer outputs for the block's destination vertices.
+// h holds representations of all block inputs (block.NumInputs() rows).
+func (l *SAGEConv) Forward(b *sample.Block, h *tensor.Matrix) (*tensor.Matrix, *sageCache) {
+	if h.Rows != b.NumInputs() || h.Cols != l.InDim {
+		panic("nn: SAGEConv input shape mismatch")
+	}
+	nd := b.NumDst
+	agg := tensor.New(nd, l.InDim)
+	for i := 0; i < nd; i++ {
+		lo, hi := b.RowPtr[i], b.RowPtr[i+1]
+		if lo == hi {
+			continue
+		}
+		out := agg.Row(i)
+		for _, c := range b.Col[lo:hi] {
+			src := h.Row(int(c))
+			for j, v := range src {
+				out[j] += v
+			}
+		}
+		inv := float32(1) / float32(hi-lo)
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+
+	out := tensor.New(nd, l.OutDim)
+	tensor.MatMul(out, &tensor.Matrix{Rows: nd, Cols: l.InDim, Data: h.Data[:nd*l.InDim]}, l.WSelf.W)
+	tmp := tensor.New(nd, l.OutDim)
+	tensor.MatMul(tmp, agg, l.WNeigh.W)
+	out.Add(tmp)
+	out.AddBias(l.Bias.W.Data)
+	return out, &sageCache{block: b, h: h, agg: agg}
+}
+
+// Backward accumulates parameter gradients from dOut (numDst × OutDim) and
+// returns the gradient with respect to the layer input h
+// (numInputs × InDim).
+func (l *SAGEConv) Backward(c *sageCache, dOut *tensor.Matrix) *tensor.Matrix {
+	b := c.block
+	nd := b.NumDst
+	if dOut.Rows != nd || dOut.Cols != l.OutDim {
+		panic("nn: SAGEConv dOut shape mismatch")
+	}
+
+	hDst := &tensor.Matrix{Rows: nd, Cols: l.InDim, Data: c.h.Data[:nd*l.InDim]}
+
+	// Parameter gradients (accumulate).
+	gw := tensor.New(l.InDim, l.OutDim)
+	tensor.MatMulATB(gw, hDst, dOut)
+	l.WSelf.G.Add(gw)
+	tensor.MatMulATB(gw, c.agg, dOut)
+	l.WNeigh.G.Add(gw)
+	for i := 0; i < nd; i++ {
+		row := dOut.Row(i)
+		for j, v := range row {
+			l.Bias.G.Data[j] += v
+		}
+	}
+
+	// Input gradients.
+	dh := tensor.New(b.NumInputs(), l.InDim)
+	// Self path: rows 0..nd-1 get dOut·WSelfᵀ.
+	dSelf := tensor.New(nd, l.InDim)
+	tensor.MatMulABT(dSelf, dOut, l.WSelf.W)
+	copy(dh.Data[:nd*l.InDim], dSelf.Data)
+	// Neighbor path: dAgg = dOut·WNeighᵀ, split evenly among sampled
+	// neighbors (mean backward).
+	dAgg := tensor.New(nd, l.InDim)
+	tensor.MatMulABT(dAgg, dOut, l.WNeigh.W)
+	for i := 0; i < nd; i++ {
+		lo, hi := b.RowPtr[i], b.RowPtr[i+1]
+		if lo == hi {
+			continue
+		}
+		inv := float32(1) / float32(hi-lo)
+		src := dAgg.Row(i)
+		for _, col := range b.Col[lo:hi] {
+			dst := dh.Row(int(col))
+			for j, v := range src {
+				dst[j] += v * inv
+			}
+		}
+	}
+	return dh
+}
+
+// Params returns the layer's learnable parameters.
+func (l *SAGEConv) Params() []*Param { return []*Param{l.WSelf, l.WNeigh, l.Bias} }

@@ -1,0 +1,120 @@
+package partition
+
+import "salientpp/internal/rng"
+
+// coarsen contracts w by heavy-edge matching: each vertex is matched with
+// the unmatched neighbor connected by the heaviest edge, and matched pairs
+// merge into one coarse vertex. The coarseMap field of w is populated.
+func coarsen(w *wgraph, r *rng.RNG) *wgraph {
+	n := w.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+
+	// Random visit order decorrelates matchings across levels.
+	order := r.Perm(n)
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		nbrs, wgts := w.neighbors(v)
+		best := int32(-1)
+		bestW := float32(-1)
+		for i, u := range nbrs {
+			if u == v || match[u] >= 0 {
+				continue
+			}
+			if wgts[i] > bestW {
+				best, bestW = u, wgts[i]
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v // matched with itself
+		}
+	}
+
+	// Assign coarse ids: the lower-id endpoint of each pair owns the id.
+	coarseMap := make([]int32, n)
+	nc := int32(0)
+	for v := 0; v < n; v++ {
+		u := match[v]
+		if int32(v) <= u {
+			coarseMap[v] = nc
+			if int(u) != v {
+				coarseMap[u] = nc
+			}
+			nc++
+		}
+	}
+	w.coarseMap = coarseMap
+
+	// Contract: vertex weights add; parallel edges collapse with summed
+	// weights; internal (pair) edges disappear.
+	coarse := &wgraph{vwgt: make([][]float32, len(w.vwgt))}
+	for c := range w.vwgt {
+		cw := make([]float32, nc)
+		for v, x := range w.vwgt[c] {
+			cw[coarseMap[v]] += x
+		}
+		coarse.vwgt[c] = cw
+	}
+
+	// Two-pass CSR build using a timestamped scratch accumulator.
+	members := make([][2]int32, nc) // up to two fine members per coarse vertex
+	for i := range members {
+		members[i] = [2]int32{-1, -1}
+	}
+	for v := 0; v < n; v++ {
+		cv := coarseMap[v]
+		if members[cv][0] < 0 {
+			members[cv][0] = int32(v)
+		} else {
+			members[cv][1] = int32(v)
+		}
+	}
+
+	acc := make([]float32, nc)  // accumulated edge weight to coarse neighbor
+	stamp := make([]int32, nc)  // last coarse vertex that touched acc
+	touched := make([]int32, 0) // coarse neighbors touched this round
+	for i := range stamp {
+		stamp[i] = -1
+	}
+
+	offsets := make([]int64, nc+1)
+	var adj []int32
+	var ewgt []float32
+	for cv := int32(0); cv < nc; cv++ {
+		touched = touched[:0]
+		for _, fv := range members[cv] {
+			if fv < 0 {
+				continue
+			}
+			nbrs, wgts := w.neighbors(fv)
+			for i, u := range nbrs {
+				cu := coarseMap[u]
+				if cu == cv {
+					continue
+				}
+				if stamp[cu] != cv {
+					stamp[cu] = cv
+					acc[cu] = 0
+					touched = append(touched, cu)
+				}
+				acc[cu] += wgts[i]
+			}
+		}
+		for _, cu := range touched {
+			adj = append(adj, cu)
+			ewgt = append(ewgt, acc[cu])
+		}
+		offsets[cv+1] = int64(len(adj))
+	}
+	coarse.offsets = offsets
+	coarse.adj = adj
+	coarse.ewgt = ewgt
+	return coarse
+}

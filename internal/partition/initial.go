@@ -1,0 +1,139 @@
+package partition
+
+import "salientpp/internal/rng"
+
+// initialPartition produces a K-way assignment on the coarsest graph by
+// greedy region growing: each region starts from a seed and repeatedly
+// absorbs the frontier vertex with the strongest connection to the region
+// until it reaches its share of *any* constraint (multi-constraint-aware
+// growth, so that e.g. training vertices do not pile into one region).
+// Leftover vertices go to the least-loaded partition by worst-constraint
+// load. The coarsest graph is small (≈ K·64 vertices) so the O(n·K + n·d)
+// costs here are irrelevant.
+func initialPartition(w *wgraph, k int, eps float64, r *rng.RNG) []int32 {
+	n := w.n()
+	parts := make([]int32, n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	totals := w.totals()
+	nc := len(w.vwgt)
+	targets := make([]float64, nc)
+	for c := range targets {
+		targets[c] = totals[c] / float64(k)
+		if targets[c] == 0 {
+			targets[c] = 1 // inert constraint
+		}
+	}
+
+	// region loads per constraint for the region currently growing.
+	region := make([]float64, nc)
+	// full reports whether the region reached its share of any constraint.
+	full := func() bool {
+		for c := 0; c < nc; c++ {
+			if region[c] >= targets[c] {
+				return true
+			}
+		}
+		return false
+	}
+
+	assigned := 0
+	for p := int32(0); p < int32(k-1) && assigned < n; p++ {
+		seed := int32(-1)
+		offset := r.Intn(n)
+		for i := 0; i < n; i++ {
+			v := int32((i + offset) % n)
+			if parts[v] < 0 {
+				seed = v
+				break
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		for c := range region {
+			region[c] = 0
+		}
+		conn := make(map[int32]float32)
+		grow := func(v int32) {
+			parts[v] = p
+			assigned++
+			for c := 0; c < nc; c++ {
+				region[c] += float64(w.vwgt[c][v])
+			}
+			delete(conn, v)
+			nbrs, wgts := w.neighbors(v)
+			for i, u := range nbrs {
+				if parts[u] < 0 {
+					conn[u] += wgts[i]
+				}
+			}
+		}
+		grow(seed)
+		for !full() && assigned < n {
+			best := int32(-1)
+			bestW := float32(-1)
+			for u, cw := range conn {
+				if cw > bestW || (cw == bestW && u < best) {
+					best, bestW = u, cw
+				}
+			}
+			if best < 0 {
+				// Disconnected frontier: jump to any unassigned vertex.
+				for i := 0; i < n; i++ {
+					v := int32((i + offset) % n)
+					if parts[v] < 0 {
+						best = v
+						break
+					}
+				}
+				if best < 0 {
+					break
+				}
+			}
+			grow(best)
+		}
+	}
+
+	// Remaining vertices join the partition with the lowest worst-case
+	// relative load, considering all constraints.
+	loads := make([][]float64, nc)
+	for c := range loads {
+		loads[c] = make([]float64, k)
+	}
+	for v := 0; v < n; v++ {
+		if parts[v] >= 0 {
+			for c := 0; c < nc; c++ {
+				loads[c][parts[v]] += float64(w.vwgt[c][v])
+			}
+		}
+	}
+	worst := func(p int, v int32) float64 {
+		m := 0.0
+		for c := 0; c < nc; c++ {
+			l := (loads[c][p] + float64(w.vwgt[c][v])) / targets[c]
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	for v := 0; v < n; v++ {
+		if parts[v] >= 0 {
+			continue
+		}
+		best := 0
+		bestLoad := worst(0, int32(v))
+		for p := 1; p < k; p++ {
+			if l := worst(p, int32(v)); l < bestLoad {
+				best, bestLoad = p, l
+			}
+		}
+		parts[v] = int32(best)
+		for c := 0; c < nc; c++ {
+			loads[c][best] += float64(w.vwgt[c][v])
+		}
+	}
+	return parts
+}

@@ -1,0 +1,79 @@
+package partition
+
+import "salientpp/internal/graph"
+
+// wgraph is the weighted working graph used by the multilevel hierarchy.
+// Edge weights count collapsed fine edges; vertex weights accumulate
+// per-constraint fine-vertex weights.
+type wgraph struct {
+	offsets []int64
+	adj     []int32
+	ewgt    []float32
+	// vwgt[c][v] is the weight of vertex v under constraint c.
+	vwgt [][]float32
+	// coarseMap maps this (finer) graph's vertices to the next coarser
+	// graph's vertices. Nil on the coarsest level.
+	coarseMap []int32
+}
+
+func (w *wgraph) n() int { return len(w.offsets) - 1 }
+
+func (w *wgraph) degree(v int32) int { return int(w.offsets[v+1] - w.offsets[v]) }
+
+func (w *wgraph) neighbors(v int32) ([]int32, []float32) {
+	lo, hi := w.offsets[v], w.offsets[v+1]
+	return w.adj[lo:hi], w.ewgt[lo:hi]
+}
+
+// fromCSR wraps a CSR graph with unit edge weights and the given (or unit)
+// vertex weight constraints.
+func fromCSR(g *graph.CSR, weights [][]float32) *wgraph {
+	n := g.NumVertices()
+	w := &wgraph{
+		offsets: g.Offsets,
+		adj:     g.Adj,
+		ewgt:    make([]float32, len(g.Adj)),
+	}
+	for i := range w.ewgt {
+		w.ewgt[i] = 1
+	}
+	if len(weights) == 0 {
+		unit := make([]float32, n)
+		for i := range unit {
+			unit[i] = 1
+		}
+		w.vwgt = [][]float32{unit}
+		return w
+	}
+	w.vwgt = make([][]float32, 0, len(weights))
+	for _, c := range weights {
+		// Skip all-zero constraints: they cannot be balanced and would
+		// divide by zero downstream.
+		var tot float64
+		for _, x := range c {
+			tot += float64(x)
+		}
+		if tot > 0 {
+			w.vwgt = append(w.vwgt, c)
+		}
+	}
+	if len(w.vwgt) == 0 {
+		unit := make([]float32, n)
+		for i := range unit {
+			unit[i] = 1
+		}
+		w.vwgt = [][]float32{unit}
+	}
+	return w
+}
+
+// totals returns the per-constraint total weights.
+func (w *wgraph) totals() []float64 {
+	t := make([]float64, len(w.vwgt))
+	for c, ws := range w.vwgt {
+		for _, x := range ws {
+			t[c] += float64(x)
+		}
+	}
+	return t
+}

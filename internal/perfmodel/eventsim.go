@@ -1,0 +1,248 @@
+package perfmodel
+
+import (
+	"container/heap"
+	"fmt"
+
+	"salientpp/internal/simnet"
+)
+
+// resKind identifies the serialized hardware resources of one machine,
+// plus the shared gradient-collective "resource".
+type resKind uint8
+
+const (
+	resNone resKind = iota // virtual: no resource, completes at availability
+	resCPU
+	resGPU
+	resH2D
+	resNIC
+	resCollective
+)
+
+// task is one unit of work in the epoch DAG.
+type task struct {
+	machine int32
+	kind    resKind
+	dur     float64 // seconds (non-NIC kinds)
+	bytes   int64   // NIC payload
+	latency float64 // appended to completion as seen by dependents
+	batch   int32
+	stage   int32
+
+	deps      []int32
+	remaining int32
+	avail     float64
+	finish    float64 // resource becomes free
+	visible   float64 // dependents' availability time (finish+latency)
+	started   bool
+}
+
+// graphBuilder accumulates tasks.
+type graphBuilder struct {
+	tasks []task
+}
+
+func (g *graphBuilder) add(t task) int32 {
+	id := int32(len(g.tasks))
+	t.remaining = int32(len(t.deps))
+	g.tasks = append(g.tasks, t)
+	return id
+}
+
+// waitItem orders a resource's runnable tasks deterministically: earlier
+// batches first, then earlier pipeline stages, then machine, then id.
+type waitItem struct {
+	batch, stage, machine, id int32
+}
+
+type waitQueue []waitItem
+
+func (q waitQueue) Len() int { return len(q) }
+func (q waitQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.batch != b.batch {
+		return a.batch < b.batch
+	}
+	if a.stage != b.stage {
+		return a.stage < b.stage
+	}
+	if a.machine != b.machine {
+		return a.machine < b.machine
+	}
+	return a.id < b.id
+}
+func (q waitQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *waitQueue) Push(x any)   { *q = append(*q, x.(waitItem)) }
+func (q *waitQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+type resource struct {
+	busy    bool
+	waiting waitQueue
+	link    *simnet.Link // NIC only
+	busySum float64      // accumulated busy seconds
+}
+
+// event is a task completion.
+type event struct {
+	t  float64
+	id int32
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].id < q[j].id
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// engine executes the task DAG against the hardware model.
+type engine struct {
+	hw         Hardware
+	k          int
+	tasks      []task
+	dependents [][]int32
+	resources  []*resource // k*4 machine resources + 1 collective
+	events     eventQueue
+	makespan   float64
+}
+
+func newEngine(hw Hardware, k int, tasks []task) *engine {
+	e := &engine{hw: hw, k: k, tasks: tasks}
+	e.dependents = make([][]int32, len(tasks))
+	for id := range tasks {
+		for _, d := range tasks[id].deps {
+			e.dependents[d] = append(e.dependents[d], int32(id))
+		}
+	}
+	e.resources = make([]*resource, k*4+1)
+	for i := range e.resources {
+		e.resources[i] = &resource{}
+	}
+	bw := hw.NetGbps * 1e9 / 8
+	for m := 0; m < k; m++ {
+		l := &simnet.Link{Bandwidth: bw, Latency: 0}
+		if hw.TBFGbps > 0 {
+			l = l.WithTBF(hw.TBFGbps)
+		}
+		e.resources[e.resIndex(int32(m), resNIC)].link = l
+	}
+	return e
+}
+
+func (e *engine) resIndex(machine int32, kind resKind) int {
+	if kind == resCollective {
+		return e.k * 4
+	}
+	return int(machine)*4 + int(kind-resCPU)
+}
+
+// run executes the DAG and returns the makespan.
+func (e *engine) run() (float64, error) {
+	// Seed with dependency-free tasks: push them all before starting any,
+	// so the priority order (batch, stage, machine) decides who runs
+	// first among simultaneously available tasks.
+	touched := map[int]bool{}
+	for id := range e.tasks {
+		if e.tasks[id].remaining == 0 {
+			if ri := e.enqueue(int32(id), 0); ri >= 0 {
+				touched[ri] = true
+			}
+		}
+	}
+	for ri := range touched {
+		e.tryStart(ri, 0)
+	}
+	completed := 0
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		completed++
+		t := &e.tasks[ev.id]
+		if t.visible > e.makespan {
+			e.makespan = t.visible
+		}
+		// Release dependents first so same-time waiters compete by
+		// priority, then restart the affected resources.
+		clear(touched)
+		if t.kind != resNone {
+			ri := e.resIndex(t.machine, t.kind)
+			e.resources[ri].busy = false
+			touched[ri] = true
+		}
+		for _, did := range e.dependents[ev.id] {
+			d := &e.tasks[did]
+			if t.visible > d.avail {
+				d.avail = t.visible
+			}
+			d.remaining--
+			if d.remaining == 0 {
+				if ri := e.enqueue(did, d.avail); ri >= 0 {
+					touched[ri] = true
+				}
+			}
+		}
+		for ri := range touched {
+			e.tryStart(ri, ev.t)
+		}
+	}
+	if completed != len(e.tasks) {
+		return 0, fmt.Errorf("perfmodel: deadlock — %d of %d tasks completed (cyclic dependencies?)", completed, len(e.tasks))
+	}
+	return e.makespan, nil
+}
+
+// enqueue makes a task runnable at time now and returns the index of the
+// resource it waits on (-1 for virtual tasks, which complete immediately).
+func (e *engine) enqueue(id int32, now float64) int {
+	t := &e.tasks[id]
+	if t.kind == resNone {
+		// Virtual task: completes instantly at availability.
+		t.finish = now
+		t.visible = now + t.latency
+		heap.Push(&e.events, event{t.visible, id})
+		return -1
+	}
+	ri := e.resIndex(t.machine, t.kind)
+	res := e.resources[ri]
+	heap.Push(&res.waiting, waitItem{t.batch, t.stage, t.machine, id})
+	return ri
+}
+
+// tryStart begins the best waiting task if the resource is idle.
+func (e *engine) tryStart(ri int, now float64) {
+	res := e.resources[ri]
+	if res.busy || res.waiting.Len() == 0 {
+		return
+	}
+	it := heap.Pop(&res.waiting).(waitItem)
+	t := &e.tasks[it.id]
+	start := now
+	if t.avail > start {
+		start = t.avail
+	}
+	var fin float64
+	if t.kind == resNIC && res.link != nil {
+		fin = res.link.Transfer(start, t.bytes)
+		// The link's own latency field is zero; t.latency carries it so
+		// occupancy ends at transmit completion, not at delivery.
+	} else {
+		fin = start + t.dur
+	}
+	t.started = true
+	t.finish = fin
+	t.visible = fin + t.latency
+	res.busy = true
+	res.busySum += fin - start
+	heap.Push(&e.events, event{fin, it.id})
+}
+
+// busySeconds reports the accumulated busy time of a machine resource.
+func (e *engine) busySeconds(machine int32, kind resKind) float64 {
+	return e.resources[e.resIndex(machine, kind)].busySum
+}

@@ -1,0 +1,177 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// handHardware gives easy round numbers: 1 GB/s NIC, no latency.
+func handHardware() Hardware {
+	hw := DefaultHardware()
+	hw.NetGbps = 8 // = 1e9 bytes/s
+	hw.NetLatency = 0
+	return hw
+}
+
+func TestEngineSerialChain(t *testing.T) {
+	// Three CPU tasks in a dependency chain on one machine: makespan is
+	// the sum of durations.
+	g := &graphBuilder{}
+	a := g.add(task{machine: 0, kind: resCPU, dur: 1})
+	b := g.add(task{machine: 0, kind: resCPU, dur: 2, deps: []int32{a}})
+	g.add(task{machine: 0, kind: resCPU, dur: 3, deps: []int32{b}})
+	e := newEngine(handHardware(), 1, g.tasks)
+	makespan, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(makespan-6) > 1e-9 {
+		t.Fatalf("makespan=%v want 6", makespan)
+	}
+	if busy := e.busySeconds(0, resCPU); math.Abs(busy-6) > 1e-9 {
+		t.Fatalf("busy=%v want 6", busy)
+	}
+}
+
+func TestEngineResourceSerialization(t *testing.T) {
+	// Two independent tasks on the same GPU serialize; on different
+	// machines they run in parallel.
+	g := &graphBuilder{}
+	g.add(task{machine: 0, kind: resGPU, dur: 2})
+	g.add(task{machine: 0, kind: resGPU, dur: 2})
+	e := newEngine(handHardware(), 1, g.tasks)
+	ms, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms-4) > 1e-9 {
+		t.Fatalf("same-resource makespan=%v want 4", ms)
+	}
+
+	g2 := &graphBuilder{}
+	g2.add(task{machine: 0, kind: resGPU, dur: 2})
+	g2.add(task{machine: 1, kind: resGPU, dur: 2})
+	e2 := newEngine(handHardware(), 2, g2.tasks)
+	ms2, err := e2.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms2-2) > 1e-9 {
+		t.Fatalf("cross-machine makespan=%v want 2", ms2)
+	}
+}
+
+func TestEngineParallelResourcesOverlap(t *testing.T) {
+	// CPU and GPU tasks with no dependencies overlap on one machine.
+	g := &graphBuilder{}
+	g.add(task{machine: 0, kind: resCPU, dur: 3})
+	g.add(task{machine: 0, kind: resGPU, dur: 2})
+	e := newEngine(handHardware(), 1, g.tasks)
+	ms, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms-3) > 1e-9 {
+		t.Fatalf("makespan=%v want 3", ms)
+	}
+}
+
+func TestEngineNICBandwidthAndLatency(t *testing.T) {
+	hw := handHardware()
+	hw.NetLatency = 0.5
+	g := &graphBuilder{}
+	// 1e9 bytes at 1e9 B/s = 1s transmit; dependent sees +0.5s latency.
+	nic := g.add(task{machine: 0, kind: resNIC, bytes: 1e9, latency: hw.NetLatency})
+	g.add(task{machine: 0, kind: resCPU, dur: 1, deps: []int32{nic}})
+	e := newEngine(hw, 1, g.tasks)
+	ms, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1s tx + 0.5s latency + 1s CPU.
+	if math.Abs(ms-2.5) > 1e-9 {
+		t.Fatalf("makespan=%v want 2.5", ms)
+	}
+	// The NIC itself is only busy for the transmit second.
+	if busy := e.busySeconds(0, resNIC); math.Abs(busy-1) > 1e-9 {
+		t.Fatalf("NIC busy=%v want 1", busy)
+	}
+}
+
+func TestEngineTokenBucketShaping(t *testing.T) {
+	hw := handHardware()
+	hw.TBFGbps = 0.8 // 1e8 bytes/s shaped rate
+	g := &graphBuilder{}
+	g.add(task{machine: 0, kind: resNIC, bytes: 1e9})
+	e := newEngine(hw, 1, g.tasks)
+	ms, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1e9 bytes at 1e8 B/s ≈ 10s (minus the small burst allowance).
+	if ms < 8 || ms > 10.5 {
+		t.Fatalf("shaped makespan=%v want ≈10", ms)
+	}
+}
+
+func TestEngineCrossMachineDependency(t *testing.T) {
+	// Request/serve/response chain across machines.
+	g := &graphBuilder{}
+	req := g.add(task{machine: 0, kind: resNIC, bytes: 0})
+	serve := g.add(task{machine: 1, kind: resCPU, dur: 1, deps: []int32{req}})
+	resp := g.add(task{machine: 1, kind: resNIC, bytes: 1e9, deps: []int32{serve}})
+	g.add(task{machine: 0, kind: resGPU, dur: 1, deps: []int32{resp}})
+	e := newEngine(handHardware(), 2, g.tasks)
+	ms, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// serve 1s + response 1s + train 1s.
+	if math.Abs(ms-3) > 1e-9 {
+		t.Fatalf("makespan=%v want 3", ms)
+	}
+}
+
+func TestEnginePriorityOrdering(t *testing.T) {
+	// Two tasks available simultaneously on one resource: the lower batch
+	// number runs first regardless of insertion order.
+	g := &graphBuilder{}
+	late := g.add(task{machine: 0, kind: resCPU, dur: 1, batch: 5})
+	early := g.add(task{machine: 0, kind: resCPU, dur: 1, batch: 1})
+	e := newEngine(handHardware(), 1, g.tasks)
+	if _, err := e.run(); err != nil {
+		t.Fatal(err)
+	}
+	if !(e.tasks[early].finish < e.tasks[late].finish) {
+		t.Fatalf("batch priority violated: early done %v, late done %v",
+			e.tasks[early].finish, e.tasks[late].finish)
+	}
+}
+
+func TestEngineDetectsDeadlock(t *testing.T) {
+	// A dependency cycle must be reported, not spun on.
+	g := &graphBuilder{}
+	g.add(task{machine: 0, kind: resCPU, dur: 1, deps: []int32{1}})
+	g.add(task{machine: 0, kind: resCPU, dur: 1, deps: []int32{0}})
+	e := newEngine(handHardware(), 1, g.tasks)
+	if _, err := e.run(); err == nil {
+		t.Fatal("expected deadlock error for cyclic dependencies")
+	}
+}
+
+func TestEngineVirtualTasks(t *testing.T) {
+	// Virtual (resNone) tasks act as zero-cost joins.
+	g := &graphBuilder{}
+	a := g.add(task{machine: 0, kind: resCPU, dur: 1})
+	b := g.add(task{machine: 1, kind: resCPU, dur: 2})
+	join := g.add(task{machine: 0, kind: resNone, deps: []int32{a, b}})
+	g.add(task{machine: 0, kind: resGPU, dur: 1, deps: []int32{join}})
+	e := newEngine(handHardware(), 2, g.tasks)
+	ms, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms-3) > 1e-9 {
+		t.Fatalf("makespan=%v want 3 (join at 2 + 1s GPU)", ms)
+	}
+}

@@ -1,0 +1,202 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"salientpp/internal/cache"
+	"salientpp/internal/dist"
+	"salientpp/internal/graph"
+	"salientpp/internal/rng"
+	"salientpp/internal/sample"
+)
+
+// Scenario describes a deployed configuration whose workload is to be
+// measured: the reordered graph, the contiguous partition layout, each
+// machine's training vertices, caches, and GPU-resident prefix.
+type Scenario struct {
+	Graph    *graph.CSR
+	Layout   *dist.Layout
+	TrainPer [][]int32      // per-machine training ids (layout id space)
+	Caches   []*cache.Cache // per-machine; nil entries mean no cache
+	GPURows  []int          // per-machine GPU-resident local prefix rows
+	Fanouts  []int
+	Batch    int
+	// FeatureBytes is the wire size of one feature row.
+	FeatureBytes int64
+	// Model dimensions for flop accounting.
+	InDim, Hidden, Classes int
+}
+
+// BatchWork is the measured workload of one sampled minibatch on one
+// machine — everything the event simulator needs to price it.
+type BatchWork struct {
+	Seeds        int
+	Inputs       int
+	Edges        int64
+	LayerInputs  []int   // input-set size per layer, widest first
+	LayerEdges   []int64 // sampled edges per layer, widest first
+	LocalGPU     int
+	LocalCPU     int
+	CacheHits    int
+	RemoteFetch  int
+	RemoteByPeer []int
+}
+
+// Workload is one epoch of measured minibatches for every machine, padded
+// so all machines have the same round count.
+type Workload struct {
+	K                              int
+	PerMachine                     [][]BatchWork
+	Rounds                         int
+	FeatureBytes                   int64
+	InDim, Hidden, Classes, Layers int
+}
+
+// BuildWorkload samples one evaluation epoch per machine and classifies
+// every feature access exactly as dist.Store.Gather would, without moving
+// any bytes. Deterministic in seed.
+func BuildWorkload(s *Scenario, seed uint64, workers int) (*Workload, error) {
+	k := s.Layout.K()
+	if len(s.TrainPer) != k {
+		return nil, fmt.Errorf("perfmodel: %d train sets for %d machines", len(s.TrainPer), k)
+	}
+	if s.Batch <= 0 {
+		return nil, fmt.Errorf("perfmodel: batch size %d", s.Batch)
+	}
+	smp, err := sample.NewSampler(s.Graph, s.Fanouts)
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{
+		K: k, FeatureBytes: s.FeatureBytes,
+		InDim: s.InDim, Hidden: s.Hidden, Classes: s.Classes,
+		Layers: len(s.Fanouts),
+	}
+	base := rng.New(seed)
+	rounds := 0
+	for m := 0; m < k; m++ {
+		mr := base.Split(uint64(m))
+		batches := sample.EpochBatches(s.TrainPer[m], s.Batch, mr.Split(0))
+		mfgs := sample.PrepareEpoch(smp, batches, mr.Split(1), workers)
+		var works []BatchWork
+		for _, mfg := range mfgs {
+			works = append(works, classify(s, m, mfg))
+		}
+		w.PerMachine = append(w.PerMachine, works)
+		if len(works) > rounds {
+			rounds = len(works)
+		}
+	}
+	// Pad with empty batches so collective rounds align.
+	for m := 0; m < k; m++ {
+		for len(w.PerMachine[m]) < rounds {
+			w.PerMachine[m] = append(w.PerMachine[m], BatchWork{
+				LayerInputs:  make([]int, w.Layers),
+				LayerEdges:   make([]int64, w.Layers),
+				RemoteByPeer: make([]int, k),
+			})
+		}
+	}
+	w.Rounds = rounds
+	return w, nil
+}
+
+// classify mirrors dist.Store.Gather's bookkeeping for machine m.
+func classify(s *Scenario, m int, mfg *sample.MFG) BatchWork {
+	k := s.Layout.K()
+	bw := BatchWork{
+		Seeds:        len(mfg.Seeds),
+		Inputs:       len(mfg.InputIDs()),
+		Edges:        mfg.TotalEdges(),
+		RemoteByPeer: make([]int, k),
+	}
+	for _, b := range mfg.Blocks {
+		bw.LayerInputs = append(bw.LayerInputs, b.NumInputs())
+		bw.LayerEdges = append(bw.LayerEdges, int64(b.NumEdges()))
+	}
+	var c *cache.Cache
+	if s.Caches != nil {
+		c = s.Caches[m]
+	}
+	gpuRows := 0
+	if s.GPURows != nil {
+		gpuRows = s.GPURows[m]
+	}
+	for _, v := range mfg.InputIDs() {
+		owner := s.Layout.Owner(v)
+		if owner == m {
+			if s.Layout.LocalRow(v) < gpuRows {
+				bw.LocalGPU++
+			} else {
+				bw.LocalCPU++
+			}
+			continue
+		}
+		if c != nil && c.Has(v) {
+			bw.CacheHits++
+			continue
+		}
+		bw.RemoteFetch++
+		bw.RemoteByPeer[owner]++
+	}
+	return bw
+}
+
+// RemoteVertices returns total remote fetches per epoch across machines.
+func (w *Workload) RemoteVertices() int64 {
+	var t int64
+	for _, works := range w.PerMachine {
+		for _, b := range works {
+			t += int64(b.RemoteFetch)
+		}
+	}
+	return t
+}
+
+// RemoteBytes returns total feature payload bytes fetched per epoch.
+func (w *Workload) RemoteBytes() int64 { return w.RemoteVertices() * w.FeatureBytes }
+
+// flops estimates forward+backward compute for one batch: two dense
+// matmuls per layer over the destination rows plus the aggregation sweep,
+// with backward costed at twice the forward.
+func (w *Workload) flops(b *BatchWork) float64 {
+	if b.Seeds == 0 {
+		return 0
+	}
+	var fwd float64
+	for l := 0; l < w.Layers; l++ {
+		din := w.Hidden
+		if l == 0 {
+			din = w.InDim
+		}
+		dout := w.Hidden
+		if l == w.Layers-1 {
+			dout = w.Classes
+		}
+		nd := b.Seeds
+		if l+1 < w.Layers {
+			nd = b.LayerInputs[l+1]
+		}
+		fwd += 2 * 2 * float64(nd) * float64(din) * float64(dout) // self + neigh matmuls
+		fwd += float64(b.LayerEdges[l]) * float64(din)            // mean aggregation
+	}
+	return 3 * fwd
+}
+
+// GradBytes returns the gradient all-reduce payload for the model
+// dimensions (two weight matrices plus bias per layer, float32).
+func (w *Workload) GradBytes() int64 {
+	var params int64
+	for l := 0; l < w.Layers; l++ {
+		din := int64(w.Hidden)
+		if l == 0 {
+			din = int64(w.InDim)
+		}
+		dout := int64(w.Hidden)
+		if l == w.Layers-1 {
+			dout = int64(w.Classes)
+		}
+		params += 2*din*dout + dout
+	}
+	return params * 4
+}

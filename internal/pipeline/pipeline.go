@@ -1,0 +1,333 @@
+// Package pipeline implements SALIENT++'s distributed minibatch training
+// loop with the deep minibatch-preparation pipeline of §4.3 / Appendix D:
+// neighborhood sampling, the three-collective feature gather (request
+// counts, request ids, feature payloads), host↔device bookkeeping, model
+// computation, and gradient synchronization — with up to PipelineDepth
+// minibatches in flight so communication overlaps computation.
+//
+// Each "machine" is one goroutine group driving its own communicators.
+// Collectives are matched across ranks by construction: every rank
+// processes the same number of rounds per epoch (padding with empty
+// batches when training-vertex counts are ragged) and issues feature
+// gathers on one communicator and gradient all-reduces on another, the
+// same separation NCCL streams give the original system.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"salientpp/internal/dist"
+	"salientpp/internal/nn"
+	"salientpp/internal/rng"
+	"salientpp/internal/sample"
+	"salientpp/internal/tensor"
+)
+
+// Config controls one rank's training loop.
+type Config struct {
+	// Fanouts are the sampling fanouts (training).
+	Fanouts []int
+	// BatchSize is the per-machine minibatch size.
+	BatchSize int
+	// PipelineDepth bounds in-flight minibatches; SALIENT++ uses 10.
+	// Depth 1 degenerates to fully sequential batch preparation.
+	PipelineDepth int
+	// SamplerWorkers is the shared-memory sampling parallelism per machine.
+	SamplerWorkers int
+	// LR is the Adam learning rate.
+	LR float64
+	// Seed drives sampling and dropout; combined with rank and epoch.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 10
+	}
+	if c.SamplerWorkers <= 0 {
+		c.SamplerWorkers = 1
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	return c
+}
+
+// Rank is one machine's training state.
+type Rank struct {
+	cfg      Config
+	commFeat dist.Comm
+	commGrad dist.Comm
+	store    *dist.Store
+	sampler  *sample.Sampler
+	model    *nn.Model
+	opt      *nn.Adam
+	trainIDs []int32
+	labels   []int32 // global labels (label < 0 means unlabeled)
+	rounds   int     // collective rounds per epoch (global max batches)
+}
+
+// EpochStats aggregates one training epoch on one rank.
+type EpochStats struct {
+	Loss        float64 // mean training loss over real batches
+	Accuracy    float64 // mean training accuracy over real batches
+	Batches     int     // real (non-padding) batches
+	Gather      dist.GatherStats
+	BytesSent   int64 // feature-communication bytes this epoch
+	Duration    time.Duration
+	SampleTime  time.Duration // cumulative sampling stage time
+	GatherTime  time.Duration // cumulative feature-collection stage time
+	ComputeTime time.Duration // cumulative model fwd/bwd/optimizer time
+}
+
+// NewRank wires one machine. labels must cover all global vertices
+// (unlabeled entries < 0); trainIDs are the machine's local training
+// vertices (global ids); globalMaxBatches is max over ranks of
+// ceil(|T_k|/B) so that collective counts match.
+func NewRank(cfg Config, commFeat, commGrad dist.Comm, store *dist.Store, s *sample.Sampler, m *nn.Model, trainIDs, labels []int32, globalMaxBatches int) (*Rank, error) {
+	cfg = cfg.withDefaults()
+	if commFeat.Rank() != commGrad.Rank() || commFeat.Size() != commGrad.Size() {
+		return nil, fmt.Errorf("pipeline: feature and gradient communicators disagree")
+	}
+	if globalMaxBatches <= 0 {
+		return nil, fmt.Errorf("pipeline: non-positive round count %d", globalMaxBatches)
+	}
+	return &Rank{
+		cfg:      cfg,
+		commFeat: commFeat,
+		commGrad: commGrad,
+		store:    store,
+		sampler:  s,
+		model:    m,
+		opt:      nn.NewAdam(cfg.LR),
+		trainIDs: trainIDs,
+		labels:   labels,
+		rounds:   globalMaxBatches,
+	}, nil
+}
+
+// Model exposes the rank's model (e.g. for evaluation or weight checks).
+func (r *Rank) Model() *nn.Model { return r.model }
+
+// preparedBatch flows between pipeline stages.
+type preparedBatch struct {
+	mfg   *sample.MFG
+	feats *tensor.Matrix
+	stats dist.GatherStats
+	gtime time.Duration
+	stime time.Duration
+	empty bool
+}
+
+// TrainEpoch runs one synchronized training epoch. All ranks must call it
+// with the same epoch number.
+func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
+	start := time.Now()
+	base := rng.New(r.cfg.Seed ^ (uint64(epoch+1) * 0x9e3779b97f4a7c15)).Split(uint64(r.commFeat.Rank()))
+	batches := sample.EpochBatches(r.trainIDs, r.cfg.BatchSize, base.Split(0))
+	// Pad to the global round count with empty batches.
+	real := len(batches)
+	for len(batches) < r.rounds {
+		batches = append(batches, nil)
+	}
+	if len(batches) > r.rounds {
+		return EpochStats{}, fmt.Errorf("pipeline: rank %d has %d batches for %d rounds", r.commFeat.Rank(), len(batches), r.rounds)
+	}
+
+	bytesBefore := r.commFeat.BytesSent()
+	var stats EpochStats
+	stats.Batches = real
+
+	// Stage A: parallel sampling, streamed in batch order. The semaphore
+	// enforces the paper's bound of PipelineDepth in-flight minibatches:
+	// workers acquire before sampling, the training loop releases after
+	// the batch finishes its model update.
+	inflight := make(chan struct{}, r.cfg.PipelineDepth)
+	sampled := r.streamSampled(batches, base.Split(1), inflight)
+
+	// Stage B: feature collection (three matched collectives per round).
+	ready := make(chan preparedBatch, r.cfg.PipelineDepth)
+	errCh := make(chan error, 1)
+	go func() {
+		defer close(ready)
+		for sb := range sampled {
+			t0 := time.Now()
+			feats, gstats, err := r.store.Gather(sb.mfg.InputIDs())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			ready <- preparedBatch{mfg: sb.mfg, feats: feats, stats: gstats, gtime: time.Since(t0), stime: sb.stime, empty: sb.empty}
+		}
+	}()
+
+	// Stage C: model computation and gradient synchronization.
+	grads := r.model.Params()
+	flat := make([]float32, 0, r.model.NumParameters())
+	for pb := range ready {
+		t0 := time.Now()
+		logits, err := r.model.Forward(pb.mfg, pb.feats, true)
+		if err != nil {
+			return stats, err
+		}
+		labels := make([]int32, len(pb.mfg.Seeds))
+		for i, v := range pb.mfg.Seeds {
+			labels[i] = r.labels[v]
+		}
+		dL := tensor.New(logits.Rows, logits.Cols)
+		loss := tensor.SoftmaxCrossEntropy(logits, labels, dL)
+		if !pb.empty {
+			stats.Loss += loss
+			stats.Accuracy += tensor.Accuracy(logits, labels)
+			stats.Gather.LocalGPU += pb.stats.LocalGPU
+			stats.Gather.LocalCPU += pb.stats.LocalCPU
+			stats.Gather.CacheHits += pb.stats.CacheHits
+			stats.Gather.RemoteFetch += pb.stats.RemoteFetch
+			stats.GatherTime += pb.gtime
+			stats.SampleTime += pb.stime
+		}
+		r.model.ZeroGrad()
+		r.model.Backward(dL)
+
+		// Gradient all-reduce (mean across ranks) on the dedicated
+		// communicator, overlapping the next batches' feature collectives.
+		flat = flat[:0]
+		for _, p := range grads {
+			flat = append(flat, p.G.Data...)
+		}
+		if err := r.commGrad.AllReduceSum(flat); err != nil {
+			return stats, err
+		}
+		inv := float32(1) / float32(r.commGrad.Size())
+		off := 0
+		for _, p := range grads {
+			for i := range p.G.Data {
+				p.G.Data[i] = flat[off+i] * inv
+			}
+			off += len(p.G.Data)
+		}
+		r.opt.Step(grads)
+		stats.ComputeTime += time.Since(t0)
+		<-inflight // retire the batch: frees one pipeline slot
+	}
+	select {
+	case err := <-errCh:
+		return stats, err
+	default:
+	}
+	if real > 0 {
+		stats.Loss /= float64(real)
+		stats.Accuracy /= float64(real)
+	}
+	stats.BytesSent = r.commFeat.BytesSent() - bytesBefore
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// streamSampled runs the sampling stage: SamplerWorkers goroutines sample
+// batches which are forwarded in order. Workers acquire a slot from
+// inflight before sampling; the training loop releases slots as batches
+// retire, bounding in-flight minibatches by PipelineDepth.
+func (r *Rank) streamSampled(batches [][]int32, base *rng.RNG, inflight chan struct{}) <-chan sampledBatch {
+	slots := make([]chan sampledBatch, len(batches))
+	for i := range slots {
+		slots[i] = make(chan sampledBatch, 1)
+	}
+	var next int
+	var mu sync.Mutex
+	workers := r.cfg.SamplerWorkers
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			worker := r.sampler.NewWorker(rng.New(0))
+			for {
+				inflight <- struct{}{} // claim a pipeline slot
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(batches) {
+					<-inflight // nothing left; return the slot
+					return
+				}
+				worker.SetRNG(base.Split(uint64(i)))
+				t0 := time.Now()
+				m := worker.Sample(batches[i])
+				slots[i] <- sampledBatch{mfg: m, empty: len(batches[i]) == 0, stime: time.Since(t0)}
+			}
+		}()
+	}
+	out := make(chan sampledBatch, r.cfg.PipelineDepth)
+	go func() {
+		defer close(out)
+		for i := range slots {
+			out <- <-slots[i]
+		}
+	}()
+	return out
+}
+
+type sampledBatch struct {
+	mfg   *sample.MFG
+	empty bool
+	stime time.Duration
+}
+
+// Evaluate runs sampled inference over ids (this rank's local evaluation
+// vertices) and returns (correct, total). Fanouts may differ from training
+// (the paper evaluates with (20,20,20)). All ranks must call Evaluate
+// together with the same rounds; rounds must be >= ceil(len(ids)/batch)
+// for every rank (use the global max).
+func (r *Rank) Evaluate(ids []int32, fanouts []int, batch, rounds, epoch int) (int, int, error) {
+	s, err := sample.NewSampler(r.sampler.Graph(), fanouts)
+	if err != nil {
+		return 0, 0, err
+	}
+	base := rng.New(r.cfg.Seed ^ 0xe7a1 ^ uint64(epoch)<<20).Split(uint64(r.commFeat.Rank()))
+	w := s.NewWorker(base.Split(7))
+	correct, total := 0, 0
+	for round := 0; round < rounds; round++ {
+		lo := round * batch
+		var seeds []int32
+		if lo < len(ids) {
+			hi := lo + batch
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			seeds = ids[lo:hi]
+		}
+		mfg := w.Sample(seeds)
+		feats, _, err := r.store.Gather(mfg.InputIDs())
+		if err != nil {
+			return correct, total, err
+		}
+		logits, err := r.model.Forward(mfg, feats, false)
+		if err != nil {
+			return correct, total, err
+		}
+		for i, v := range mfg.Seeds {
+			if r.labels[v] < 0 {
+				continue
+			}
+			total++
+			row := logits.Row(i)
+			best := 0
+			for j := range row {
+				if row[j] > row[best] {
+					best = j
+				}
+			}
+			if int32(best) == r.labels[v] {
+				correct++
+			}
+		}
+	}
+	return correct, total, nil
+}

@@ -1,0 +1,324 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"salientpp/internal/cache"
+	"salientpp/internal/dataset"
+	"salientpp/internal/dist"
+	"salientpp/internal/graph"
+	"salientpp/internal/nn"
+	"salientpp/internal/partition"
+	"salientpp/internal/sample"
+	"salientpp/internal/tensor"
+	"salientpp/internal/vip"
+)
+
+// ClusterConfig assembles a full SALIENT++ deployment inside one process:
+// partitioning, VIP analysis, vertex reordering, cache construction,
+// feature sharding, and per-rank models with identical initial weights.
+type ClusterConfig struct {
+	K int
+	// Alpha is the replication factor (0 disables remote caching).
+	Alpha float64
+	// GPUFraction is the share of each local partition kept "on device"
+	// (Figure 6's β). 1.0 matches the paper's main experiments.
+	GPUFraction float64
+	// VIPReorder ranks local vertices by VIP value before the CPU/GPU
+	// split; false keeps the arbitrary post-partition order ("no reorder").
+	VIPReorder bool
+	// CachePolicy builds each rank's remote cache; nil means cache.VIP{}.
+	CachePolicy cache.Policy
+	// Hidden, Layers, Dropout, and Train configure the model and loop.
+	Hidden  int
+	Layers  int
+	Dropout float64
+	Train   Config
+	// ModelSeed fixes initial weights across ranks.
+	ModelSeed uint64
+	// UseTCP selects the loopback TCP transport instead of in-process
+	// channels.
+	UseTCP bool
+}
+
+// Cluster is a ready-to-train in-process deployment.
+type Cluster struct {
+	Ranks []*Rank
+	// Data is the reordered dataset shared by all ranks (read-only).
+	Data *dataset.Dataset
+	// Layout is the contiguous partition layout.
+	Layout *dist.Layout
+	// Parts is the partition assignment in reordered vertex ids.
+	Parts []int32
+	// Perm maps original ids to reordered ids.
+	Perm graph.Permutation
+
+	commFeat []dist.Comm
+	commGrad []dist.Comm
+}
+
+// Close releases communicators.
+func (c *Cluster) Close() {
+	for _, cm := range c.commFeat {
+		cm.Close()
+	}
+	for _, cm := range c.commGrad {
+		cm.Close()
+	}
+}
+
+// NewCluster builds the deployment from a materialized dataset.
+func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
+	if !ds.HasFeatures() {
+		return nil, fmt.Errorf("pipeline: dataset must be materialized for training")
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("pipeline: K = %d", cfg.K)
+	}
+	if cfg.GPUFraction == 0 {
+		cfg.GPUFraction = 1
+	}
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 64
+	}
+	if cfg.Layers == 0 {
+		cfg.Layers = len(cfg.Train.Fanouts)
+	}
+	if cfg.CachePolicy == nil {
+		cfg.CachePolicy = cache.VIP{}
+	}
+
+	// 1. Partition with the paper's balance constraints.
+	isTrain := make([]bool, ds.NumVertices())
+	isVal := make([]bool, ds.NumVertices())
+	isTest := make([]bool, ds.NumVertices())
+	for v, s := range ds.Splits {
+		switch s {
+		case dataset.SplitTrain:
+			isTrain[v] = true
+		case dataset.SplitVal:
+			isVal[v] = true
+		case dataset.SplitTest:
+			isTest[v] = true
+		}
+	}
+	pres, err := partition.Partition(ds.Graph, partition.Config{
+		K:       cfg.K,
+		Weights: partition.SalientWeights(ds.Graph, isTrain, isVal, isTest),
+		Seed:    cfg.Train.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Partition-wise VIP analysis on the original ids.
+	vcfg := vip.Config{Fanouts: cfg.Train.Fanouts, BatchSize: cfg.Train.BatchSize, IncludeSeeds: true}
+	vips, err := vip.ForPartitions(ds.Graph, pres.Parts, cfg.K, ds.TrainIDs(), vcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Reorder: partitions contiguous; within each partition by VIP rank
+	// (or original order for the "no reorder" ablation).
+	var score []float64
+	if cfg.VIPReorder {
+		score = make([]float64, ds.NumVertices())
+		for v := range score {
+			score[v] = vips[pres.Parts[v]][v]
+		}
+	}
+	perm, starts, err := graph.PartitionOrder(pres.Parts, cfg.K, score)
+	if err != nil {
+		return nil, err
+	}
+	rds, err := ds.Relabel(perm)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := dist.NewLayout(starts)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]int32, ds.NumVertices())
+	for old, p := range pres.Parts {
+		parts[perm[old]] = p
+	}
+
+	// 4. Communicator groups (features and gradients are separate, like
+	// NCCL streams).
+	var commFeat, commGrad []dist.Comm
+	if cfg.UseTCP {
+		commFeat, err = dist.NewTCPGroup(cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		commGrad, err = dist.NewTCPGroup(cfg.K)
+	} else {
+		commFeat, err = dist.NewLocalGroup(cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		commGrad, err = dist.NewLocalGroup(cfg.K)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Per-rank stores, models, ranks.
+	trainReordered := rds.TrainIDs()
+	trainPer := make([][]int32, cfg.K)
+	for _, v := range trainReordered {
+		p := layout.Owner(v)
+		trainPer[p] = append(trainPer[p], v)
+	}
+	maxBatches := 0
+	for p := 0; p < cfg.K; p++ {
+		nb := (len(trainPer[p]) + cfg.Train.BatchSize - 1) / cfg.Train.BatchSize
+		if nb > maxBatches {
+			maxBatches = nb
+		}
+	}
+	if maxBatches == 0 {
+		return nil, fmt.Errorf("pipeline: no training vertices")
+	}
+
+	capacity := cache.CapacityForAlpha(cfg.Alpha, ds.NumVertices(), cfg.K)
+	refModel, err := nn.NewModel(rds.FeatureDim, cfg.Hidden, rds.NumClasses, cfg.Layers, cfg.Dropout, cfg.ModelSeed)
+	if err != nil {
+		return nil, err
+	}
+
+	cl := &Cluster{Data: rds, Layout: layout, Parts: parts, Perm: perm, commFeat: commFeat, commGrad: commGrad}
+	for rank := 0; rank < cfg.K; rank++ {
+		// Local shard in layout order.
+		lo, hi := starts[rank], starts[rank+1]
+		local := tensor.New(int(hi-lo), rds.FeatureDim)
+		for v := lo; v < hi; v++ {
+			copy(local.Row(int(v-lo)), rds.FeatureRow(int32(v)))
+		}
+
+		// Remote cache via the configured policy (reordered id space).
+		var cc *cache.Cache
+		var cdata *tensor.Matrix
+		if capacity > 0 {
+			ctx := &cache.Context{
+				G: rds.Graph, Parts: parts, K: cfg.K, Part: int32(rank),
+				TrainIDs: trainReordered, Fanouts: cfg.Train.Fanouts,
+				BatchSize: cfg.Train.BatchSize, Seed: cfg.Train.Seed + uint64(rank),
+				Workers: cfg.Train.SamplerWorkers,
+			}
+			ranking, err := cfg.CachePolicy.Rank(ctx)
+			if err != nil {
+				return nil, err
+			}
+			cc, err = cache.FromRanking(ranking, capacity, ds.NumVertices())
+			if err != nil {
+				return nil, err
+			}
+			cdata = tensor.New(cc.Len(), rds.FeatureDim)
+			for i, v := range cc.IDs() {
+				copy(cdata.Row(i), rds.FeatureRow(v))
+			}
+		}
+
+		store, err := dist.NewStore(commFeat[rank], layout, rds.FeatureDim, local, cc, cdata, cfg.GPUFraction)
+		if err != nil {
+			return nil, err
+		}
+		smp, err := sample.NewSampler(rds.Graph, cfg.Train.Fanouts)
+		if err != nil {
+			return nil, err
+		}
+		model, err := nn.NewModel(rds.FeatureDim, cfg.Hidden, rds.NumClasses, cfg.Layers, cfg.Dropout, cfg.ModelSeed+uint64(rank)+1)
+		if err != nil {
+			return nil, err
+		}
+		if err := model.CopyWeightsFrom(refModel); err != nil {
+			return nil, err
+		}
+		labels := make([]int32, len(rds.Labels))
+		copy(labels, rds.Labels)
+		rk, err := NewRank(cfg.Train, commFeat[rank], commGrad[rank], store, smp, model, trainPer[rank], labels, maxBatches)
+		if err != nil {
+			return nil, err
+		}
+		cl.Ranks = append(cl.Ranks, rk)
+	}
+	return cl, nil
+}
+
+// TrainEpochAll runs one synchronized epoch across every rank concurrently
+// and returns per-rank stats.
+func (c *Cluster) TrainEpochAll(epoch int) ([]EpochStats, error) {
+	stats := make([]EpochStats, len(c.Ranks))
+	errs := make(chan error, len(c.Ranks))
+	done := make(chan struct{})
+	for i, r := range c.Ranks {
+		go func(i int, r *Rank) {
+			s, err := r.TrainEpoch(epoch)
+			stats[i] = s
+			if err != nil {
+				errs <- err
+			}
+			done <- struct{}{}
+		}(i, r)
+	}
+	for range c.Ranks {
+		<-done
+	}
+	select {
+	case err := <-errs:
+		return stats, err
+	default:
+	}
+	return stats, nil
+}
+
+// EvaluateAll runs sampled inference over the given split on every rank
+// (each rank evaluates its local vertices) and returns global accuracy.
+func (c *Cluster) EvaluateAll(split dataset.Split, fanouts []int, batch, epoch int) (float64, error) {
+	ids := c.Data.IDsInSplit(split)
+	per := make([][]int32, len(c.Ranks))
+	for _, v := range ids {
+		p := c.Layout.Owner(v)
+		per[p] = append(per[p], v)
+	}
+	rounds := 0
+	for _, l := range per {
+		nb := (len(l) + batch - 1) / batch
+		if nb > rounds {
+			rounds = nb
+		}
+	}
+	if rounds == 0 {
+		return 0, fmt.Errorf("pipeline: split %v empty", split)
+	}
+	type res struct {
+		correct, total int
+		err            error
+	}
+	out := make(chan res, len(c.Ranks))
+	for i, r := range c.Ranks {
+		go func(i int, r *Rank) {
+			cor, tot, err := r.Evaluate(per[i], fanouts, batch, rounds, epoch)
+			out <- res{cor, tot, err}
+		}(i, r)
+	}
+	correct, total := 0, 0
+	var firstErr error
+	for range c.Ranks {
+		r := <-out
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		correct += r.correct
+		total += r.total
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(correct) / float64(total), nil
+}

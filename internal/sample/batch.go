@@ -1,0 +1,94 @@
+package sample
+
+import (
+	"runtime"
+	"sync"
+
+	"salientpp/internal/rng"
+)
+
+// EpochBatches permutes ids with the given RNG and splits them into
+// minibatches of size batchSize (the final batch may be smaller). The id
+// slice is not modified.
+func EpochBatches(ids []int32, batchSize int, r *rng.RNG) [][]int32 {
+	if batchSize <= 0 || len(ids) == 0 {
+		return nil
+	}
+	perm := make([]int32, len(ids))
+	copy(perm, ids)
+	r.ShuffleInt32(perm)
+	nb := (len(perm) + batchSize - 1) / batchSize
+	out := make([][]int32, 0, nb)
+	for start := 0; start < len(perm); start += batchSize {
+		end := start + batchSize
+		if end > len(perm) {
+			end = len(perm)
+		}
+		out = append(out, perm[start:end])
+	}
+	return out
+}
+
+// PrepareEpoch samples every batch in parallel using numWorkers goroutines
+// (GOMAXPROCS when zero) and returns the MFGs in batch order.
+//
+// Determinism: batch i is always sampled with the RNG stream base.Split(i),
+// so results are independent of scheduling and worker count — the property
+// SALIENT's shared-memory batch preparation relies on for reproducible
+// experiments.
+func PrepareEpoch(s *Sampler, batches [][]int32, base *rng.RNG, numWorkers int) []*MFG {
+	if numWorkers <= 0 {
+		numWorkers = runtime.GOMAXPROCS(0)
+	}
+	if numWorkers > len(batches) {
+		numWorkers = len(batches)
+	}
+	out := make([]*MFG, len(batches))
+	if len(batches) == 0 {
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < numWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker := s.NewWorker(rng.New(0)) // state replaced per batch
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(batches) {
+					return
+				}
+				worker.r = base.Split(uint64(i))
+				out[i] = worker.Sample(batches[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// AccessCounts samples numEpochs epochs of minibatches from trainIDs and
+// returns, per vertex, the number of batches whose feature-input set
+// included it. This is the empirical estimator behind the paper's "sim."
+// caching policy (Yang et al., 2022) and, run on the evaluation epochs
+// themselves, the "oracle" lower bound.
+func AccessCounts(s *Sampler, trainIDs []int32, batchSize, numEpochs int, base *rng.RNG, numWorkers int) []int64 {
+	n := s.Graph().NumVertices()
+	counts := make([]int64, n)
+	for e := 0; e < numEpochs; e++ {
+		er := base.Split(uint64(e))
+		batches := EpochBatches(trainIDs, batchSize, er.Split(0))
+		mfgs := PrepareEpoch(s, batches, er.Split(1), numWorkers)
+		for _, m := range mfgs {
+			for _, v := range m.InputIDs() {
+				counts[v]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,125 @@
+// Package sample implements SALIENT-style node-wise neighborhood sampling:
+// per-vertex uniform sampling without replacement with per-hop fanouts,
+// message-flow graph (MFG) construction, minibatch iteration, and
+// shared-memory-parallel batch preparation with deterministic results.
+package sample
+
+import (
+	"fmt"
+)
+
+// Block is one bipartite layer of a message-flow graph. It maps an input
+// (source) vertex set to an output (destination) vertex set:
+//
+//   - InputIDs holds the global ids of the layer's input vertices. The
+//     first NumDst entries are the destination vertices themselves (every
+//     GNN layer needs the previous representation of the destination, e.g.
+//     GraphSAGE's concat), followed by the newly sampled neighbors.
+//   - For destination i (0 <= i < NumDst), its sampled in-neighbors are
+//     InputIDs[Col[RowPtr[i]:RowPtr[i+1]]].
+type Block struct {
+	NumDst   int
+	InputIDs []int32
+	RowPtr   []int32
+	Col      []int32
+}
+
+// NumInputs returns the number of input vertices of the block.
+func (b *Block) NumInputs() int { return len(b.InputIDs) }
+
+// NumEdges returns the number of sampled message edges in the block.
+func (b *Block) NumEdges() int { return len(b.Col) }
+
+// MFG is a message-flow graph for one minibatch: Blocks[0] is the first
+// GNN layer applied (the widest one, whose InputIDs require feature
+// fetches) and Blocks[len-1] produces the seed outputs.
+type MFG struct {
+	Blocks []*Block
+	// Seeds are the minibatch vertices, equal to the final block's first
+	// NumDst input ids.
+	Seeds []int32
+}
+
+// InputIDs returns the global vertex ids whose features the batch needs —
+// the input set of the first block. The returned slice aliases internal
+// storage.
+func (m *MFG) InputIDs() []int32 {
+	if len(m.Blocks) == 0 {
+		return m.Seeds
+	}
+	return m.Blocks[0].InputIDs
+}
+
+// NumLayers returns the number of blocks (GNN layers).
+func (m *MFG) NumLayers() int { return len(m.Blocks) }
+
+// TotalEdges returns the total sampled message edges across blocks.
+func (m *MFG) TotalEdges() int64 {
+	var t int64
+	for _, b := range m.Blocks {
+		t += int64(b.NumEdges())
+	}
+	return t
+}
+
+// LayerInputSizes returns the input-set size per block, widest first.
+func (m *MFG) LayerInputSizes() []int {
+	out := make([]int, len(m.Blocks))
+	for i, b := range m.Blocks {
+		out[i] = b.NumInputs()
+	}
+	return out
+}
+
+// Validate checks the structural invariants connecting blocks: row pointers
+// are monotone and complete, column indices are in range, destination
+// prefixes chain correctly (block i's input set equals block i+1's
+// destination set extended with its sampled neighbors), and the final
+// block's destinations are the seeds.
+func (m *MFG) Validate() error {
+	for li, b := range m.Blocks {
+		if b.NumDst > len(b.InputIDs) {
+			return fmt.Errorf("mfg: block %d has NumDst %d > inputs %d", li, b.NumDst, len(b.InputIDs))
+		}
+		if len(b.RowPtr) != b.NumDst+1 {
+			return fmt.Errorf("mfg: block %d RowPtr length %d, want %d", li, len(b.RowPtr), b.NumDst+1)
+		}
+		if b.RowPtr[0] != 0 || int(b.RowPtr[b.NumDst]) != len(b.Col) {
+			return fmt.Errorf("mfg: block %d RowPtr endpoints invalid", li)
+		}
+		for i := 0; i < b.NumDst; i++ {
+			if b.RowPtr[i+1] < b.RowPtr[i] {
+				return fmt.Errorf("mfg: block %d RowPtr not monotone at %d", li, i)
+			}
+		}
+		for _, c := range b.Col {
+			if c < 0 || int(c) >= len(b.InputIDs) {
+				return fmt.Errorf("mfg: block %d column index %d out of range", li, c)
+			}
+		}
+		if li+1 < len(m.Blocks) {
+			next := m.Blocks[li+1]
+			// next's input set becomes this block's destination set.
+			if b.NumDst != len(next.InputIDs) {
+				return fmt.Errorf("mfg: block %d NumDst %d != block %d inputs %d", li, b.NumDst, li+1, len(next.InputIDs))
+			}
+			for i, id := range next.InputIDs {
+				if b.InputIDs[i] != id {
+					return fmt.Errorf("mfg: block %d dst[%d]=%d mismatches block %d input %d", li, i, b.InputIDs[i], li+1, id)
+				}
+			}
+		}
+	}
+	if len(m.Blocks) > 0 {
+		last := m.Blocks[len(m.Blocks)-1]
+		if last.NumDst != len(m.Seeds) {
+			return fmt.Errorf("mfg: final block NumDst %d != %d seeds", last.NumDst, len(m.Seeds))
+		}
+		for i, s := range m.Seeds {
+			if last.InputIDs[i] != s {
+				return fmt.Errorf("mfg: seed %d is %d in final block, want %d", i, last.InputIDs[i], s)
+			}
+		}
+	}
+	return nil
+}

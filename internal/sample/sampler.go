@@ -1,0 +1,143 @@
+package sample
+
+import (
+	"fmt"
+
+	"salientpp/internal/graph"
+	"salientpp/internal/rng"
+)
+
+// Sampler performs node-wise neighborhood sampling over a fixed graph with
+// fixed per-hop fanouts. A Sampler is immutable and safe for concurrent
+// use; per-goroutine mutable state lives in Workers.
+type Sampler struct {
+	g       *graph.CSR
+	fanouts []int
+}
+
+// NewSampler validates the fanouts and returns a sampler.
+// Fanouts are in sampling order: Fanouts[0] is applied to the minibatch
+// seeds (the GNN's final layer), matching PyG's NeighborLoader convention
+// for a (15,10,5) specification.
+func NewSampler(g *graph.CSR, fanouts []int) (*Sampler, error) {
+	if len(fanouts) == 0 {
+		return nil, fmt.Errorf("sample: empty fanouts")
+	}
+	for i, f := range fanouts {
+		if f <= 0 {
+			return nil, fmt.Errorf("sample: fanout[%d] = %d must be positive", i, f)
+		}
+	}
+	return &Sampler{g: g, fanouts: fanouts}, nil
+}
+
+// Fanouts returns the per-hop fanouts (do not modify).
+func (s *Sampler) Fanouts() []int { return s.fanouts }
+
+// Graph returns the underlying graph.
+func (s *Sampler) Graph() *graph.CSR { return s.g }
+
+// Worker holds the scratch state for one sampling goroutine: a splittable
+// RNG and O(N) stamp arrays that make per-hop deduplication O(1) per
+// vertex without allocations.
+type Worker struct {
+	s     *Sampler
+	r     *rng.RNG
+	local []int32 // global id -> local index for the current hop
+	stamp []int32 // round marker for local[]
+	round int32
+	kbuf  []int32 // SampleK scratch
+}
+
+// NewWorker creates a worker with its own RNG stream. Workers constructed
+// with the same (sampler, rng-state) produce identical samples, which keeps
+// parallel epochs deterministic.
+func (s *Sampler) NewWorker(r *rng.RNG) *Worker {
+	n := s.g.NumVertices()
+	w := &Worker{s: s, r: r, local: make([]int32, n), stamp: make([]int32, n)}
+	for i := range w.stamp {
+		w.stamp[i] = -1
+	}
+	maxF := 0
+	for _, f := range s.fanouts {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	w.kbuf = make([]int32, 0, maxF)
+	return w
+}
+
+// SetRNG replaces the worker's random stream. Pipelines use this to give
+// batch i the stream base.Split(i) regardless of which worker runs it,
+// keeping results schedule-independent.
+func (w *Worker) SetRNG(r *rng.RNG) { w.r = r }
+
+// Sample expands the multi-hop neighborhood of seeds and returns the MFG.
+// Duplicate seeds are rejected by panic in debug validation; callers supply
+// distinct seeds (minibatches are permutation chunks).
+func (w *Worker) Sample(seeds []int32) *MFG {
+	s := w.s
+	L := len(s.fanouts)
+	blocks := make([]*Block, L)
+
+	frontier := make([]int32, len(seeds))
+	copy(frontier, seeds)
+
+	for h := 0; h < L; h++ {
+		f := s.fanouts[h]
+		numDst := len(frontier)
+		// Inputs begin with the destination vertices themselves.
+		inputs := make([]int32, numDst, numDst*(1+f/2))
+		copy(inputs, frontier)
+		w.round++
+		for i, v := range frontier {
+			w.local[v] = int32(i)
+			w.stamp[v] = w.round
+		}
+
+		rowPtr := make([]int32, numDst+1)
+		col := make([]int32, 0, numDst*f)
+		for i, v := range frontier {
+			nbrs := s.g.Neighbors(v)
+			d := len(nbrs)
+			k := f
+			if k > d {
+				k = d
+			}
+			if k == d {
+				// Take every neighbor; no sampling needed.
+				for _, u := range nbrs {
+					col = append(col, w.localIndex(u, &inputs))
+				}
+			} else {
+				for _, idx := range w.r.SampleK(w.kbuf, k, d) {
+					col = append(col, w.localIndex(nbrs[idx], &inputs))
+				}
+			}
+			rowPtr[i+1] = int32(len(col))
+		}
+		blocks[h] = &Block{NumDst: numDst, InputIDs: inputs, RowPtr: rowPtr, Col: col}
+		frontier = inputs
+	}
+
+	// Blocks were built seed-outward; the GNN consumes them widest-first.
+	for i, j := 0, L-1; i < j; i, j = i+1, j-1 {
+		blocks[i], blocks[j] = blocks[j], blocks[i]
+	}
+	out := &MFG{Blocks: blocks, Seeds: seeds}
+	return out
+}
+
+// localIndex returns the hop-local index of global vertex u, assigning a
+// new one (and appending u to inputs) on first sight this round.
+func (w *Worker) localIndex(u int32, inputs *[]int32) int32 {
+	if w.stamp[u] == w.round {
+		return w.local[u]
+	}
+	idx := int32(len(*inputs))
+	*inputs = append(*inputs, u)
+	w.local[u] = idx
+	w.stamp[u] = w.round
+	return idx
+}

@@ -1,0 +1,106 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MatMul computes C = A·B. Shapes: A is m×k, B is k×n, C is m×n.
+// C must not alias A or B. The kernel is the cache-friendly ikj ordering
+// with row-block parallelism across GOMAXPROCS goroutines.
+func MatMul(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("tensor: MatMul shape mismatch")
+	}
+	c.Zero()
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Row(i)
+			ai := a.Row(i)
+			for kk, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := b.Row(kk)
+				for j, bv := range bk {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulATB computes C = Aᵀ·B. Shapes: A is k×m, B is k×n, C is m×n.
+// Used for weight gradients (W.grad = Xᵀ·dY).
+func MatMulATB(c, a, b *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic("tensor: MatMulATB shape mismatch")
+	}
+	c.Zero()
+	// Parallelize over output rows (columns of A) to avoid write conflicts.
+	parallelRows(a.Cols, func(lo, hi int) {
+		for kk := 0; kk < a.Rows; kk++ {
+			ak := a.Row(kk)
+			bk := b.Row(kk)
+			for i := lo; i < hi; i++ {
+				av := ak[i]
+				if av == 0 {
+					continue
+				}
+				ci := c.Row(i)
+				for j, bv := range bk {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulABT computes C = A·Bᵀ. Shapes: A is m×k, B is n×k, C is m×n.
+// Used for input gradients (X.grad = dY·Wᵀ).
+func MatMulABT(c, a, b *Matrix) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic("tensor: MatMulABT shape mismatch")
+	}
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			ci := c.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				bj := b.Row(j)
+				var s float32
+				for kk, av := range ai {
+					s += av * bj[kk]
+				}
+				ci[j] = s
+			}
+		}
+	})
+}
+
+// parallelRows splits [0, n) into contiguous chunks across worker
+// goroutines. Small inputs run inline to avoid goroutine overhead.
+func parallelRows(n int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,358 @@
+package vip
+
+import (
+	"math"
+	"testing"
+
+	"salientpp/internal/graph"
+	"salientpp/internal/rng"
+)
+
+func TestUniformSeeds(t *testing.T) {
+	p0 := UniformSeeds(10, []int32{1, 3, 5, 7}, 2)
+	if p0[1] != 0.5 || p0[3] != 0.5 {
+		t.Fatalf("train seed probability wrong: %v", p0)
+	}
+	if p0[0] != 0 || p0[2] != 0 {
+		t.Fatalf("non-train vertices must have p0=0: %v", p0)
+	}
+	// Batch larger than training set caps at 1.
+	p0 = UniformSeeds(4, []int32{0, 1}, 10)
+	if p0[0] != 1 {
+		t.Fatalf("expected cap at 1, got %v", p0[0])
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Fatal("empty fanouts must be rejected")
+	}
+	if err := (Config{Fanouts: []int{5, 0}}).Validate(); err == nil {
+		t.Fatal("zero fanout must be rejected")
+	}
+	if err := (Config{Fanouts: []int{15, 10, 5}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbabilitiesRejectsBadInput(t *testing.T) {
+	g, _ := graph.Ring(5)
+	if _, err := Probabilities(g, []float64{0.5}, Config{Fanouts: []int{1}}, false); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := Probabilities(g, []float64{0, 0, 0, 0, 2}, Config{Fanouts: []int{1}}, false); err == nil {
+		t.Fatal("expected probability range error")
+	}
+}
+
+// Star graph, seed on the hub with probability q, one hop, fanout f:
+// each leaf u has a single neighbor (the hub, degree n-1), so
+// p[1](u) = t·q with t = f/(n-1).
+func TestStarOneHopExact(t *testing.T) {
+	const n = 11 // hub + 10 leaves
+	g, err := graph.Star(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := make([]float64, n)
+	p0[0] = 0.8
+	res, err := Probabilities(g, p0, Config{Fanouts: []int{4}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.8 * 4.0 / 10.0
+	for u := 1; u < n; u++ {
+		if math.Abs(res.P[u]-want) > 1e-12 {
+			t.Fatalf("leaf %d: p=%v want %v", u, res.P[u], want)
+		}
+	}
+	// Hub itself is never sampled at hop 1: every leaf has degree 1 and can
+	// only sample the hub... wait, leaves sample the hub with t=1, but
+	// leaves have p0=0, so the hub's hop-1 probability is 0.
+	if res.P[0] != 0 {
+		t.Fatalf("hub p=%v want 0 (seeds not included)", res.P[0])
+	}
+	// With IncludeSeeds the hub keeps its seed probability.
+	res2, err := Probabilities(g, p0, Config{Fanouts: []int{4}, IncludeSeeds: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.P[0]-0.8) > 1e-12 {
+		t.Fatalf("hub with seeds p=%v want 0.8", res2.P[0])
+	}
+}
+
+// Ring: every vertex has degree 2; with fanout >= 2 sampling is exhaustive
+// and a single certain seed reaches its h-hop neighbors with probability 1.
+func TestRingDeterministicExpansion(t *testing.T) {
+	g, err := graph.Ring(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := make([]float64, 12)
+	p0[0] = 1
+	res, err := Probabilities(g, p0, Config{Fanouts: []int{2, 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distance-1 and distance-2 vertices certain; distance >2 zero.
+	wantOne := []int32{1, 2, 10, 11}
+	for _, u := range wantOne {
+		if math.Abs(res.P[u]-1) > 1e-9 {
+			t.Fatalf("vertex %d: p=%v want 1", u, res.P[u])
+		}
+	}
+	if res.P[5] != 0 || res.P[6] != 0 {
+		t.Fatalf("far vertices should be unreachable: %v %v", res.P[5], res.P[6])
+	}
+	// Vertex 0 itself is re-sampled at hop 2 via its neighbors (they sample
+	// both their neighbors deterministically), so p(0) = 1 even without
+	// seeds included.
+	if math.Abs(res.P[0]-1) > 1e-9 {
+		t.Fatalf("seed resampled at hop 2: p=%v want 1", res.P[0])
+	}
+}
+
+func TestProbabilityBounds(t *testing.T) {
+	g, err := graph.RMAT(graph.DefaultRMAT(500, 3000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	p0 := make([]float64, 500)
+	for i := 0; i < 50; i++ {
+		p0[r.Intn(500)] = r.Float64()
+	}
+	res, err := Probabilities(g, p0, Config{Fanouts: []int{15, 10, 5}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, p := range res.P {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("p[%d] = %v out of [0,1]", u, p)
+		}
+	}
+}
+
+func TestMonotoneInFanout(t *testing.T) {
+	g, err := graph.RMAT(graph.DefaultRMAT(400, 2400, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := rng.New(1).SampleK(nil, 40, 400)
+	p0 := UniformSeeds(400, train, 8)
+	small, err := Probabilities(g, p0, Config{Fanouts: []int{3, 3}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Probabilities(g, p0, Config{Fanouts: []int{10, 10}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range small.P {
+		if small.P[u] > big.P[u]+1e-12 {
+			t.Fatalf("vertex %d: VIP decreased with larger fanout (%v -> %v)", u, small.P[u], big.P[u])
+		}
+	}
+}
+
+func TestFullExpansionSpecialCase(t *testing.T) {
+	g, err := graph.RMAT(graph.DefaultRMAT(300, 1500, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := rng.New(2).SampleK(nil, 30, 300)
+	p0 := UniformSeeds(300, train, 8)
+	// Fanout above the max degree makes the general model identical to the
+	// deterministic full-expansion recurrence.
+	f := g.MaxDegree() + 1
+	gen, err := Probabilities(g, p0, Config{Fanouts: []int{f, f}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := FullExpansion(g, p0, 2)
+	for u := range gen.P {
+		if math.Abs(gen.P[u]-full[u]) > 1e-9 {
+			t.Fatalf("vertex %d: general %v != full expansion %v", u, gen.P[u], full[u])
+		}
+	}
+}
+
+func TestRandomWalkSpecialCase(t *testing.T) {
+	// With fanout 1 and a single low-probability seed the nonlinear model
+	// linearizes to the random-walk propagation.
+	g, err := graph.Uniform(200, 800, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := make([]float64, 200)
+	p0[7] = 0.01
+	gen, err := Probabilities(g, p0, Config{Fanouts: []int{1, 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := RandomWalk(g, p0, 2)
+	for u := range gen.P {
+		if math.Abs(gen.P[u]-rw[u]) > 1e-4 {
+			t.Fatalf("vertex %d: general %v vs random walk %v", u, gen.P[u], rw[u])
+		}
+	}
+}
+
+// Monte Carlo validation: simulate the exact random process of §3.1 and
+// compare empirical inclusion frequencies to the analytic model.
+func TestMonteCarloAgreement(t *testing.T) {
+	g, err := graph.RMAT(graph.DefaultRMAT(300, 1800, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	train := rng.New(5).SampleK(nil, 40, n)
+	const B = 8
+	fanouts := []int{3, 2}
+	p0 := UniformSeeds(n, train, B)
+	res, err := Probabilities(g, p0, Config{Fanouts: fanouts}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const trials = 4000
+	counts := make([]int, n)
+	r := rng.New(99)
+	inFrontier := make([]bool, n)
+	accessed := make([]bool, n)
+	var frontier, next, touched []int32
+	nbrBuf := make([]int32, 0, 8)
+	for trial := 0; trial < trials; trial++ {
+		touched = touched[:0]
+		frontier = frontier[:0]
+		for _, idx := range r.SampleK(nil, B, len(train)) {
+			frontier = append(frontier, train[idx])
+		}
+		for _, f := range fanouts {
+			next = next[:0]
+			for _, v := range frontier {
+				nbrs := g.Neighbors(v)
+				d := len(nbrs)
+				if d == 0 {
+					continue
+				}
+				k := f
+				if k > d {
+					k = d
+				}
+				for _, i := range r.SampleK(nbrBuf, k, d) {
+					u := nbrs[i]
+					if !inFrontier[u] {
+						inFrontier[u] = true
+						next = append(next, u)
+					}
+					if !accessed[u] {
+						accessed[u] = true
+						touched = append(touched, u)
+						counts[u]++
+					}
+				}
+			}
+			// Reset frontier marks and swap.
+			for _, u := range next {
+				inFrontier[u] = false
+			}
+			frontier = append(frontier[:0], next...)
+		}
+		for _, u := range touched {
+			accessed[u] = false
+		}
+	}
+
+	var sumAbs, maxAbs float64
+	for u := 0; u < n; u++ {
+		emp := float64(counts[u]) / trials
+		diff := math.Abs(emp - res.P[u])
+		sumAbs += diff
+		if diff > maxAbs {
+			maxAbs = diff
+		}
+	}
+	mean := sumAbs / float64(n)
+	if mean > 0.02 {
+		t.Fatalf("mean |empirical - model| = %.4f too large", mean)
+	}
+	if maxAbs > 0.12 {
+		t.Fatalf("max |empirical - model| = %.4f too large", maxAbs)
+	}
+}
+
+func TestForPartitions(t *testing.T) {
+	// Three disconnected 50-cycles; partition = component. A partition's
+	// expansion can never leave its component, so its VIP must be positive
+	// near its own training vertices and exactly zero on other components.
+	const comp, k = 50, 3
+	var edges []graph.Edge
+	for c := 0; c < k; c++ {
+		base := int32(c * comp)
+		for i := int32(0); i < comp; i++ {
+			edges = append(edges, graph.Edge{Src: base + i, Dst: base + (i+1)%comp})
+		}
+	}
+	g, err := graph.FromEdges(k*comp, edges, graph.BuildOptions{Undirected: true, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	parts := make([]int32, n)
+	var train []int32
+	for v := 0; v < n; v++ {
+		parts[v] = int32(v / comp)
+		if v%10 == 0 {
+			train = append(train, int32(v))
+		}
+	}
+	cfg := Config{Fanouts: []int{2, 2}, BatchSize: 2}
+	vips, err := ForPartitions(g, parts, k, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vips) != k {
+		t.Fatalf("want %d VIP vectors, got %d", k, len(vips))
+	}
+	for p := 0; p < k; p++ {
+		var inside float64
+		for u := 0; u < n; u++ {
+			if parts[u] == int32(p) {
+				inside += vips[p][u]
+			} else if vips[p][u] != 0 {
+				t.Fatalf("partition %d VIP leaked to foreign vertex %d: %v", p, u, vips[p][u])
+			}
+		}
+		if inside == 0 {
+			t.Fatalf("partition %d VIP vanished on its own component", p)
+		}
+	}
+}
+
+func TestForPartitionsRejectsBadPartition(t *testing.T) {
+	g, _ := graph.Ring(10)
+	parts := make([]int32, 10)
+	parts[3] = 7
+	if _, err := ForPartitions(g, parts, 2, []int32{3}, Config{Fanouts: []int{2}, BatchSize: 2}); err == nil {
+		t.Fatal("expected partition range error")
+	}
+}
+
+func TestKeepHops(t *testing.T) {
+	g, _ := graph.Ring(8)
+	p0 := make([]float64, 8)
+	p0[0] = 1
+	res, err := Probabilities(g, p0, Config{Fanouts: []int{2, 2, 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hops) != 3 {
+		t.Fatalf("want 3 hop vectors, got %d", len(res.Hops))
+	}
+	// Hop 1 from vertex 0 on a ring reaches exactly 1 and 7.
+	if res.Hops[0][1] != 1 || res.Hops[0][7] != 1 || res.Hops[0][2] != 0 {
+		t.Fatalf("hop-1 vector wrong: %v", res.Hops[0])
+	}
+}

@@ -1,0 +1,121 @@
+// Package salientpp is a from-scratch Go reproduction of SALIENT++
+// (Kaler et al., "Communication-Efficient Graph Neural Networks with
+// Probabilistic Neighborhood Expansion Analysis and Caching", MLSys 2023):
+// distributed GNN minibatch training with partitioned vertex features,
+// vertex-inclusion-probability (VIP) analysis, VIP-driven static caching
+// of remote features, VIP-ordered GPU residency, and a deep
+// minibatch-preparation pipeline.
+//
+// This root package is the facade over the implementation packages:
+//
+//   - internal/graph      — CSR graphs, generators, reordering
+//   - internal/dataset    — synthetic OGB analogs (Table 2)
+//   - internal/partition  — multilevel multi-constraint edge-cut partitioner
+//   - internal/vip        — Proposition 1 (the paper's core analysis)
+//   - internal/cache      — the seven caching policies of Figure 2
+//   - internal/sample     — node-wise neighborhood sampling and MFGs
+//   - internal/tensor,nn  — dense float32 tensors and GraphSAGE fwd/bwd
+//   - internal/dist       — transports, collectives, partitioned feature store
+//   - internal/pipeline   — the real 10-stage training pipeline (§4.3)
+//   - internal/simnet     — bandwidth/latency/token-bucket link models
+//   - internal/perfmodel  — discrete-event performance simulator
+//   - internal/experiments— harnesses for every table and figure
+//
+// The quickest tour is examples/quickstart; cmd/salientbench regenerates
+// the paper's evaluation tables.
+package salientpp
+
+import (
+	"salientpp/internal/cache"
+	"salientpp/internal/dataset"
+	"salientpp/internal/graph"
+	"salientpp/internal/partition"
+	"salientpp/internal/pipeline"
+	"salientpp/internal/vip"
+)
+
+// Re-exported core types. These aliases are the supported public surface;
+// the internal packages remain free to grow without breaking users.
+type (
+	// Graph is a compressed-sparse-row undirected graph.
+	Graph = graph.CSR
+	// Dataset bundles a graph with features, labels, and splits.
+	Dataset = dataset.Dataset
+	// PartitionResult is a K-way vertex partition with quality metrics.
+	PartitionResult = partition.Result
+	// VIPConfig parametrizes Proposition 1.
+	VIPConfig = vip.Config
+	// CachePolicy ranks remote vertices for static caching.
+	CachePolicy = cache.Policy
+	// Cluster is an in-process K-machine SALIENT++ deployment.
+	Cluster = pipeline.Cluster
+	// ClusterConfig configures NewCluster.
+	ClusterConfig = pipeline.ClusterConfig
+	// TrainConfig configures the per-rank training loop.
+	TrainConfig = pipeline.Config
+)
+
+// NewPapersDataset generates the scaled ogbn-papers100M analog with n
+// vertices (features materialized when materialize is true).
+func NewPapersDataset(n int, materialize bool, seed uint64) (*Dataset, error) {
+	return dataset.PapersSim(n, materialize, seed)
+}
+
+// NewProductsDataset generates the scaled ogbn-products analog.
+func NewProductsDataset(n int, materialize bool, seed uint64) (*Dataset, error) {
+	return dataset.ProductsSim(n, materialize, seed)
+}
+
+// NewMag240Dataset generates the scaled mag240 papers-citation analog.
+func NewMag240Dataset(n int, materialize bool, seed uint64) (*Dataset, error) {
+	return dataset.Mag240Sim(n, materialize, seed)
+}
+
+// PartitionGraph computes a K-way edge-cut partition with the paper's
+// balance constraints derived from the dataset splits.
+func PartitionGraph(ds *Dataset, k int, seed uint64) (*PartitionResult, error) {
+	isTrain := make([]bool, ds.NumVertices())
+	isVal := make([]bool, ds.NumVertices())
+	isTest := make([]bool, ds.NumVertices())
+	for v, s := range ds.Splits {
+		switch s {
+		case dataset.SplitTrain:
+			isTrain[v] = true
+		case dataset.SplitVal:
+			isVal[v] = true
+		case dataset.SplitTest:
+			isTest[v] = true
+		}
+	}
+	return partition.Partition(ds.Graph, partition.Config{
+		K:       k,
+		Weights: partition.SalientWeights(ds.Graph, isTrain, isVal, isTest),
+		Seed:    seed,
+	})
+}
+
+// VIPProbabilities runs Proposition 1 for one partition's minibatch
+// distribution and returns per-vertex inclusion probabilities.
+func VIPProbabilities(g *Graph, trainIDs []int32, cfg VIPConfig) ([]float64, error) {
+	p0 := vip.UniformSeeds(g.NumVertices(), trainIDs, cfg.BatchSize)
+	res, err := vip.Probabilities(g, p0, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	return res.P, nil
+}
+
+// NewCluster assembles a ready-to-train in-process SALIENT++ deployment:
+// partitioning, VIP analysis, vertex reordering, cache construction,
+// feature sharding, communicators, and per-rank models.
+func NewCluster(ds *Dataset, cfg ClusterConfig) (*Cluster, error) {
+	return pipeline.NewCluster(ds, cfg)
+}
+
+// VIPCachePolicy returns the paper's analytic caching policy.
+func VIPCachePolicy() CachePolicy { return cache.VIP{} }
+
+// CachePolicies returns the full Figure 2 policy registry.
+func CachePolicies(simEpochs, oracleEpochs int, oracleSeed uint64) []CachePolicy {
+	return cache.Registry(simEpochs, oracleEpochs, oracleSeed)
+}
