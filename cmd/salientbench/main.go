@@ -1,17 +1,20 @@
 // Command salientbench regenerates the paper's timing evaluation via the
 // discrete-event performance model: Table 1 (progressive optimizations),
-// Table 2 (datasets), Table 4 (DistDGL comparison), and Figures 4–9.
+// Table 2 (datasets), Table 4 (DistDGL comparison), Figures 4–9, and the
+// hot-path microbenchmarks (parallel VIP analysis and batch preparation).
 //
 // Example:
 //
 //	salientbench -exp table1
 //	salientbench -exp all -papers 200000 -batch 32
+//	salientbench -exp hotpaths -json          # writes BENCH_sample_vip.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
 	"strings"
 
 	"salientpp/internal/experiments"
@@ -21,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salientbench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|table4|fig4|fig5|fig6|fig7|fig8|fig9|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|table4|fig4|fig5|fig6|fig7|fig8|fig9|hotpaths|all")
 		products = flag.Int("products", 60000, "products-sim vertices")
 		papers   = flag.Int("papers", 200000, "papers-sim vertices")
 		mag240   = flag.Int("mag240", 100000, "mag240-sim vertices")
@@ -29,8 +32,24 @@ func main() {
 		boost    = flag.Float64("trainboost", 8, "training-density boost for sparse-label datasets (see EXPERIMENTS.md)")
 		workers  = flag.Int("workers", 2, "sampler workers")
 		seed     = flag.Uint64("seed", 7, "random seed")
+		asJSON   = flag.Bool("json", false, "also write the hotpaths report to -jsonout")
+		jsonOut  = flag.String("jsonout", "BENCH_sample_vip.json", "machine-readable hotpaths output path")
+		sweep    = flag.String("sweep", "1,2,4,8", "comma-separated worker counts for -exp hotpaths")
 	)
 	flag.Parse()
+
+	var sweepCounts []int
+	for _, tok := range strings.Split(*sweep, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		w, err := strconv.Atoi(tok)
+		if err != nil || w <= 0 {
+			log.Fatalf("bad -sweep entry %q", tok)
+		}
+		sweepCounts = append(sweepCounts, w)
+	}
 
 	scale := experiments.Scale{
 		ProductsN: *products, PapersN: *papers, Mag240N: *mag240,
@@ -95,9 +114,22 @@ func main() {
 			}
 			return experiments.RenderFig9(r), nil
 		},
+		"hotpaths": func() (string, error) {
+			r, err := experiments.HotPaths(scale, sweepCounts)
+			if err != nil {
+				return "", err
+			}
+			if *asJSON {
+				if err := r.WriteJSON(*jsonOut); err != nil {
+					return "", err
+				}
+				log.Printf("wrote %s", *jsonOut)
+			}
+			return experiments.RenderHotPaths(r), nil
+		},
 	}
 
-	order := []string{"table2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table4"}
+	order := []string{"table2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table4", "hotpaths"}
 	var selected []string
 	if *exp == "all" {
 		selected = order

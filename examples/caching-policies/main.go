@@ -19,15 +19,19 @@ import (
 	"salientpp/internal/metrics"
 )
 
+// seed pins the dataset, partition, and policy evaluation streams so
+// repeated runs are identical.
+const seed = 11
+
 func main() {
 	log.SetFlags(0)
 
-	ds, err := dataset.PapersSim(30000, false, 11)
+	ds, err := dataset.PapersSim(30000, false, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	const k = 4
-	dep, err := experiments.Deploy(ds, k, experiments.ModelDims{Hidden: 256, Fanouts: []int{15, 10, 5}}, 64, false, 11, 2)
+	dep, err := experiments.Deploy(ds, k, experiments.ModelDims{Hidden: 256, Fanouts: []int{15, 10, 5}}, 64, false, seed, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

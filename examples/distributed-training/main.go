@@ -19,12 +19,22 @@ import (
 	"salientpp/internal/dataset"
 )
 
+// Explicit seeds for every random stream: the dataset generator, the
+// per-rank sampling/dropout streams, and the model initialization. The
+// with/without-cache comparison below relies on them being identical
+// across the two runs.
+const (
+	dataSeed  = 9
+	trainSeed = 21
+	modelSeed = 5
+)
+
 func main() {
 	log.SetFlags(0)
 	useTCP := flag.Bool("tcp", false, "use loopback TCP transports")
 	flag.Parse()
 
-	ds, err := salientpp.NewProductsDataset(6000, true, 9)
+	ds, err := salientpp.NewProductsDataset(6000, true, dataSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,9 +50,9 @@ func main() {
 			Hidden: 32, Layers: 2, UseTCP: *useTCP,
 			Train: salientpp.TrainConfig{
 				Fanouts: []int{10, 5}, BatchSize: 64,
-				PipelineDepth: 10, SamplerWorkers: 2, LR: 0.01, Seed: 21,
+				PipelineDepth: 10, SamplerWorkers: 2, LR: 0.01, Seed: trainSeed,
 			},
-			ModelSeed: 5,
+			ModelSeed: modelSeed,
 		})
 		if err != nil {
 			log.Fatal(err)

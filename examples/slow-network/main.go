@@ -22,15 +22,19 @@ import (
 	"salientpp/internal/perfmodel"
 )
 
+// seed pins the dataset, partition, and simulated epochs so repeated
+// runs are identical.
+const seed = 13
+
 func main() {
 	log.SetFlags(0)
 
-	ds, err := dataset.PapersSim(40000, false, 13)
+	ds, err := dataset.PapersSim(40000, false, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	const k = 8
-	dep, err := experiments.Deploy(ds, k, experiments.PaperDims(ds.Name), 32, true, 13, 2)
+	dep, err := experiments.Deploy(ds, k, experiments.PaperDims(ds.Name), 32, true, seed, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module salientpp
+
+go 1.24

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Comm is one rank's handle on a communicator group. Collectives are
+// matched by call order: every rank must issue the same sequence of
+// collective calls, exactly as NCCL requires. A Comm is not safe for
+// concurrent use by multiple goroutines; the training loop dedicates one
+// communicator per concern (features, gradients), mirroring the original
+// system's separate NCCL streams.
+type Comm interface {
+	// Rank returns this member's index in [0, Size()).
+	Rank() int
+	// Size returns the group size K.
+	Size() int
+	// AllToAll exchanges one byte payload with every rank: send[dst] goes
+	// to rank dst, and the result's entry [src] is what rank src sent
+	// here. send[Rank()] is delivered locally without touching the
+	// transport. len(send) must equal Size().
+	AllToAll(send [][]byte) ([][]byte, error)
+	// AllReduceSum replaces x, elementwise, with the sum over all ranks'
+	// x. The reduction is ordered by rank, so all ranks compute
+	// bitwise-identical results.
+	AllReduceSum(x []float32) error
+	// BytesSent returns the cumulative payload bytes this rank has sent to
+	// other ranks (self-delivery is free, as on a real NIC).
+	BytesSent() int64
+	// Close aborts the whole group: every blocked or future collective on
+	// any member fails with an error instead of deadlocking, the behavior
+	// the training loop relies on for failure propagation (like an NCCL
+	// abort).
+	Close()
+}
+
+// i32ToBytes appends the little-endian encoding of ids to buf and returns
+// it. Payload helpers are shared by both transports and the feature store.
+func i32ToBytes(buf []byte, ids []int32) []byte {
+	for _, v := range ids {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+// bytesToI32 decodes a payload produced by i32ToBytes.
+func bytesToI32(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// f32ToBytes appends the little-endian IEEE-754 encoding of xs to buf.
+func f32ToBytes(buf []byte, xs []float32) []byte {
+	for _, v := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// bytesToF32 decodes a payload produced by f32ToBytes into dst (resized as
+// needed) and returns it.
+func bytesToF32(dst []float32, b []byte) []float32 {
+	n := len(b) / 4
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return dst
+}

@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// localGroup is the in-process transport: a K×K mesh of buffered channels.
+// Matched collectives mean each directed mailbox holds at most one
+// in-flight payload, so capacity-1 channels never deadlock; a send only
+// blocks until the receiver finishes its previous collective.
+type localGroup struct {
+	k     int
+	box   [][]chan []byte // box[src][dst]
+	done  chan struct{}
+	once  sync.Once
+	bytes []atomic.Int64 // per-rank cumulative sent payload
+}
+
+// NewLocalGroup returns K connected in-process communicators.
+func NewLocalGroup(k int) ([]Comm, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("dist: group size %d", k)
+	}
+	g := &localGroup{
+		k:     k,
+		box:   make([][]chan []byte, k),
+		done:  make(chan struct{}),
+		bytes: make([]atomic.Int64, k),
+	}
+	for src := 0; src < k; src++ {
+		g.box[src] = make([]chan []byte, k)
+		for dst := 0; dst < k; dst++ {
+			g.box[src][dst] = make(chan []byte, 1)
+		}
+	}
+	comms := make([]Comm, k)
+	for r := 0; r < k; r++ {
+		comms[r] = &localComm{g: g, rank: r}
+	}
+	return comms, nil
+}
+
+// localComm is one rank's endpoint of a localGroup.
+type localComm struct {
+	g    *localGroup
+	rank int
+	// scratch is reused across AllReduceSum calls to avoid per-collective
+	// payload allocation.
+	scratch []byte
+	peerBuf []float32
+}
+
+func (c *localComm) Rank() int { return c.rank }
+func (c *localComm) Size() int { return c.g.k }
+
+func (c *localComm) BytesSent() int64 { return c.g.bytes[c.rank].Load() }
+
+func (c *localComm) Close() {
+	c.g.once.Do(func() { close(c.g.done) })
+}
+
+func (c *localComm) AllToAll(send [][]byte) ([][]byte, error) {
+	g := c.g
+	if len(send) != g.k {
+		return nil, fmt.Errorf("dist: AllToAll with %d payloads for %d ranks", len(send), g.k)
+	}
+	for dst := 0; dst < g.k; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		// Copy at send time: the receiver owns its payload outright and
+		// the sender is free to reuse its buffers immediately, the same
+		// ownership contract a socket write gives the TCP transport.
+		msg := append([]byte(nil), send[dst]...)
+		select {
+		case g.box[c.rank][dst] <- msg:
+			g.bytes[c.rank].Add(int64(len(msg)))
+		case <-g.done:
+			return nil, fmt.Errorf("dist: group closed during AllToAll send (rank %d)", c.rank)
+		}
+	}
+	recv := make([][]byte, g.k)
+	recv[c.rank] = send[c.rank]
+	for src := 0; src < g.k; src++ {
+		if src == c.rank {
+			continue
+		}
+		select {
+		case recv[src] = <-g.box[src][c.rank]:
+		case <-g.done:
+			return nil, fmt.Errorf("dist: group closed during AllToAll recv (rank %d)", c.rank)
+		}
+	}
+	return recv, nil
+}
+
+func (c *localComm) AllReduceSum(x []float32) error {
+	// Implemented as an all-gather over the same mailboxes followed by an
+	// ordered local reduction: summing contributions in rank order makes
+	// every rank's float32 result bitwise identical.
+	c.scratch = f32ToBytes(c.scratch[:0], x)
+	send := make([][]byte, c.g.k)
+	for i := range send {
+		send[i] = c.scratch
+	}
+	recv, err := c.AllToAll(send)
+	if err != nil {
+		return err
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	for src := 0; src < c.g.k; src++ {
+		c.peerBuf = bytesToF32(c.peerBuf, recv[src])
+		if len(c.peerBuf) != len(x) {
+			return fmt.Errorf("dist: AllReduceSum length mismatch: rank %d sent %d values, want %d", src, len(c.peerBuf), len(x))
+		}
+		for i, v := range c.peerBuf {
+			x[i] += v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"fmt"
+
+	"salientpp/internal/cache"
+	"salientpp/internal/tensor"
+)
+
+// GatherStats classifies the feature accesses of one Gather call. The
+// categories mirror the paper's cost hierarchy: GPU-resident local rows are
+// free, CPU-resident local rows cost a host-to-device copy, cache hits cost
+// a local read of a replicated row, and remote fetches cost network
+// communication.
+type GatherStats struct {
+	LocalGPU    int
+	LocalCPU    int
+	CacheHits   int
+	RemoteFetch int
+	// RemoteByPeer[p] counts rows fetched from rank p this call.
+	RemoteByPeer []int
+}
+
+// Store is one rank's partitioned feature store: the local shard (split
+// into a GPU-resident prefix and a CPU remainder), an optional static
+// cache of remote rows, and the communicator over which remote rows are
+// fetched with three matched collectives per Gather — request counts,
+// request ids, and feature payloads (§4.2).
+type Store struct {
+	comm    Comm
+	layout  *Layout
+	dim     int
+	local   *tensor.Matrix
+	cache   *cache.Cache
+	cdata   *tensor.Matrix
+	gpuRows int
+
+	// Reusable per-Gather scratch; a Store is used by one goroutine at a
+	// time (the pipeline's feature-collection stage).
+	reqIDs   [][]int32
+	rowOf    [][]int32
+	sendCnt  [][]byte
+	sendIDs  [][]byte
+	sendFeat [][]byte
+}
+
+// NewStore validates shapes and returns the store. local holds the rows of
+// this rank's layout interval; cc and cdata (parallel: cdata.Row(i) is the
+// feature row of cc.IDs()[i]) may both be nil to disable caching.
+// gpuFraction in [0,1] sets the GPU-resident prefix of the local shard.
+func NewStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cache.Cache, cdata *tensor.Matrix, gpuFraction float64) (*Store, error) {
+	if comm == nil || layout == nil {
+		return nil, fmt.Errorf("dist: store needs comm and layout")
+	}
+	rank := comm.Rank()
+	if rank < 0 || rank >= layout.K() {
+		return nil, fmt.Errorf("dist: rank %d outside layout with K=%d", rank, layout.K())
+	}
+	if comm.Size() != layout.K() {
+		return nil, fmt.Errorf("dist: comm size %d != layout K %d", comm.Size(), layout.K())
+	}
+	if local == nil || local.Cols != dim {
+		return nil, fmt.Errorf("dist: local shard missing or wrong width")
+	}
+	if local.Rows != layout.PartSize(rank) {
+		return nil, fmt.Errorf("dist: local shard has %d rows, layout owns %d", local.Rows, layout.PartSize(rank))
+	}
+	if (cc == nil) != (cdata == nil) {
+		return nil, fmt.Errorf("dist: cache index and cache data must be supplied together")
+	}
+	if cc != nil && cdata.Rows != cc.Len() {
+		return nil, fmt.Errorf("dist: cache data has %d rows for %d cached ids", cdata.Rows, cc.Len())
+	}
+	if cc != nil && cdata.Cols != dim {
+		return nil, fmt.Errorf("dist: cache data width %d != feature dim %d", cdata.Cols, dim)
+	}
+	if gpuFraction < 0 || gpuFraction > 1 {
+		return nil, fmt.Errorf("dist: gpuFraction %v outside [0,1]", gpuFraction)
+	}
+	k := layout.K()
+	return &Store{
+		comm: comm, layout: layout, dim: dim,
+		local: local, cache: cc, cdata: cdata,
+		gpuRows:  int(gpuFraction * float64(local.Rows)),
+		reqIDs:   make([][]int32, k),
+		rowOf:    make([][]int32, k),
+		sendCnt:  make([][]byte, k),
+		sendIDs:  make([][]byte, k),
+		sendFeat: make([][]byte, k),
+	}, nil
+}
+
+// Gather assembles the feature matrix for ids (row i holds the features of
+// ids[i]) and classifies every access. All ranks in the group must call
+// Gather the same number of times per epoch — rounds with no local batch
+// pass an empty id list so the collectives stay matched.
+func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
+	k := s.layout.K()
+	rank := s.comm.Rank()
+	stats := GatherStats{RemoteByPeer: make([]int, k)}
+	out := tensor.New(len(ids), s.dim)
+
+	// Classify accesses, satisfy local/cached rows immediately, and build
+	// per-peer request lists for the rest.
+	// rowOf[p][j] records which output row waits on request j of peer p.
+	for p := 0; p < k; p++ {
+		s.reqIDs[p] = s.reqIDs[p][:0]
+		s.rowOf[p] = s.rowOf[p][:0]
+	}
+	for i, v := range ids {
+		owner := s.layout.Owner(v)
+		if owner == rank {
+			row := int(int64(v) - s.layout.Starts[rank])
+			if row < s.gpuRows {
+				stats.LocalGPU++
+			} else {
+				stats.LocalCPU++
+			}
+			copy(out.Row(i), s.local.Row(row))
+			continue
+		}
+		if s.cache != nil {
+			if slot, ok := s.cache.Slot(v); ok {
+				stats.CacheHits++
+				copy(out.Row(i), s.cdata.Row(int(slot)))
+				continue
+			}
+		}
+		stats.RemoteFetch++
+		stats.RemoteByPeer[owner]++
+		s.rowOf[owner] = append(s.rowOf[owner], int32(i))
+		s.reqIDs[owner] = append(s.reqIDs[owner], v)
+	}
+
+	// Collective 1: request counts, so every rank knows how many ids each
+	// peer will ask of it (sized like the paper's first all-to-all).
+	for p := 0; p < k; p++ {
+		s.sendCnt[p] = i32ToBytes(s.sendCnt[p][:0], []int32{int32(len(s.reqIDs[p]))})
+	}
+	cnts, err := s.comm.AllToAll(s.sendCnt)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Collective 2: request ids.
+	for p := 0; p < k; p++ {
+		s.sendIDs[p] = i32ToBytes(s.sendIDs[p][:0], s.reqIDs[p])
+	}
+	reqs, err := s.comm.AllToAll(s.sendIDs)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Collective 3: feature payloads answering each peer's request list.
+	for p := 0; p < k; p++ {
+		s.sendFeat[p] = s.sendFeat[p][:0]
+		if p == rank {
+			continue
+		}
+		want := bytesToI32(reqs[p])
+		if exp := int32(len(want)); len(cnts[p]) != 4 || bytesToI32(cnts[p])[0] != exp {
+			return nil, stats, fmt.Errorf("dist: rank %d announced %v requests but sent %d ids", p, cnts[p], exp)
+		}
+		for _, v := range want {
+			if s.layout.Owner(v) != rank {
+				return nil, stats, fmt.Errorf("dist: rank %d requested vertex %d not owned here", p, v)
+			}
+			row := int(int64(v) - s.layout.Starts[rank])
+			s.sendFeat[p] = f32ToBytes(s.sendFeat[p], s.local.Row(row))
+		}
+	}
+	feats, err := s.comm.AllToAll(s.sendFeat)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Scatter the received payloads into the waiting output rows.
+	var decode []float32
+	for p := 0; p < k; p++ {
+		if p == rank || len(s.rowOf[p]) == 0 {
+			continue
+		}
+		decode = bytesToF32(decode, feats[p])
+		if len(decode) != len(s.rowOf[p])*s.dim {
+			return nil, stats, fmt.Errorf("dist: rank %d returned %d values for %d requested rows", p, len(decode), len(s.rowOf[p]))
+		}
+		for j, row := range s.rowOf[p] {
+			copy(out.Row(int(row)), decode[j*s.dim:(j+1)*s.dim])
+		}
+	}
+	return out, stats, nil
+}

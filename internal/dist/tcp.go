@@ -1,0 +1,268 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// tcpComm is one rank of a loopback TCP mesh. Every pair of ranks shares
+// one TCP connection; messages are length-prefixed frames. Because each
+// rank issues its collectives in order and frames preserve per-direction
+// FIFO order, collectives match without tags — the same argument that
+// matches the channel transport.
+type tcpComm struct {
+	rank  int
+	k     int
+	conns []net.Conn // conns[peer]; nil at self
+	bytes atomic.Int64
+	mu    sync.Mutex
+	state error // sticky failure after Close or transport error
+	// Reusable AllReduceSum buffers; a Comm serves one goroutine at a
+	// time and AllToAll's writers drain before it returns, so reuse
+	// across calls is safe.
+	scratch []byte
+	peerBuf []float32
+}
+
+// NewTCPGroup builds a fully connected loopback TCP group of size k. It
+// moves real bytes through the kernel, exercising serialization and
+// framing exactly as a multi-host deployment would.
+func NewTCPGroup(k int) ([]Comm, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("dist: group size %d", k)
+	}
+	if k > 256 {
+		// The hello handshake identifies ranks with one byte.
+		return nil, fmt.Errorf("dist: TCP group size %d exceeds the 256-rank handshake limit", k)
+	}
+	comms := make([]*tcpComm, k)
+	for r := 0; r < k; r++ {
+		comms[r] = &tcpComm{rank: r, k: k, conns: make([]net.Conn, k)}
+	}
+	// Rank i listens; ranks j > i dial in and identify themselves with a
+	// one-byte hello carrying their rank. teardown releases every listener
+	// and connection on any setup failure so the blocked accept goroutines
+	// unblock and nothing leaks.
+	listeners := make([]net.Listener, k)
+	teardown := func() {
+		for _, ln := range listeners {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		for _, c := range comms {
+			for _, conn := range c.conns {
+				if conn != nil {
+					conn.Close()
+				}
+			}
+		}
+	}
+	for i := 0; i < k-1; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			teardown()
+			return nil, fmt.Errorf("dist: listen: %w", err)
+		}
+		listeners[i] = ln
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, k)
+	for i := 0; i < k-1; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < k-1-i; n++ {
+				conn, err := listeners[i].Accept()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var hello [1]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					conn.Close()
+					errCh <- err
+					return
+				}
+				comms[i].conns[int(hello[0])] = conn
+			}
+		}(i)
+	}
+	dialErr := func(err error) ([]Comm, error) {
+		// Unblock the accept goroutines first, then wait for them before
+		// touching the conns they may still be writing.
+		for _, ln := range listeners {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		wg.Wait()
+		teardown()
+		return nil, err
+	}
+	for j := 1; j < k; j++ {
+		for i := 0; i < j; i++ {
+			conn, err := net.Dial("tcp", listeners[i].Addr().String())
+			if err != nil {
+				return dialErr(fmt.Errorf("dist: dial: %w", err))
+			}
+			if _, err := conn.Write([]byte{byte(j)}); err != nil {
+				conn.Close()
+				return dialErr(fmt.Errorf("dist: hello: %w", err))
+			}
+			comms[j].conns[i] = conn
+		}
+	}
+	wg.Wait()
+	for i := 0; i < k-1; i++ {
+		listeners[i].Close()
+	}
+	select {
+	case err := <-errCh:
+		teardown()
+		return nil, fmt.Errorf("dist: accept: %w", err)
+	default:
+	}
+	out := make([]Comm, k)
+	for r := 0; r < k; r++ {
+		out[r] = comms[r]
+	}
+	return out, nil
+}
+
+func (c *tcpComm) Rank() int        { return c.rank }
+func (c *tcpComm) Size() int        { return c.k }
+func (c *tcpComm) BytesSent() int64 { return c.bytes.Load() }
+
+// Close tears down this rank's connections. Peers blocked on reads fail
+// with connection errors, propagating the abort through the group.
+func (c *tcpComm) Close() {
+	c.mu.Lock()
+	if c.state == nil {
+		c.state = fmt.Errorf("dist: comm closed (rank %d)", c.rank)
+	}
+	c.mu.Unlock()
+	for _, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+func (c *tcpComm) failed() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// writeFrame sends one length-prefixed payload.
+func writeFrame(conn net.Conn, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// readFrame receives one length-prefixed payload.
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (c *tcpComm) AllToAll(send [][]byte) ([][]byte, error) {
+	if err := c.failed(); err != nil {
+		return nil, err
+	}
+	if len(send) != c.k {
+		return nil, fmt.Errorf("dist: AllToAll with %d payloads for %d ranks", len(send), c.k)
+	}
+	// Writers run concurrently so two ranks exchanging large payloads
+	// cannot deadlock on full socket buffers.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*c.k)
+	for dst := 0; dst < c.k; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			if err := writeFrame(c.conns[dst], send[dst]); err != nil {
+				errCh <- err
+				return
+			}
+			c.bytes.Add(int64(len(send[dst])))
+		}(dst)
+	}
+	recv := make([][]byte, c.k)
+	recv[c.rank] = send[c.rank]
+	for src := 0; src < c.k; src++ {
+		if src == c.rank {
+			continue
+		}
+		msg, err := readFrame(c.conns[src])
+		if err != nil {
+			errCh <- err
+			break
+		}
+		recv[src] = msg
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		c.mu.Lock()
+		if c.state == nil {
+			c.state = fmt.Errorf("dist: transport failure (rank %d): %w", c.rank, err)
+		}
+		c.mu.Unlock()
+		return nil, err
+	default:
+	}
+	return recv, nil
+}
+
+func (c *tcpComm) AllReduceSum(x []float32) error {
+	c.scratch = f32ToBytes(c.scratch[:0], x)
+	send := make([][]byte, c.k)
+	for i := range send {
+		send[i] = c.scratch
+	}
+	recv, err := c.AllToAll(send)
+	if err != nil {
+		return err
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	for src := 0; src < c.k; src++ {
+		c.peerBuf = bytesToF32(c.peerBuf, recv[src])
+		if len(c.peerBuf) != len(x) {
+			return fmt.Errorf("dist: AllReduceSum length mismatch from rank %d", src)
+		}
+		for i, v := range c.peerBuf {
+			x[i] += v
+		}
+	}
+	return nil
+}

@@ -96,7 +96,7 @@ func DeployWithParts(ds *dataset.Dataset, assignment []int32, k int, dims ModelD
 
 	var score []float64
 	if vipReorder {
-		vcfg := vip.Config{Fanouts: dims.Fanouts, BatchSize: batch, IncludeSeeds: true}
+		vcfg := vip.Config{Fanouts: dims.Fanouts, BatchSize: batch, IncludeSeeds: true, Workers: workers}
 		vips, err := vip.ForPartitions(ds.Graph, pres.Parts, k, ds.TrainIDs(), vcfg)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHotPathsReport(t *testing.T) {
+	scale := SmallScale()
+	scale.PapersN = 5000
+	res, err := HotPaths(scale, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	if res.Rows[0].Workers != 1 || res.Rows[0].VIPSpeedup != 1 || res.Rows[0].SampleSpeedup != 1 {
+		t.Fatalf("baseline row malformed: %+v", res.Rows[0])
+	}
+	for _, row := range res.Rows {
+		if row.VIPSeconds <= 0 || row.SampleSeconds <= 0 || row.VIPSpeedup <= 0 || row.SampleSpeedup <= 0 {
+			t.Fatalf("non-positive measurement: %+v", row)
+		}
+	}
+	if res.Batches <= 0 || res.Vertices != 5000 {
+		t.Fatalf("metadata malformed: %+v", res)
+	}
+	if RenderHotPaths(res) == "" {
+		t.Fatal("empty rendering")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_sample_vip.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HotPathsResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(res.Rows) || back.Dataset != res.Dataset {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

@@ -81,6 +81,7 @@ func BuildWorkload(s *Scenario, seed uint64, workers int) (*Workload, error) {
 		var works []BatchWork
 		for _, mfg := range mfgs {
 			works = append(works, classify(s, m, mfg))
+			mfg.Release()
 		}
 		w.PerMachine = append(w.PerMachine, works)
 		if len(works) > rounds {

@@ -36,6 +36,10 @@ type Config struct {
 	PipelineDepth int
 	// SamplerWorkers is the shared-memory sampling parallelism per machine.
 	SamplerWorkers int
+	// Parallelism bounds setup-time analysis parallelism — the sharded VIP
+	// propagation and cache-policy construction. 0 uses GOMAXPROCS; results
+	// are identical for every setting.
+	Parallelism int
 	// LR is the Adam learning rate.
 	LR float64
 	// Seed drives sampling and dropout; combined with rank and epoch.
@@ -210,7 +214,8 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 		}
 		r.opt.Step(grads)
 		stats.ComputeTime += time.Since(t0)
-		<-inflight // retire the batch: frees one pipeline slot
+		pb.mfg.Release() // recycle the batch's sampling buffers
+		<-inflight       // retire the batch: frees one pipeline slot
 	}
 	select {
 	case err := <-errCh:
@@ -246,7 +251,8 @@ func (r *Rank) streamSampled(batches [][]int32, base *rng.RNG, inflight chan str
 	}
 	for w := 0; w < workers; w++ {
 		go func() {
-			worker := r.sampler.NewWorker(rng.New(0))
+			worker := r.sampler.AcquireWorker(rng.New(0))
+			defer r.sampler.ReleaseWorker(worker)
 			for {
 				inflight <- struct{}{} // claim a pipeline slot
 				mu.Lock()
@@ -328,6 +334,7 @@ func (r *Rank) Evaluate(ids []int32, fanouts []int, batch, rounds, epoch int) (i
 				correct++
 			}
 		}
+		mfg.Release()
 	}
 	return correct, total, nil
 }

@@ -112,7 +112,7 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	// 2. Partition-wise VIP analysis on the original ids.
-	vcfg := vip.Config{Fanouts: cfg.Train.Fanouts, BatchSize: cfg.Train.BatchSize, IncludeSeeds: true}
+	vcfg := vip.Config{Fanouts: cfg.Train.Fanouts, BatchSize: cfg.Train.BatchSize, IncludeSeeds: true, Workers: cfg.Train.Parallelism}
 	vips, err := vip.ForPartitions(ds.Graph, pres.Parts, cfg.K, ds.TrainIDs(), vcfg)
 	if err != nil {
 		return nil, err
@@ -201,11 +201,13 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 		var cc *cache.Cache
 		var cdata *tensor.Matrix
 		if capacity > 0 {
+			// cache.Context shares the vip.Config convention: Workers 0
+			// means GOMAXPROCS, so Parallelism passes through untouched.
 			ctx := &cache.Context{
 				G: rds.Graph, Parts: parts, K: cfg.K, Part: int32(rank),
 				TrainIDs: trainReordered, Fanouts: cfg.Train.Fanouts,
 				BatchSize: cfg.Train.BatchSize, Seed: cfg.Train.Seed + uint64(rank),
-				Workers: cfg.Train.SamplerWorkers,
+				Workers: cfg.Train.Parallelism,
 			}
 			ranking, err := cfg.CachePolicy.Rank(ctx)
 			if err != nil {

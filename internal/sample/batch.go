@@ -54,7 +54,8 @@ func PrepareEpoch(s *Sampler, batches [][]int32, base *rng.RNG, numWorkers int) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			worker := s.NewWorker(rng.New(0)) // state replaced per batch
+			worker := s.AcquireWorker(rng.New(0)) // state replaced per batch
+			defer s.ReleaseWorker(worker)
 			for {
 				mu.Lock()
 				i := next
@@ -88,6 +89,7 @@ func AccessCounts(s *Sampler, trainIDs []int32, batchSize, numEpochs int, base *
 			for _, v := range m.InputIDs() {
 				counts[v]++
 			}
+			m.Release()
 		}
 	}
 	return counts

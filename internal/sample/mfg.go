@@ -38,6 +38,23 @@ type MFG struct {
 	// Seeds are the minibatch vertices, equal to the final block's first
 	// NumDst input ids.
 	Seeds []int32
+	// arena is the pooled backing storage (nil for hand-built MFGs).
+	arena *arena
+}
+
+// Release recycles the MFG's backing storage into the sampler arena pool.
+// The MFG and every slice obtained from it (blocks, InputIDs) are invalid
+// afterwards. Calling Release is optional — an unreleased MFG is simply
+// collected by the GC — but the training pipeline releases every retired
+// batch so steady-state preparation allocates nothing per minibatch.
+// Release is not idempotent; call it exactly once, from one goroutine.
+func (m *MFG) Release() {
+	a := m.arena
+	if a == nil {
+		return
+	}
+	m.arena = nil
+	arenaPool.Put(a)
 }
 
 // InputIDs returns the global vertex ids whose features the batch needs —

@@ -2,6 +2,7 @@ package sample
 
 import (
 	"fmt"
+	"sync"
 
 	"salientpp/internal/graph"
 	"salientpp/internal/rng"
@@ -9,10 +10,13 @@ import (
 
 // Sampler performs node-wise neighborhood sampling over a fixed graph with
 // fixed per-hop fanouts. A Sampler is immutable and safe for concurrent
-// use; per-goroutine mutable state lives in Workers.
+// use; per-goroutine mutable state lives in Workers, which the sampler
+// pools so epoch-over-epoch batch preparation reuses their O(N) dedup
+// arrays instead of reallocating them.
 type Sampler struct {
 	g       *graph.CSR
 	fanouts []int
+	workers sync.Pool // *Worker, recycled across epochs and goroutines
 }
 
 // NewSampler validates the fanouts and returns a sampler.
@@ -68,36 +72,94 @@ func (s *Sampler) NewWorker(r *rng.RNG) *Worker {
 	return w
 }
 
+// AcquireWorker returns a pooled worker (allocating one on first use) with
+// its RNG replaced by r. Pair with ReleaseWorker to keep the O(N) dedup
+// arrays alive across epochs.
+func (s *Sampler) AcquireWorker(r *rng.RNG) *Worker {
+	if w, ok := s.workers.Get().(*Worker); ok {
+		w.r = r
+		return w
+	}
+	return s.NewWorker(r)
+}
+
+// ReleaseWorker returns a worker to the sampler's pool. The worker must
+// not be used afterwards.
+func (s *Sampler) ReleaseWorker(w *Worker) { s.workers.Put(w) }
+
 // SetRNG replaces the worker's random stream. Pipelines use this to give
 // batch i the stream base.Split(i) regardless of which worker runs it,
 // keeping results schedule-independent.
 func (w *Worker) SetRNG(r *rng.RNG) { w.r = r }
 
+// arena owns the reusable backing storage of one MFG: the block structs
+// and the per-hop input/rowptr/column slices. Arenas cycle through a
+// sync.Pool so steady-state batch preparation allocates nothing per
+// minibatch beyond slice growth toward the high-water mark.
+type arena struct {
+	mfg    MFG
+	blocks []Block
+	bptrs  []*Block
+	inputs [][]int32
+	rowPtr [][]int32
+	col    [][]int32
+}
+
+var arenaPool = sync.Pool{New: func() any { return &arena{} }}
+
+// ensure sizes the arena for an L-layer MFG, keeping prior capacity.
+func (a *arena) ensure(L int) {
+	for len(a.blocks) < L {
+		a.blocks = append(a.blocks, Block{})
+		a.inputs = append(a.inputs, nil)
+		a.rowPtr = append(a.rowPtr, nil)
+		a.col = append(a.col, nil)
+	}
+	if cap(a.bptrs) < L {
+		a.bptrs = make([]*Block, L)
+	}
+	a.bptrs = a.bptrs[:L]
+}
+
 // Sample expands the multi-hop neighborhood of seeds and returns the MFG.
-// Duplicate seeds are rejected by panic in debug validation; callers supply
-// distinct seeds (minibatches are permutation chunks).
+// The MFG's storage comes from a pooled arena: call (*MFG).Release once
+// the batch has been consumed to recycle it, or simply drop it and let the
+// GC take the slower path. Duplicate seeds are rejected by panic in debug
+// validation; callers supply distinct seeds (minibatches are permutation
+// chunks).
 func (w *Worker) Sample(seeds []int32) *MFG {
 	s := w.s
 	L := len(s.fanouts)
-	blocks := make([]*Block, L)
+	a := arenaPool.Get().(*arena)
+	a.ensure(L)
 
-	frontier := make([]int32, len(seeds))
-	copy(frontier, seeds)
-
+	frontier := seeds
 	for h := 0; h < L; h++ {
 		f := s.fanouts[h]
 		numDst := len(frontier)
 		// Inputs begin with the destination vertices themselves.
-		inputs := make([]int32, numDst, numDst*(1+f/2))
-		copy(inputs, frontier)
+		inputs := a.inputs[h][:0]
+		if cap(inputs) < numDst {
+			inputs = make([]int32, 0, numDst*(1+f/2))
+		}
+		inputs = append(inputs, frontier...)
 		w.round++
 		for i, v := range frontier {
 			w.local[v] = int32(i)
 			w.stamp[v] = w.round
 		}
 
-		rowPtr := make([]int32, numDst+1)
-		col := make([]int32, 0, numDst*f)
+		rowPtr := a.rowPtr[h]
+		if cap(rowPtr) < numDst+1 {
+			rowPtr = make([]int32, numDst+1)
+		} else {
+			rowPtr = rowPtr[:numDst+1]
+			rowPtr[0] = 0
+		}
+		col := a.col[h][:0]
+		if cap(col) < numDst*f {
+			col = make([]int32, 0, numDst*f)
+		}
 		for i, v := range frontier {
 			nbrs := s.g.Neighbors(v)
 			d := len(nbrs)
@@ -117,16 +179,19 @@ func (w *Worker) Sample(seeds []int32) *MFG {
 			}
 			rowPtr[i+1] = int32(len(col))
 		}
-		blocks[h] = &Block{NumDst: numDst, InputIDs: inputs, RowPtr: rowPtr, Col: col}
+		// Write the (possibly grown) slices back so the arena retains
+		// their capacity for the next batch.
+		a.inputs[h], a.rowPtr[h], a.col[h] = inputs, rowPtr, col
+		a.blocks[h] = Block{NumDst: numDst, InputIDs: inputs, RowPtr: rowPtr, Col: col}
 		frontier = inputs
 	}
 
 	// Blocks were built seed-outward; the GNN consumes them widest-first.
-	for i, j := 0, L-1; i < j; i, j = i+1, j-1 {
-		blocks[i], blocks[j] = blocks[j], blocks[i]
+	for i := 0; i < L; i++ {
+		a.bptrs[i] = &a.blocks[L-1-i]
 	}
-	out := &MFG{Blocks: blocks, Seeds: seeds}
-	return out
+	a.mfg = MFG{Blocks: a.bptrs, Seeds: seeds, arena: a}
+	return &a.mfg
 }
 
 // localIndex returns the hop-local index of global vertex u, assigning a

@@ -1,0 +1,96 @@
+package vip
+
+import (
+	"fmt"
+	"testing"
+
+	"salientpp/internal/graph"
+	"salientpp/internal/rng"
+)
+
+// testGraph builds a skewed synthetic graph with a training-like seed
+// distribution, fixed seed throughout for run-to-run reproducibility.
+func testGraph(t testing.TB, n int, seed uint64) (*graph.CSR, []float64) {
+	t.Helper()
+	g, err := graph.RMAT(graph.DefaultRMAT(n, int64(n)*8, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed + 1)
+	train := r.SampleK(nil, n/10, n)
+	p0 := UniformSeeds(n, train, 256)
+	return g, p0
+}
+
+// TestParallelMatchesSerial asserts the tentpole determinism guarantee:
+// the sharded parallel propagation is bitwise-identical to the serial
+// reference for every worker count, with and without seed folding and hop
+// retention.
+func TestParallelMatchesSerial(t *testing.T) {
+	g, p0 := testGraph(t, 5000, 3)
+	for _, includeSeeds := range []bool{false, true} {
+		serial, err := Probabilities(g, p0, Config{Fanouts: []int{15, 10, 5}, BatchSize: 256, IncludeSeeds: includeSeeds, Workers: 1}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 3, 4, 8, 64} {
+			par, err := Probabilities(g, p0, Config{Fanouts: []int{15, 10, 5}, BatchSize: 256, IncludeSeeds: includeSeeds, Workers: workers}, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := range serial.P {
+				if serial.P[u] != par.P[u] {
+					t.Fatalf("seeds=%v workers=%d: P[%d] differs: serial %v parallel %v",
+						includeSeeds, workers, u, serial.P[u], par.P[u])
+				}
+			}
+			for h := range serial.Hops {
+				for u := range serial.Hops[h] {
+					if serial.Hops[h][u] != par.Hops[h][u] {
+						t.Fatalf("seeds=%v workers=%d hop %d: vertex %d differs", includeSeeds, workers, h, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeShardsCoverage checks that shards tile [0, n) exactly for skewed
+// degree distributions and degenerate worker counts.
+func TestEdgeShardsCoverage(t *testing.T) {
+	g, _ := testGraph(t, 1000, 5)
+	for _, workers := range []int{1, 2, 3, 7, 16, 999, 5000} {
+		shards := edgeShards(g, workers)
+		if len(shards) > workers {
+			t.Fatalf("workers=%d produced %d shards", workers, len(shards))
+		}
+		next := 0
+		for _, sh := range shards {
+			if sh[0] != next || sh[1] <= sh[0] {
+				t.Fatalf("workers=%d: shard %v breaks tiling at %d", workers, sh, next)
+			}
+			next = sh[1]
+		}
+		if next != g.NumVertices() {
+			t.Fatalf("workers=%d: shards end at %d of %d", workers, next, g.NumVertices())
+		}
+	}
+}
+
+// BenchmarkVIP times the propagation at increasing worker counts on a
+// papers-analog RMAT graph; the workers=1 case is the serial baseline the
+// speedup acceptance criterion compares against.
+func BenchmarkVIP(b *testing.B) {
+	g, p0 := testGraph(b, 50000, 7)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := Config{Fanouts: []int{15, 10, 5}, BatchSize: 256, Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Probabilities(g, p0, cfg, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -17,11 +17,21 @@
 // cancellation that a naive product would suffer for the very small
 // per-neighbor probabilities typical of low-degree vertices far from the
 // training set.
+//
+// Both passes are embarrassingly parallel in the pull direction — every
+// output element depends only on the previous hop's vector — so the
+// propagation shards the vertex range into edge-balanced contiguous
+// intervals processed by a worker pool (Config.Workers). Each vertex's
+// neighbor accumulation keeps the exact serial order, so the output is
+// bitwise-identical for every worker count, not merely for a fixed one.
 package vip
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
 
 	"salientpp/internal/graph"
 )
@@ -44,6 +54,11 @@ type Config struct {
 	// features too. It has no effect on remote-vertex rankings (remote
 	// vertices have p[0] = 0 for the partition in question).
 	IncludeSeeds bool
+	// Workers bounds the propagation parallelism: the vertex range is cut
+	// into edge-balanced shards processed concurrently. 0 uses GOMAXPROCS;
+	// 1 runs the serial reference path. Results are bitwise-identical for
+	// every setting.
+	Workers int
 }
 
 // Validate checks the configuration against a graph.
@@ -116,52 +131,120 @@ func Probabilities(g *graph.CSR, p0 []float64, cfg Config, keepHops bool) (*Resu
 	cur := make([]float64, n)
 	sv := make([]float64, n) // s_v = t_h(v)·p[h−1](v), then log1p(−s_v)
 
+	shards := edgeShards(g, cfg.Workers)
 	res := &Result{}
-	for h, f := range cfg.Fanouts {
+	for _, f := range cfg.Fanouts {
 		// Pass 1 (vertices): per-sampler contribution in log space.
-		for v := 0; v < n; v++ {
-			if prev[v] == 0 {
-				sv[v] = 0
-				continue
+		// Vertices outside the current frontier (prev == 0) cost one read.
+		forShards(shards, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if prev[v] == 0 {
+					sv[v] = 0
+					continue
+				}
+				d := g.Degree(int32(v))
+				t := 1.0
+				if d > f {
+					t = float64(f) / float64(d)
+				}
+				sv[v] = log1mp(t * prev[v])
 			}
-			d := g.Degree(int32(v))
-			t := 1.0
-			if d > f {
-				t = float64(f) / float64(d)
-			}
-			sv[v] = log1mp(t * prev[v])
-		}
+		})
 		// Pass 2 (edges): p[h](u) = 1 − exp(Σ_{v∈N(u)} log(1 − s_v)).
-		for u := 0; u < n; u++ {
-			var acc float64
-			for _, v := range g.Neighbors(int32(u)) {
-				acc += sv[v]
+		// Each destination accumulates its neighbors in adjacency order,
+		// exactly as the serial pass does.
+		forShards(shards, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				var acc float64
+				for _, v := range g.Neighbors(int32(u)) {
+					acc += sv[v]
+				}
+				p := -math.Expm1(acc) // 1 − exp(acc)
+				cur[u] = p
+				logKeep[u] += log1mp(p)
 			}
-			p := -math.Expm1(acc) // 1 − exp(acc)
-			cur[u] = p
-			logKeep[u] += log1mp(p)
-		}
+		})
 		if keepHops {
 			hop := make([]float64, n)
 			copy(hop, cur)
 			res.Hops = append(res.Hops, hop)
 		}
 		prev, cur = cur, prev
-		_ = h
 	}
 
 	out := make([]float64, n)
-	for u := 0; u < n; u++ {
-		out[u] = -math.Expm1(logKeep[u])
-		// Clamp tiny negative values from floating-point noise.
-		if out[u] < 0 {
-			out[u] = 0
-		} else if out[u] > 1 {
-			out[u] = 1
+	forShards(shards, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			out[u] = -math.Expm1(logKeep[u])
+			// Clamp tiny negative values from floating-point noise.
+			if out[u] < 0 {
+				out[u] = 0
+			} else if out[u] > 1 {
+				out[u] = 1
+			}
 		}
-	}
+	})
 	res.P = out
 	return res, nil
+}
+
+// edgeShards cuts [0, n) into at most workers contiguous vertex ranges
+// whose stored-edge counts are balanced, so pass-2 work (proportional to
+// degree sums, not vertex counts) divides evenly even on the skewed
+// power-law graphs the paper targets. Workers <= 0 means GOMAXPROCS.
+func edgeShards(g *graph.CSR, workers int) [][2]int {
+	n := g.NumVertices()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 0 {
+		return [][2]int{{0, n}}
+	}
+	m := g.NumEdges()
+	shards := make([][2]int, 0, workers)
+	lo := 0
+	for s := 1; s <= workers && lo < n; s++ {
+		var hi int
+		if s == workers {
+			hi = n
+		} else {
+			// First vertex whose prefix edge count reaches s/workers of
+			// the total; +1 keeps shards non-empty on edgeless prefixes.
+			target := m * int64(s) / int64(workers)
+			hi = sort.Search(n, func(v int) bool { return g.Offsets[v+1] >= target })
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > n {
+				hi = n
+			}
+		}
+		shards = append(shards, [2]int{lo, hi})
+		lo = hi
+	}
+	return shards
+}
+
+// forShards runs fn over every shard, concurrently when there is more than
+// one. Shards never overlap, so workers write disjoint ranges of the
+// shared output vectors and need no synchronization beyond the barrier.
+func forShards(shards [][2]int, fn func(lo, hi int)) {
+	if len(shards) == 1 {
+		fn(shards[0][0], shards[0][1])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(sh[0], sh[1])
+	}
+	wg.Wait()
 }
 
 // log1mp returns log(1−p) handling p == 1 exactly.

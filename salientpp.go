@@ -95,7 +95,11 @@ func PartitionGraph(ds *Dataset, k int, seed uint64) (*PartitionResult, error) {
 }
 
 // VIPProbabilities runs Proposition 1 for one partition's minibatch
-// distribution and returns per-vertex inclusion probabilities.
+// distribution and returns per-vertex inclusion probabilities. Set
+// cfg.Workers to bound the sharded parallel propagation (0 uses
+// GOMAXPROCS); the result is bitwise-identical for every worker count.
+// The analogous training-side knobs are TrainConfig.SamplerWorkers (batch
+// preparation) and TrainConfig.Parallelism (setup-time analysis).
 func VIPProbabilities(g *Graph, trainIDs []int32, cfg VIPConfig) ([]float64, error) {
 	p0 := vip.UniformSeeds(g.NumVertices(), trainIDs, cfg.BatchSize)
 	res, err := vip.Probabilities(g, p0, cfg, false)
