@@ -1,19 +1,22 @@
 // Command salientbench regenerates the paper's timing evaluation via the
 // discrete-event performance model: Table 1 (progressive optimizations),
-// Table 2 (datasets), Table 4 (DistDGL comparison), Figures 4–9, and the
-// hot-path microbenchmarks (parallel VIP analysis and batch preparation).
+// Table 2 (datasets), Table 4 (DistDGL comparison), Figures 4–9, the
+// hot-path microbenchmarks (parallel VIP analysis and batch preparation),
+// and the real end-to-end epoch benchmark.
 //
 // Example:
 //
 //	salientbench -exp table1
 //	salientbench -exp all -papers 200000 -batch 32
 //	salientbench -exp hotpaths -json          # writes BENCH_sample_vip.json
+//	salientbench -exp epoch -json             # writes BENCH_epoch.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -24,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salientbench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|table4|fig4|fig5|fig6|fig7|fig8|fig9|hotpaths|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|table4|fig4|fig5|fig6|fig7|fig8|fig9|hotpaths|epoch|all")
 		products = flag.Int("products", 60000, "products-sim vertices")
 		papers   = flag.Int("papers", 200000, "papers-sim vertices")
 		mag240   = flag.Int("mag240", 100000, "mag240-sim vertices")
@@ -32,11 +35,25 @@ func main() {
 		boost    = flag.Float64("trainboost", 8, "training-density boost for sparse-label datasets (see EXPERIMENTS.md)")
 		workers  = flag.Int("workers", 2, "sampler workers")
 		seed     = flag.Uint64("seed", 7, "random seed")
-		asJSON   = flag.Bool("json", false, "also write the hotpaths report to -jsonout")
+		asJSON   = flag.Bool("json", false, "also write machine-readable reports (-jsonout, -epochout)")
 		jsonOut  = flag.String("jsonout", "BENCH_sample_vip.json", "machine-readable hotpaths output path")
+		epochOut = flag.String("epochout", "BENCH_epoch.json", "machine-readable epoch-benchmark output path")
+		epochs   = flag.Int("epochs", 3, "epochs for -exp epoch")
 		sweep    = flag.String("sweep", "1,2,4,8", "comma-separated worker counts for -exp hotpaths")
 	)
 	flag.Parse()
+
+	// The timing experiments measure parallel speedups; a runtime pinned to
+	// one proc on a multi-core box silently flattens every column (it has
+	// happened in CI — BENCH_sample_vip.json once shipped "gomaxprocs": 1).
+	// The harnesses lift GOMAXPROCS themselves; warn loudly when even the
+	// hardware is serial, so flat speedups are read correctly.
+	if runtime.GOMAXPROCS(0) == 1 && runtime.NumCPU() > 1 {
+		log.Printf("warning: GOMAXPROCS=1 on a %d-CPU machine; timing harnesses will raise it to all CPUs", runtime.NumCPU())
+	}
+	if runtime.NumCPU() == 1 {
+		log.Printf("warning: single-CPU machine; worker-sweep speedups will be flat (~1.0x)")
+	}
 
 	var sweepCounts []int
 	for _, tok := range strings.Split(*sweep, ",") {
@@ -127,9 +144,22 @@ func main() {
 			}
 			return experiments.RenderHotPaths(r), nil
 		},
+		"epoch": func() (string, error) {
+			r, err := experiments.EpochBench(scale, *epochs)
+			if err != nil {
+				return "", err
+			}
+			if *asJSON {
+				if err := r.WriteJSON(*epochOut); err != nil {
+					return "", err
+				}
+				log.Printf("wrote %s", *epochOut)
+			}
+			return experiments.RenderEpochBench(r), nil
+		},
 	}
 
-	order := []string{"table2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table4", "hotpaths"}
+	order := []string{"table2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table4", "hotpaths", "epoch"}
 	var selected []string
 	if *exp == "all" {
 		selected = order

@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"testing"
+
+	"salientpp/internal/tensor"
+)
+
+// TestGatherAllocationFree is the allocation-regression guard for the warm
+// feature-gather path: pooled output matrix, reused request lists and
+// payload buffers, zero-copy encode/decode, and recycled transport
+// receive slices. A single-rank group keeps the assertion deterministic —
+// cross-rank payloads pay exactly one transport-owned copy, which is the
+// documented floor, not a regression.
+func TestGatherAllocationFree(t *testing.T) {
+	const n, dim = 256, 16
+	comms, err := NewLocalGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms[0].Close()
+	layout, err := NewLayout([]int64{0, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := tensor.New(n, dim)
+	for i := range local.Data {
+		local.Data[i] = float32(i)
+	}
+	st, err := NewStore(comms[0], layout, dim, local, nil, nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int32, 64)
+	for i := range ids {
+		ids[i] = int32((i * 37) % n)
+	}
+	step := func() {
+		out, _, err := st.Gather(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Release(out)
+	}
+	for i := 0; i < 3; i++ {
+		step() // warm the pool and scratch
+	}
+	allocs := testing.AllocsPerRun(100, step)
+	if allocs != 0 {
+		t.Fatalf("warm Gather allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkGatherWarm measures the steady-state local gather path; run
+// with -benchmem to confirm 0 B/op.
+func BenchmarkGatherWarm(b *testing.B) {
+	const n, dim = 4096, 128
+	comms, err := NewLocalGroup(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer comms[0].Close()
+	layout, err := NewLayout([]int64{0, n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	local := tensor.New(n, dim)
+	st, err := NewStore(comms[0], layout, dim, local, nil, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int32, 1024)
+	for i := range ids {
+		ids[i] = int32((i * 131) % n)
+	}
+	if out, _, err := st.Gather(ids); err != nil {
+		b.Fatal(err)
+	} else {
+		st.Release(out) // warm the pool so B/op reflects steady state
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := st.Gather(ids)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Release(out)
+	}
+	b.SetBytes(int64(len(ids) * dim * 4))
+}
+
+// TestGatherSortedRequestsCorrect verifies that sorting per-peer request
+// lists (for sequential owner-side shard reads) still scatters every reply
+// into the right output row, including duplicate remote ids.
+func TestGatherSortedRequestsCorrect(t *testing.T) {
+	const dim = 4
+	layout, err := NewLayout([]int64{0, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms, err := NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms[0].Close()
+	full := tensor.New(16, dim)
+	for v := 0; v < 16; v++ {
+		for j := 0; j < dim; j++ {
+			full.Set(v, j, float32(100*v+j))
+		}
+	}
+	stores := make([]*Store, 2)
+	for r := 0; r < 2; r++ {
+		local := tensor.New(8, dim)
+		for i := 0; i < 8; i++ {
+			copy(local.Row(i), full.Row(r*8+i))
+		}
+		st, err := NewStore(comms[r], layout, dim, local, nil, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[r] = st
+	}
+	// Rank 0 asks for remote rows in descending, interleaved, duplicated
+	// order; the store sorts the request list internally.
+	ids := []int32{15, 9, 12, 9, 2, 14, 0, 15}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := stores[1].Gather(nil)
+		done <- err
+	}()
+	out, stats, err := stores[0].Gather(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if stats.RemoteFetch != 6 || stats.RemoteByPeer[1] != 6 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	for i, v := range ids {
+		for j := 0; j < dim; j++ {
+			if out.At(i, j) != full.At(int(v), j) {
+				t.Fatalf("row %d (vertex %d): got %v want %v", i, v, out.Row(i), full.Row(int(v)))
+			}
+		}
+	}
+	stores[0].Release(out)
+}

@@ -20,6 +20,12 @@ type Comm interface {
 	// to rank dst, and the result's entry [src] is what rank src sent
 	// here. send[Rank()] is delivered locally without touching the
 	// transport. len(send) must equal Size().
+	//
+	// Buffer ownership: send payloads are only read until AllToAll
+	// returns, so callers may reuse them immediately. The returned slice
+	// and its payloads remain valid only until the next collective on
+	// this Comm — transports recycle receive buffers to keep the
+	// steady-state gather path allocation-lean.
 	AllToAll(send [][]byte) ([][]byte, error)
 	// AllReduceSum replaces x, elementwise, with the sum over all ranks'
 	// x. The reduction is ordered by rank, so all ranks compute

@@ -46,10 +46,13 @@ func NewLocalGroup(k int) ([]Comm, error) {
 type localComm struct {
 	g    *localGroup
 	rank int
-	// scratch is reused across AllReduceSum calls to avoid per-collective
-	// payload allocation.
+	// scratch, peerBuf, recvBuf, and sendBuf are reused across collectives
+	// to avoid per-call allocation; a Comm serves one goroutine at a time,
+	// and results are documented valid only until the next collective.
 	scratch []byte
 	peerBuf []float32
+	recvBuf [][]byte
+	sendBuf [][]byte
 }
 
 func (c *localComm) Rank() int { return c.rank }
@@ -81,7 +84,10 @@ func (c *localComm) AllToAll(send [][]byte) ([][]byte, error) {
 			return nil, fmt.Errorf("dist: group closed during AllToAll send (rank %d)", c.rank)
 		}
 	}
-	recv := make([][]byte, g.k)
+	if c.recvBuf == nil {
+		c.recvBuf = make([][]byte, g.k)
+	}
+	recv := c.recvBuf
 	recv[c.rank] = send[c.rank]
 	for src := 0; src < g.k; src++ {
 		if src == c.rank {
@@ -101,7 +107,10 @@ func (c *localComm) AllReduceSum(x []float32) error {
 	// ordered local reduction: summing contributions in rank order makes
 	// every rank's float32 result bitwise identical.
 	c.scratch = f32ToBytes(c.scratch[:0], x)
-	send := make([][]byte, c.g.k)
+	if c.sendBuf == nil {
+		c.sendBuf = make([][]byte, c.g.k)
+	}
+	send := c.sendBuf
 	for i := range send {
 		send[i] = c.scratch
 	}

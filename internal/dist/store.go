@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"salientpp/internal/cache"
 	"salientpp/internal/tensor"
@@ -17,7 +19,9 @@ type GatherStats struct {
 	LocalCPU    int
 	CacheHits   int
 	RemoteFetch int
-	// RemoteByPeer[p] counts rows fetched from rank p this call.
+	// RemoteByPeer[p] counts rows fetched from rank p this call. It aliases
+	// the store's reusable scratch and is valid only until the next Gather
+	// on the same store; copy it to retain it.
 	RemoteByPeer []int
 }
 
@@ -26,6 +30,12 @@ type GatherStats struct {
 // cache of remote rows, and the communicator over which remote rows are
 // fetched with three matched collectives per Gather — request counts,
 // request ids, and feature payloads (§4.2).
+//
+// The gather path is allocation-free at steady state: output matrices come
+// from a pooled tensor arena (return them with Release), request ids and
+// feature payloads cross the transport as zero-copy views of reused
+// contiguous buffers, and per-peer request lists are sorted so the owning
+// rank reads its shard sequentially.
 type Store struct {
 	comm    Comm
 	layout  *Layout
@@ -34,14 +44,32 @@ type Store struct {
 	cache   *cache.Cache
 	cdata   *tensor.Matrix
 	gpuRows int
+	pool    *tensor.Pool
 
 	// Reusable per-Gather scratch; a Store is used by one goroutine at a
 	// time (the pipeline's feature-collection stage).
-	reqIDs   [][]int32
-	rowOf    [][]int32
-	sendCnt  [][]byte
-	sendIDs  [][]byte
-	sendFeat [][]byte
+	reqIDs   [][]int32   // per-peer request ids (sorted before collective 2)
+	rowOf    [][]int32   // rowOf[p][j]: output row waiting on request j of peer p
+	cntFrame []byte      // 4·K bytes backing the count frames of collective 1
+	cntRecv  []int32     // decoded per-peer request counts
+	sendPtr  [][]byte    // per-collective payload views (headers reused)
+	featBuf  [][]float32 // per-peer contiguous feature staging (collective 3)
+	byPeer   []int       // RemoteByPeer scratch
+	sorter   idRowSorter
+}
+
+// idRowSorter sorts a peer's request ids ascending, carrying the matching
+// output-row list along. Held in the Store so sorting allocates nothing.
+type idRowSorter struct {
+	ids  []int32
+	rows []int32
+}
+
+func (s *idRowSorter) Len() int           { return len(s.ids) }
+func (s *idRowSorter) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *idRowSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
 }
 
 // NewStore validates shapes and returns the store. local holds the rows of
@@ -82,27 +110,40 @@ func NewStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cach
 		comm: comm, layout: layout, dim: dim,
 		local: local, cache: cc, cdata: cdata,
 		gpuRows:  int(gpuFraction * float64(local.Rows)),
+		pool:     tensor.NewPool(),
 		reqIDs:   make([][]int32, k),
 		rowOf:    make([][]int32, k),
-		sendCnt:  make([][]byte, k),
-		sendIDs:  make([][]byte, k),
-		sendFeat: make([][]byte, k),
+		cntFrame: make([]byte, 4*k),
+		cntRecv:  make([]int32, k),
+		sendPtr:  make([][]byte, k),
+		featBuf:  make([][]float32, k),
+		byPeer:   make([]int, k),
 	}, nil
 }
+
+// Release returns a matrix obtained from Gather to the store's pool. The
+// matrix must not be used afterwards. Optional — an unreleased matrix is
+// simply collected by the GC — but the training pipeline releases every
+// retired batch so warm gathers allocate nothing.
+func (s *Store) Release(m *tensor.Matrix) { s.pool.Put(m) }
 
 // Gather assembles the feature matrix for ids (row i holds the features of
 // ids[i]) and classifies every access. All ranks in the group must call
 // Gather the same number of times per epoch — rounds with no local batch
-// pass an empty id list so the collectives stay matched.
+// pass an empty id list so the collectives stay matched. The returned
+// matrix belongs to the store's pool; hand it back with Release when the
+// batch retires.
 func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 	k := s.layout.K()
 	rank := s.comm.Rank()
-	stats := GatherStats{RemoteByPeer: make([]int, k)}
-	out := tensor.New(len(ids), s.dim)
+	for p := range s.byPeer {
+		s.byPeer[p] = 0
+	}
+	stats := GatherStats{RemoteByPeer: s.byPeer[:k]}
+	out := s.pool.Get(len(ids), s.dim)
 
 	// Classify accesses, satisfy local/cached rows immediately, and build
 	// per-peer request lists for the rest.
-	// rowOf[p][j] records which output row waits on request j of peer p.
 	for p := 0; p < k; p++ {
 		s.reqIDs[p] = s.reqIDs[p][:0]
 		s.rowOf[p] = s.rowOf[p][:0]
@@ -135,57 +176,88 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 	// Collective 1: request counts, so every rank knows how many ids each
 	// peer will ask of it (sized like the paper's first all-to-all).
 	for p := 0; p < k; p++ {
-		s.sendCnt[p] = i32ToBytes(s.sendCnt[p][:0], []int32{int32(len(s.reqIDs[p]))})
+		binary.LittleEndian.PutUint32(s.cntFrame[4*p:], uint32(len(s.reqIDs[p])))
+		s.sendPtr[p] = s.cntFrame[4*p : 4*p+4]
 	}
-	cnts, err := s.comm.AllToAll(s.sendCnt)
+	cnts, err := s.comm.AllToAll(s.sendPtr)
 	if err != nil {
 		return nil, stats, err
 	}
-
-	// Collective 2: request ids.
+	// Decode before the next collective recycles the receive buffers.
 	for p := 0; p < k; p++ {
-		s.sendIDs[p] = i32ToBytes(s.sendIDs[p][:0], s.reqIDs[p])
+		if p == rank {
+			s.cntRecv[p] = 0
+			continue
+		}
+		if len(cnts[p]) != 4 {
+			return nil, stats, fmt.Errorf("dist: rank %d sent a %d-byte count frame", p, len(cnts[p]))
+		}
+		s.cntRecv[p] = int32(binary.LittleEndian.Uint32(cnts[p]))
 	}
-	reqs, err := s.comm.AllToAll(s.sendIDs)
+
+	// Collective 2: request ids, sorted ascending per peer so the owner
+	// answers with sequential reads of its shard. Payloads are zero-copy
+	// views of the (reused) request lists.
+	for p := 0; p < k; p++ {
+		if p != rank && len(s.reqIDs[p]) > 1 {
+			s.sorter.ids, s.sorter.rows = s.reqIDs[p], s.rowOf[p]
+			sort.Sort(&s.sorter)
+		}
+		s.sendPtr[p] = i32AsBytes(s.reqIDs[p])
+	}
+	reqs, err := s.comm.AllToAll(s.sendPtr)
 	if err != nil {
 		return nil, stats, err
 	}
 
 	// Collective 3: feature payloads answering each peer's request list.
+	// Rows are staged once into a reused contiguous float32 buffer per peer
+	// and shipped as its byte view — no per-row encode/append.
 	for p := 0; p < k; p++ {
-		s.sendFeat[p] = s.sendFeat[p][:0]
+		s.sendPtr[p] = nil
 		if p == rank {
 			continue
 		}
-		want := bytesToI32(reqs[p])
-		if exp := int32(len(want)); len(cnts[p]) != 4 || bytesToI32(cnts[p])[0] != exp {
-			return nil, stats, fmt.Errorf("dist: rank %d announced %v requests but sent %d ids", p, cnts[p], exp)
+		want := bytesAsI32(reqs[p])
+		if int32(len(want)) != s.cntRecv[p] {
+			return nil, stats, fmt.Errorf("dist: rank %d announced %d requests but sent %d ids", p, s.cntRecv[p], len(want))
 		}
-		for _, v := range want {
+		if len(want) == 0 {
+			continue
+		}
+		buf := s.featBuf[p]
+		if need := len(want) * s.dim; cap(buf) < need {
+			buf = make([]float32, need)
+		} else {
+			buf = buf[:need]
+		}
+		for j, v := range want {
 			if s.layout.Owner(v) != rank {
 				return nil, stats, fmt.Errorf("dist: rank %d requested vertex %d not owned here", p, v)
 			}
 			row := int(int64(v) - s.layout.Starts[rank])
-			s.sendFeat[p] = f32ToBytes(s.sendFeat[p], s.local.Row(row))
+			copy(buf[j*s.dim:(j+1)*s.dim], s.local.Row(row))
 		}
+		s.featBuf[p] = buf
+		s.sendPtr[p] = f32AsBytes(buf)
 	}
-	feats, err := s.comm.AllToAll(s.sendFeat)
+	feats, err := s.comm.AllToAll(s.sendPtr)
 	if err != nil {
 		return nil, stats, err
 	}
 
-	// Scatter the received payloads into the waiting output rows.
-	var decode []float32
+	// Scatter the received payloads directly into the waiting output rows
+	// through a zero-copy float32 view of each payload.
 	for p := 0; p < k; p++ {
 		if p == rank || len(s.rowOf[p]) == 0 {
 			continue
 		}
-		decode = bytesToF32(decode, feats[p])
-		if len(decode) != len(s.rowOf[p])*s.dim {
-			return nil, stats, fmt.Errorf("dist: rank %d returned %d values for %d requested rows", p, len(decode), len(s.rowOf[p]))
+		vals := bytesAsF32(feats[p])
+		if len(vals) != len(s.rowOf[p])*s.dim {
+			return nil, stats, fmt.Errorf("dist: rank %d returned %d values for %d requested rows", p, len(vals), len(s.rowOf[p]))
 		}
 		for j, row := range s.rowOf[p] {
-			copy(out.Row(int(row)), decode[j*s.dim:(j+1)*s.dim])
+			copy(out.Row(int(row)), vals[j*s.dim:(j+1)*s.dim])
 		}
 	}
 	return out, stats, nil

@@ -21,11 +21,13 @@ type tcpComm struct {
 	bytes atomic.Int64
 	mu    sync.Mutex
 	state error // sticky failure after Close or transport error
-	// Reusable AllReduceSum buffers; a Comm serves one goroutine at a
+	// Reusable collective buffers; a Comm serves one goroutine at a
 	// time and AllToAll's writers drain before it returns, so reuse
 	// across calls is safe.
 	scratch []byte
 	peerBuf []float32
+	recvBuf [][]byte
+	sendBuf [][]byte
 }
 
 // NewTCPGroup builds a fully connected loopback TCP group of size k. It
@@ -215,7 +217,10 @@ func (c *tcpComm) AllToAll(send [][]byte) ([][]byte, error) {
 			c.bytes.Add(int64(len(send[dst])))
 		}(dst)
 	}
-	recv := make([][]byte, c.k)
+	if c.recvBuf == nil {
+		c.recvBuf = make([][]byte, c.k)
+	}
+	recv := c.recvBuf
 	recv[c.rank] = send[c.rank]
 	for src := 0; src < c.k; src++ {
 		if src == c.rank {
@@ -244,7 +249,10 @@ func (c *tcpComm) AllToAll(send [][]byte) ([][]byte, error) {
 
 func (c *tcpComm) AllReduceSum(x []float32) error {
 	c.scratch = f32ToBytes(c.scratch[:0], x)
-	send := make([][]byte, c.k)
+	if c.sendBuf == nil {
+		c.sendBuf = make([][]byte, c.k)
+	}
+	send := c.sendBuf
 	for i := range send {
 		send[i] = c.scratch
 	}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"salientpp/internal/dataset"
+	"salientpp/internal/metrics"
+	"salientpp/internal/pipeline"
+)
+
+// EpochRow is one measured training epoch on the real distributed stack.
+// Stage seconds are rank-0's cumulative stage timers (stages overlap under
+// the deep pipeline, so they need not sum to the wall time).
+type EpochRow struct {
+	Epoch          int     `json:"epoch"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SampleSeconds  float64 `json:"sample_seconds"`
+	GatherSeconds  float64 `json:"gather_seconds"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	BytesSent      int64   `json:"bytes_sent"`
+	RemoteFetches  int64   `json:"remote_fetches"`
+	Loss           float64 `json:"loss"`
+}
+
+// EpochBenchResult is the machine-readable end-to-end epoch report
+// (BENCH_epoch.json): real training on the full distributed data path —
+// sampling, three-collective gather, blocked kernels, gradient all-reduce
+// — so the per-epoch wall-time trajectory is diffable PR over PR.
+type EpochBenchResult struct {
+	Dataset         string     `json:"dataset"`
+	Vertices        int        `json:"vertices"`
+	Edges           int64      `json:"edges"`
+	K               int        `json:"k"`
+	Alpha           float64    `json:"alpha"`
+	Fanouts         []int      `json:"fanouts"`
+	Batch           int        `json:"batch"`
+	Hidden          int        `json:"hidden"`
+	Seed            uint64     `json:"seed"`
+	MaxProcs        int        `json:"gomaxprocs"`
+	NumCPU          int        `json:"numcpu"`
+	Epochs          []EpochRow `json:"epochs"`
+	BestWallSeconds float64    `json:"best_wall_seconds"`
+	MeanWallSeconds float64    `json:"mean_wall_seconds"`
+}
+
+// EpochBench trains a 2-machine SALIENT++ cluster on a materialized
+// papers-sim analog for the given number of epochs and reports the
+// sample/gather/compute split, communication volume, and loss per epoch.
+// Seeds are pinned by scale.Seed, so same-seed runs are comparable across
+// code versions.
+func EpochBench(scale Scale, epochs int) (*EpochBenchResult, error) {
+	if epochs <= 0 {
+		epochs = 3
+	}
+	restore, procs := ensureParallel()
+	defer restore()
+	ds, err := dataset.Generate(dataset.SyntheticConfig{
+		Name: "papers-sim", NumVertices: scale.PapersN, AvgDegree: 28.8,
+		FeatureDim: 128, NumClasses: 32,
+		TrainFrac: 0.10, ValFrac: 0.02, TestFrac: 0.05,
+		FeatureNoise: 0.6, Materialize: true, Seed: scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dims := PaperDims(ds.Name)
+	const k = 2
+	const alpha = 0.16
+	cl, err := pipeline.NewCluster(ds, pipeline.ClusterConfig{
+		K: k, Alpha: alpha, GPUFraction: 1, VIPReorder: true,
+		Hidden: dims.Hidden, Layers: len(dims.Fanouts),
+		Train: pipeline.Config{
+			Fanouts: dims.Fanouts, BatchSize: scale.Batch, PipelineDepth: 10,
+			SamplerWorkers: scale.Workers, Parallelism: scale.Workers,
+			LR: 1e-3, Seed: scale.Seed,
+		},
+		ModelSeed: scale.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	res := &EpochBenchResult{
+		Dataset: ds.Name, Vertices: ds.NumVertices(), Edges: ds.Graph.NumEdges(),
+		K: k, Alpha: alpha, Fanouts: dims.Fanouts, Batch: scale.Batch,
+		Hidden: dims.Hidden, Seed: scale.Seed,
+		MaxProcs: procs, NumCPU: runtime.NumCPU(),
+	}
+	for e := 0; e < epochs; e++ {
+		t0 := time.Now()
+		stats, err := cl.TrainEpochAll(e)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(t0).Seconds()
+		row := EpochRow{Epoch: e, WallSeconds: wall}
+		var lossSum float64
+		var lossN int
+		for _, s := range stats {
+			row.BytesSent += s.BytesSent
+			row.RemoteFetches += int64(s.Gather.RemoteFetch)
+			if s.Batches > 0 {
+				lossSum += s.Loss
+				lossN++
+			}
+		}
+		if lossN > 0 {
+			row.Loss = lossSum / float64(lossN)
+		}
+		row.SampleSeconds = stats[0].SampleTime.Seconds()
+		row.GatherSeconds = stats[0].GatherTime.Seconds()
+		row.ComputeSeconds = stats[0].ComputeTime.Seconds()
+		res.Epochs = append(res.Epochs, row)
+	}
+	best := res.Epochs[0].WallSeconds
+	var sum float64
+	for _, r := range res.Epochs {
+		if r.WallSeconds < best {
+			best = r.WallSeconds
+		}
+		sum += r.WallSeconds
+	}
+	res.BestWallSeconds = best
+	res.MeanWallSeconds = sum / float64(len(res.Epochs))
+	return res, nil
+}
+
+// WriteJSON writes the report for machine consumption (the perf
+// trajectory file committed as BENCH_epoch.json).
+func (r *EpochBenchResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// RenderEpochBench formats the per-epoch table.
+func RenderEpochBench(r *EpochBenchResult) string {
+	t := metrics.NewTable(
+		fmt.Sprintf("End-to-end training epochs (%s, N=%d, K=%d, α=%.2f, batch=%d, GOMAXPROCS=%d/%d CPUs)",
+			r.Dataset, r.Vertices, r.K, r.Alpha, r.Batch, r.MaxProcs, r.NumCPU),
+		"epoch", "wall (s)", "sample (s)", "gather (s)", "compute (s)", "MB sent", "remote rows", "loss")
+	for _, row := range r.Epochs {
+		t.AddRow(row.Epoch,
+			fmt.Sprintf("%.4f", row.WallSeconds), fmt.Sprintf("%.4f", row.SampleSeconds),
+			fmt.Sprintf("%.4f", row.GatherSeconds), fmt.Sprintf("%.4f", row.ComputeSeconds),
+			fmt.Sprintf("%.2f", float64(row.BytesSent)/1e6), row.RemoteFetches,
+			fmt.Sprintf("%.4f", row.Loss))
+	}
+	return t.String()
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEpochBenchReport(t *testing.T) {
+	scale := SmallScale()
+	scale.PapersN = 4000
+	res, err := EpochBench(scale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 2 {
+		t.Fatalf("got %d epochs", len(res.Epochs))
+	}
+	for _, row := range res.Epochs {
+		if row.WallSeconds <= 0 || row.ComputeSeconds <= 0 {
+			t.Fatalf("non-positive timing: %+v", row)
+		}
+		if row.BytesSent <= 0 {
+			t.Fatalf("no communication recorded: %+v", row)
+		}
+		if row.Loss <= 0 {
+			t.Fatalf("no loss recorded: %+v", row)
+		}
+	}
+	if res.BestWallSeconds <= 0 || res.MeanWallSeconds < res.BestWallSeconds {
+		t.Fatalf("summary malformed: best=%v mean=%v", res.BestWallSeconds, res.MeanWallSeconds)
+	}
+	if res.MaxProcs < 1 || res.NumCPU < 1 {
+		t.Fatalf("proc metadata malformed: %+v", res)
+	}
+	if RenderEpochBench(res) == "" {
+		t.Fatal("empty rendering")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_epoch.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back EpochBenchResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Epochs) != len(res.Epochs) || back.Dataset != res.Dataset {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	// Losses must fall epoch over epoch on this learnable analog — a cheap
+	// end-to-end sanity check that the measured loop actually trains.
+	if res.Epochs[1].Loss >= res.Epochs[0].Loss {
+		t.Fatalf("loss did not decrease: %v -> %v", res.Epochs[0].Loss, res.Epochs[1].Loss)
+	}
+}

@@ -656,7 +656,10 @@ type HotPathRow struct {
 
 // HotPathsResult is the machine-readable hot-path timing report
 // (BENCH_sample_vip.json); speedups are relative to the workers=1 row, so
-// the single- vs multi-worker trajectory survives across PRs.
+// the single- vs multi-worker trajectory survives across PRs. MaxProcs is
+// the effective GOMAXPROCS of the measurement (after ensureParallel lifts
+// a constrained runtime to all CPUs); when it is 1 the speedup columns are
+// necessarily flat and the report should be read as serial-only.
 type HotPathsResult struct {
 	Dataset  string       `json:"dataset"`
 	Vertices int          `json:"vertices"`
@@ -666,7 +669,22 @@ type HotPathsResult struct {
 	Batches  int          `json:"batches_per_epoch"`
 	Seed     uint64       `json:"seed"`
 	MaxProcs int          `json:"gomaxprocs"`
+	NumCPU   int          `json:"numcpu"`
 	Rows     []HotPathRow `json:"rows"`
+}
+
+// ensureParallel lifts GOMAXPROCS to the machine's CPU count when the
+// runtime arrived constrained to one proc (a past CI run recorded
+// "gomaxprocs": 1 with flat speedups — the sweep measured nothing). The
+// returned restore func undoes the change; procs is the effective value
+// benchmarks should record. Callers should surface a warning when procs
+// is still 1: on a single-core machine worker sweeps cannot show speedup.
+func ensureParallel() (restore func(), procs int) {
+	if runtime.GOMAXPROCS(0) == 1 && runtime.NumCPU() > 1 {
+		prev := runtime.GOMAXPROCS(runtime.NumCPU())
+		return func() { runtime.GOMAXPROCS(prev) }, runtime.GOMAXPROCS(0)
+	}
+	return func() {}, runtime.GOMAXPROCS(0)
 }
 
 // HotPaths times vip.Probabilities and sample.PrepareEpoch on papers-sim
@@ -687,6 +705,8 @@ func HotPaths(scale Scale, workerCounts []int) (*HotPathsResult, error) {
 	if !hasBaseline {
 		workerCounts = append([]int{1}, workerCounts...)
 	}
+	restore, procs := ensureParallel()
+	defer restore()
 	ds, err := scale.makeDataset("papers-sim")
 	if err != nil {
 		return nil, err
@@ -703,7 +723,7 @@ func HotPaths(scale Scale, workerCounts []int) (*HotPathsResult, error) {
 	res := &HotPathsResult{
 		Dataset: ds.Name, Vertices: ds.NumVertices(), Edges: ds.Graph.NumEdges(),
 		Fanouts: dims.Fanouts, Batch: scale.Batch, Batches: len(batches),
-		Seed: scale.Seed, MaxProcs: runtime.GOMAXPROCS(0),
+		Seed: scale.Seed, MaxProcs: procs, NumCPU: runtime.NumCPU(),
 	}
 	bestOf := func(f func() error) (float64, error) {
 		best := math.Inf(1)
@@ -772,8 +792,8 @@ func (r *HotPathsResult) WriteJSON(path string) error {
 // RenderHotPaths formats the single- vs multi-worker comparison.
 func RenderHotPaths(r *HotPathsResult) string {
 	t := metrics.NewTable(
-		fmt.Sprintf("Hot paths: VIP analysis and batch preparation (%s, N=%d, M=%d, GOMAXPROCS=%d)",
-			r.Dataset, r.Vertices, r.Edges, r.MaxProcs),
+		fmt.Sprintf("Hot paths: VIP analysis and batch preparation (%s, N=%d, M=%d, GOMAXPROCS=%d/%d CPUs)",
+			r.Dataset, r.Vertices, r.Edges, r.MaxProcs, r.NumCPU),
 		"workers", "VIP (s)", "VIP speedup", "sample epoch (s)", "sample speedup")
 	for _, row := range r.Rows {
 		t.AddRow(row.Workers,

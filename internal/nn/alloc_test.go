@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"testing"
+
+	"salientpp/internal/dataset"
+	"salientpp/internal/rng"
+	"salientpp/internal/sample"
+	"salientpp/internal/tensor"
+)
+
+// TestForwardBackwardAllocationFree is the allocation-regression guard for
+// the model's steady-state compute path: once the arena, pool buckets, and
+// per-layer scratch are warm, a full Forward + loss + Backward cycle must
+// not touch the heap. The batch is sized below tensor.MinParallelRows so
+// every kernel takes its inline (closure-free) path, matching what
+// testing.AllocsPerRun measures under GOMAXPROCS=1.
+func TestForwardBackwardAllocationFree(t *testing.T) {
+	d, err := dataset.Generate(dataset.SyntheticConfig{
+		Name: "alloc", NumVertices: 200, AvgDegree: 6, FeatureDim: 6,
+		NumClasses: 3, TrainFrac: 0.5, FeatureNoise: 0.3,
+		Materialize: true, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sample.NewSampler(d.Graph, []int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := d.TrainIDs()[:8]
+	mfg := s.NewWorker(rng.New(5)).Sample(seeds)
+	if inputs := len(mfg.InputIDs()); inputs >= tensor.MinParallelRows {
+		t.Fatalf("batch too wide for the serial-path assertion: %d inputs", inputs)
+	}
+	x := tensor.New(len(mfg.InputIDs()), d.FeatureDim)
+	for i, v := range mfg.InputIDs() {
+		copy(x.Row(i), d.FeatureRow(v))
+	}
+	labels := make([]int32, len(seeds))
+	for i, v := range seeds {
+		labels[i] = d.Labels[v]
+	}
+	m, err := NewModel(d.FeatureDim, 8, d.NumClasses, 2, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dL := tensor.New(len(seeds), d.NumClasses)
+
+	step := func() {
+		logits, err := m.Forward(mfg, x, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tensor.SoftmaxCrossEntropy(logits, labels, dL)
+		tensor.Accuracy(logits, labels)
+		m.ZeroGrad()
+		m.Backward(dL)
+	}
+	for i := 0; i < 3; i++ {
+		step() // warm pool buckets and per-layer scratch
+	}
+	allocs := testing.AllocsPerRun(50, step)
+	if allocs != 0 {
+		t.Fatalf("warm Forward+Backward allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkForwardBackwardWarm measures one steady-state training step at
+// realistic batch width (parallel kernel paths engaged); run with
+// -benchmem — per-step allocations amortize toward the handful of
+// goroutine spawns the parallel kernels cost, not per-matrix heap churn.
+func BenchmarkForwardBackwardWarm(b *testing.B) {
+	d, err := dataset.Generate(dataset.SyntheticConfig{
+		Name: "bench", NumVertices: 20000, AvgDegree: 15, FeatureDim: 128,
+		NumClasses: 32, TrainFrac: 0.2, FeatureNoise: 0.4,
+		Materialize: true, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sample.NewSampler(d.Graph, []int{15, 10, 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := d.TrainIDs()[:128]
+	mfg := s.NewWorker(rng.New(2)).Sample(seeds)
+	x := tensor.New(len(mfg.InputIDs()), d.FeatureDim)
+	for i, v := range mfg.InputIDs() {
+		copy(x.Row(i), d.FeatureRow(v))
+	}
+	labels := make([]int32, len(seeds))
+	for i, v := range seeds {
+		labels[i] = d.Labels[v]
+	}
+	m, err := NewModel(d.FeatureDim, 256, d.NumClasses, 3, 0, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dL := tensor.New(len(seeds), d.NumClasses)
+	if _, err := m.Forward(mfg, x, true); err != nil {
+		b.Fatal(err) // warm the arena pool so B/op reflects steady state
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits, err := m.Forward(mfg, x, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tensor.SoftmaxCrossEntropy(logits, labels, dL)
+		m.ZeroGrad()
+		m.Backward(dL)
+	}
+}
+
+// TestBackwardPanicsAfterInferenceForward pins the new cache contract:
+// inference-mode Forward skips the intermediates Backward consumes.
+func TestBackwardPanicsAfterInferenceForward(t *testing.T) {
+	d, err := dataset.Generate(dataset.SyntheticConfig{
+		Name: "infer", NumVertices: 100, AvgDegree: 5, FeatureDim: 4,
+		NumClasses: 2, TrainFrac: 0.5, FeatureNoise: 0.3,
+		Materialize: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sample.NewSampler(d.Graph, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfg := s.NewWorker(rng.New(1)).Sample(d.TrainIDs()[:4])
+	x := tensor.New(len(mfg.InputIDs()), d.FeatureDim)
+	m, err := NewModel(d.FeatureDim, 4, d.NumClasses, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits, err := m.Forward(mfg, x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward after inference Forward did not panic")
+		}
+	}()
+	m.Backward(tensor.New(logits.Rows, logits.Cols))
+}

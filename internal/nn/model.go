@@ -11,15 +11,26 @@ import (
 // Model is an L-layer GraphSAGE classifier: SAGE→ReLU(→dropout) repeated,
 // with the final SAGE layer emitting class logits. The layer count must
 // equal the MFG depth (one block per layer).
+//
+// Every intermediate of a batch (aggregations, activations, masks, layer
+// outputs, gradients) comes from a pooled tensor arena owned by the model.
+// The arena is recycled at the start of the next Forward call, so the
+// returned logits and the side effects of Backward stay valid for exactly
+// one batch and the steady-state compute path allocates nothing per batch.
 type Model struct {
 	Layers  []*SAGEConv
 	Dropout float64
 
+	pool  *tensor.Pool
+	arena *tensor.Arena
+
 	// forward caches (valid between Forward and Backward)
-	caches  []*sageCache
-	acts    []*tensor.Matrix // post-ReLU activations per hidden layer
-	masks   []*tensor.Matrix // dropout masks per hidden layer
-	dropRNG *rng.RNG
+	caches   []sageCache      // one persistent slot per layer
+	acts     []*tensor.Matrix // post-ReLU activations per hidden layer (training)
+	masks    []*tensor.Matrix // dropout masks per hidden layer (training, Dropout > 0)
+	params   []*Param         // cached stable parameter order
+	dropRNG  *rng.RNG
+	training bool // mode of the last Forward
 }
 
 // NewModel builds a GraphSAGE with the given dimensions: inDim → hidden
@@ -32,7 +43,8 @@ func NewModel(inDim, hidden, classes, layers int, dropout float64, seed uint64) 
 		return nil, fmt.Errorf("nn: invalid dims in=%d hidden=%d classes=%d", inDim, hidden, classes)
 	}
 	r := rng.New(seed)
-	m := &Model{Dropout: dropout, dropRNG: r.Split(999)}
+	pool := tensor.NewPool()
+	m := &Model{Dropout: dropout, dropRNG: r.Split(999), pool: pool, arena: tensor.NewArena(pool)}
 	for l := 0; l < layers; l++ {
 		in := hidden
 		if l == 0 {
@@ -48,11 +60,19 @@ func NewModel(inDim, hidden, classes, layers int, dropout float64, seed uint64) 
 		// Bias stays zero.
 		m.Layers = append(m.Layers, layer)
 	}
+	m.caches = make([]sageCache, layers)
+	m.acts = make([]*tensor.Matrix, 0, layers)
+	m.masks = make([]*tensor.Matrix, 0, layers)
+	for _, l := range m.Layers {
+		m.params = append(m.params, l.Params()...)
+	}
 	return m, nil
 }
 
 // Forward runs the model over one minibatch. x holds features for
-// mfg.InputIDs() in order; training enables dropout. Returns seed logits.
+// mfg.InputIDs() in order; training enables dropout and retains the
+// intermediates Backward needs. Returns seed logits, which (like all batch
+// intermediates) are valid until the next Forward call recycles the arena.
 func (m *Model) Forward(mfg *sample.MFG, x *tensor.Matrix, training bool) (*tensor.Matrix, error) {
 	if len(mfg.Blocks) != len(m.Layers) {
 		return nil, fmt.Errorf("nn: MFG has %d blocks for %d layers", len(mfg.Blocks), len(m.Layers))
@@ -60,27 +80,26 @@ func (m *Model) Forward(mfg *sample.MFG, x *tensor.Matrix, training bool) (*tens
 	if x.Rows != len(mfg.InputIDs()) {
 		return nil, fmt.Errorf("nn: feature rows %d != MFG inputs %d", x.Rows, len(mfg.InputIDs()))
 	}
-	m.caches = m.caches[:0]
+	m.arena.Release() // recycle the previous batch's working set
 	m.acts = m.acts[:0]
 	m.masks = m.masks[:0]
+	m.training = training
 
 	h := x
 	for li, layer := range m.Layers {
-		out, cache := layer.Forward(mfg.Blocks[li], h)
-		m.caches = append(m.caches, cache)
+		out := layer.Forward(mfg.Blocks[li], h, m.arena, &m.caches[li])
 		if li < len(m.Layers)-1 {
 			out.ReLU()
-			act := out.Clone() // keep pre-dropout activation for ReLU backward
-			m.acts = append(m.acts, act)
-			mask := tensor.New(out.Rows, out.Cols)
-			if training && m.Dropout > 0 {
-				out.Dropout(m.Dropout, mask, m.dropRNG)
-			} else {
-				for i := range mask.Data {
-					mask.Data[i] = 1
+			if training {
+				act := m.arena.Get(out.Rows, out.Cols)
+				copy(act.Data, out.Data) // pre-dropout activation for ReLU backward
+				m.acts = append(m.acts, act)
+				if m.Dropout > 0 {
+					mask := m.arena.Get(out.Rows, out.Cols)
+					out.Dropout(m.Dropout, mask, m.dropRNG)
+					m.masks = append(m.masks, mask)
 				}
 			}
-			m.masks = append(m.masks, mask)
 		}
 		h = out
 	}
@@ -88,32 +107,42 @@ func (m *Model) Forward(mfg *sample.MFG, x *tensor.Matrix, training bool) (*tens
 }
 
 // Backward propagates dLogits through the cached forward pass,
-// accumulating parameter gradients. Forward must have been called first
-// with training semantics matching this call.
+// accumulating parameter gradients. The preceding Forward must have run
+// with training == true (inference-mode Forward skips the caches that
+// Backward consumes).
 func (m *Model) Backward(dLogits *tensor.Matrix) {
+	if !m.training {
+		panic("nn: Backward requires a training-mode Forward")
+	}
 	grad := dLogits
 	for li := len(m.Layers) - 1; li >= 0; li-- {
-		grad = m.Layers[li].Backward(m.caches[li], grad)
+		grad = m.Layers[li].Backward(&m.caches[li], grad, m.arena)
 		if li > 0 {
 			// Undo dropout and ReLU of the previous hidden activation.
-			grad.Mul(m.masks[li-1])
+			if m.Dropout > 0 {
+				grad.Mul(m.masks[li-1])
+			}
 			tensor.ReLUBackward(grad, m.acts[li-1])
 		}
 	}
 }
 
-// Params returns all learnable parameters in a stable order.
-func (m *Model) Params() []*Param {
-	var out []*Param
-	for _, l := range m.Layers {
-		out = append(out, l.Params()...)
-	}
-	return out
+// ReleaseBatch returns the current batch's intermediates (including the
+// logits returned by Forward) to the model's pool without waiting for the
+// next Forward call. Optional — Forward releases automatically.
+func (m *Model) ReleaseBatch() {
+	m.arena.Release()
+	m.training = false
+	m.acts = m.acts[:0]
+	m.masks = m.masks[:0]
 }
+
+// Params returns all learnable parameters in a stable order.
+func (m *Model) Params() []*Param { return m.params }
 
 // ZeroGrad clears all gradients.
 func (m *Model) ZeroGrad() {
-	for _, p := range m.Params() {
+	for _, p := range m.params {
 		p.ZeroGrad()
 	}
 }
@@ -121,7 +150,7 @@ func (m *Model) ZeroGrad() {
 // NumParameters returns the total scalar parameter count.
 func (m *Model) NumParameters() int {
 	t := 0
-	for _, p := range m.Params() {
+	for _, p := range m.params {
 		t += p.NumValues()
 	}
 	return t

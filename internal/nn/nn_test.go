@@ -27,7 +27,9 @@ func TestSAGEConvForwardKnown(t *testing.T) {
 	l.WNeigh.W.Set(0, 0, 3) // out += 3·mean(h_nbrs)
 	l.Bias.W.Set(0, 0, 0.5)
 	h := tensor.FromSlice(4, 1, []float32{1, 2, 4, 8})
-	out, _ := l.Forward(handBlock(), h)
+	ar := tensor.NewArena(tensor.NewPool())
+	var c sageCache
+	out := l.Forward(handBlock(), h, ar, &c)
 	// dst0: 2·1 + 3·mean(4,8) + 0.5 = 2 + 18 + 0.5 = 20.5
 	// dst1: 2·2 + 3·8 + 0.5 = 28.5
 	if math.Abs(float64(out.At(0, 0))-20.5) > 1e-6 {
@@ -45,7 +47,9 @@ func TestSAGEConvIsolatedDst(t *testing.T) {
 	l.WSelf.W.Set(0, 0, 1)
 	l.WSelf.W.Set(1, 1, 1)
 	h := tensor.FromSlice(1, 2, []float32{3, 4})
-	out, _ := l.Forward(b, h)
+	ar := tensor.NewArena(tensor.NewPool())
+	var c sageCache
+	out := l.Forward(b, h, ar, &c)
 	if out.At(0, 0) != 3 || out.At(0, 1) != 4 {
 		t.Fatalf("isolated dst: %v", out.Data)
 	}

@@ -30,63 +30,98 @@ func NewSAGEConv(inDim, outDim int) *SAGEConv {
 	}
 }
 
-// sageCache stores forward intermediates needed by the backward pass.
+// sageCache stores forward intermediates needed by the backward pass plus
+// persistent per-layer scratch. The Model owns one cache per layer and
+// reuses it every batch, so the steady-state forward/backward path
+// allocates nothing: matrices come from the model's arena, and the
+// reverse-CSR index grows once to its high-water mark.
 type sageCache struct {
 	block *sample.Block
-	h     *tensor.Matrix // layer input (numInputs × InDim)
-	agg   *tensor.Matrix // mean-aggregated neighbors (numDst × InDim)
+	h     *tensor.Matrix // layer input (numInputs × InDim); caller-owned
+	agg   *tensor.Matrix // mean-aggregated neighbors (numDst × InDim); arena-owned
+
+	// hSelf and dhSelf are header-only views of the destination-row prefix
+	// of h and dh; kept here so building them each batch allocates nothing.
+	hSelf  tensor.Matrix
+	dhSelf tensor.Matrix
+
+	// Reverse CSR of the block (input vertex -> incoming destination rows),
+	// built per batch for the parallel backward scatter.
+	revPtr []int32
+	revCur []int32
+	revIdx []int32
 }
 
 // Forward computes layer outputs for the block's destination vertices.
 // h holds representations of all block inputs (block.NumInputs() rows).
-func (l *SAGEConv) Forward(b *sample.Block, h *tensor.Matrix) (*tensor.Matrix, *sageCache) {
+// Intermediates live in ar (released by the model before the next batch);
+// cache is the layer's persistent scratch slot.
+func (l *SAGEConv) Forward(b *sample.Block, h *tensor.Matrix, ar *tensor.Arena, cache *sageCache) *tensor.Matrix {
 	if h.Rows != b.NumInputs() || h.Cols != l.InDim {
 		panic("nn: SAGEConv input shape mismatch")
 	}
 	nd := b.NumDst
-	agg := tensor.New(nd, l.InDim)
-	for i := 0; i < nd; i++ {
-		lo, hi := b.RowPtr[i], b.RowPtr[i+1]
-		if lo == hi {
+	agg := ar.Get(nd, l.InDim)
+	if nd < tensor.MinParallelRows {
+		aggForwardRange(agg, b, h, 0, nd)
+	} else {
+		tensor.ParallelRows(nd, func(lo, hi int) { aggForwardRange(agg, b, h, lo, hi) })
+	}
+
+	cache.block = b
+	cache.h = h
+	cache.agg = agg
+	cache.hSelf = tensor.Matrix{Rows: nd, Cols: l.InDim, Data: h.Data[:nd*l.InDim]}
+
+	out := ar.Get(nd, l.OutDim)
+	tensor.MatMul(out, &cache.hSelf, l.WSelf.W)
+	tmp := ar.Get(nd, l.OutDim)
+	tensor.MatMul(tmp, agg, l.WNeigh.W)
+	out.Add(tmp)
+	out.AddBias(l.Bias.W.Data)
+	return out
+}
+
+// aggForwardRange mean-aggregates sampled neighbors for destination rows
+// [lo, hi). Each worker owns disjoint destination rows and sums neighbors
+// in column order, so results are identical at every worker count.
+func aggForwardRange(agg *tensor.Matrix, b *sample.Block, h *tensor.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out := agg.Row(i)
+		eLo, eHi := b.RowPtr[i], b.RowPtr[i+1]
+		if eLo == eHi {
+			for j := range out {
+				out[j] = 0
+			}
 			continue
 		}
-		out := agg.Row(i)
-		for _, c := range b.Col[lo:hi] {
+		copy(out, h.Row(int(b.Col[eLo])))
+		for _, c := range b.Col[eLo+1 : eHi] {
 			src := h.Row(int(c))
 			for j, v := range src {
 				out[j] += v
 			}
 		}
-		inv := float32(1) / float32(hi-lo)
+		inv := float32(1) / float32(eHi-eLo)
 		for j := range out {
 			out[j] *= inv
 		}
 	}
-
-	out := tensor.New(nd, l.OutDim)
-	tensor.MatMul(out, &tensor.Matrix{Rows: nd, Cols: l.InDim, Data: h.Data[:nd*l.InDim]}, l.WSelf.W)
-	tmp := tensor.New(nd, l.OutDim)
-	tensor.MatMul(tmp, agg, l.WNeigh.W)
-	out.Add(tmp)
-	out.AddBias(l.Bias.W.Data)
-	return out, &sageCache{block: b, h: h, agg: agg}
 }
 
 // Backward accumulates parameter gradients from dOut (numDst × OutDim) and
 // returns the gradient with respect to the layer input h
-// (numInputs × InDim).
-func (l *SAGEConv) Backward(c *sageCache, dOut *tensor.Matrix) *tensor.Matrix {
+// (numInputs × InDim), owned by ar.
+func (l *SAGEConv) Backward(c *sageCache, dOut *tensor.Matrix, ar *tensor.Arena) *tensor.Matrix {
 	b := c.block
 	nd := b.NumDst
 	if dOut.Rows != nd || dOut.Cols != l.OutDim {
 		panic("nn: SAGEConv dOut shape mismatch")
 	}
 
-	hDst := &tensor.Matrix{Rows: nd, Cols: l.InDim, Data: c.h.Data[:nd*l.InDim]}
-
 	// Parameter gradients (accumulate).
-	gw := tensor.New(l.InDim, l.OutDim)
-	tensor.MatMulATB(gw, hDst, dOut)
+	gw := ar.Get(l.InDim, l.OutDim)
+	tensor.MatMulATB(gw, &c.hSelf, dOut)
 	l.WSelf.G.Add(gw)
 	tensor.MatMulATB(gw, c.agg, dOut)
 	l.WNeigh.G.Add(gw)
@@ -97,31 +132,109 @@ func (l *SAGEConv) Backward(c *sageCache, dOut *tensor.Matrix) *tensor.Matrix {
 		}
 	}
 
-	// Input gradients.
-	dh := tensor.New(b.NumInputs(), l.InDim)
-	// Self path: rows 0..nd-1 get dOut·WSelfᵀ.
-	dSelf := tensor.New(nd, l.InDim)
-	tensor.MatMulABT(dSelf, dOut, l.WSelf.W)
-	copy(dh.Data[:nd*l.InDim], dSelf.Data)
+	nin := b.NumInputs()
+	dh := ar.Get(nin, l.InDim)
+	// Self path: the destination prefix of dh gets dOut·WSelfᵀ, written in
+	// place through a header view (MatMulABT overwrites, no zeroing needed).
+	c.dhSelf = tensor.Matrix{Rows: nd, Cols: l.InDim, Data: dh.Data[:nd*l.InDim]}
+	tensor.MatMulABT(&c.dhSelf, dOut, l.WSelf.W)
 	// Neighbor path: dAgg = dOut·WNeighᵀ, split evenly among sampled
-	// neighbors (mean backward).
-	dAgg := tensor.New(nd, l.InDim)
+	// neighbors (mean backward). The scatter runs input-major over a reverse
+	// CSR of the block so that workers own disjoint dh rows; contributions
+	// accumulate in ascending destination order, making the result
+	// independent of the worker count (and bitwise equal to the serial
+	// destination-major scatter).
+	dAgg := ar.Get(nd, l.InDim)
 	tensor.MatMulABT(dAgg, dOut, l.WNeigh.W)
-	for i := 0; i < nd; i++ {
-		lo, hi := b.RowPtr[i], b.RowPtr[i+1]
-		if lo == hi {
+	// Pre-scale each dAgg row by its mean reciprocal once (one division per
+	// destination instead of one per edge; the per-edge v·inv products are
+	// unchanged, so the scatter stays bitwise identical).
+	if nd < tensor.MinParallelRows {
+		scaleMeanRange(dAgg, b, 0, nd)
+	} else {
+		tensor.ParallelRows(nd, func(lo, hi int) { scaleMeanRange(dAgg, b, lo, hi) })
+	}
+	c.buildReverse(nin)
+	if nin < tensor.MinParallelRows {
+		scatterBackwardRange(dh, dAgg, c.revPtr, c.revIdx, nd, 0, nin)
+	} else {
+		tensor.ParallelRows(nin, func(lo, hi int) {
+			scatterBackwardRange(dh, dAgg, c.revPtr, c.revIdx, nd, lo, hi)
+		})
+	}
+	return dh
+}
+
+// scaleMeanRange multiplies dAgg rows [lo, hi) by 1/degree. Rows with no
+// sampled neighbors are never referenced by the reverse index and are left
+// untouched.
+func scaleMeanRange(dAgg *tensor.Matrix, b *sample.Block, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		deg := b.RowPtr[i+1] - b.RowPtr[i]
+		if deg == 0 {
 			continue
 		}
-		inv := float32(1) / float32(hi-lo)
-		src := dAgg.Row(i)
-		for _, col := range b.Col[lo:hi] {
-			dst := dh.Row(int(col))
+		inv := float32(1) / float32(deg)
+		row := dAgg.Row(i)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// buildReverse fills c.revPtr/c.revIdx with the transpose of the block's
+// CSR: for input row u, revIdx[revPtr[u]:revPtr[u+1]] lists the destination
+// rows that sampled u, in ascending order. Scratch persists across batches.
+func (c *sageCache) buildReverse(nin int) {
+	b := c.block
+	if cap(c.revPtr) < nin+1 {
+		c.revPtr = make([]int32, nin+1)
+		c.revCur = make([]int32, nin)
+	} else {
+		c.revPtr = c.revPtr[:nin+1]
+		c.revCur = c.revCur[:nin]
+		for i := range c.revPtr {
+			c.revPtr[i] = 0
+		}
+	}
+	for _, col := range b.Col {
+		c.revPtr[col+1]++
+	}
+	for u := 0; u < nin; u++ {
+		c.revPtr[u+1] += c.revPtr[u]
+		c.revCur[u] = c.revPtr[u]
+	}
+	if cap(c.revIdx) < len(b.Col) {
+		c.revIdx = make([]int32, len(b.Col))
+	} else {
+		c.revIdx = c.revIdx[:len(b.Col)]
+	}
+	for i := 0; i < b.NumDst; i++ {
+		for _, col := range b.Col[b.RowPtr[i]:b.RowPtr[i+1]] {
+			c.revIdx[c.revCur[col]] = int32(i)
+			c.revCur[col]++
+		}
+	}
+}
+
+// scatterBackwardRange accumulates the (pre-scaled) mean-backward neighbor
+// gradients into dh rows [lo, hi). Rows at and beyond the destination
+// prefix start from zero; prefix rows already hold the self-path gradient.
+func scatterBackwardRange(dh, dAgg *tensor.Matrix, revPtr, revIdx []int32, nd, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		dst := dh.Row(u)
+		if u >= nd {
+			for j := range dst {
+				dst[j] = 0
+			}
+		}
+		for _, t := range revIdx[revPtr[u]:revPtr[u+1]] {
+			src := dAgg.Row(int(t))
 			for j, v := range src {
-				dst[j] += v * inv
+				dst[j] += v
 			}
 		}
 	}
-	return dh
 }
 
 // Params returns the layer's learnable parameters.

@@ -2,8 +2,10 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"salientpp/internal/dataset"
 	"salientpp/internal/dist"
@@ -31,6 +33,7 @@ func (f *flakyComm) AllToAll(send [][]byte) ([][]byte, error) {
 }
 
 func TestTrainEpochSurfacesTransportFailure(t *testing.T) {
+	baseline := runtime.NumGoroutine()
 	d, err := dataset.Generate(dataset.SyntheticConfig{
 		Name: "flaky", NumVertices: 400, AvgDegree: 8, FeatureDim: 8,
 		NumClasses: 2, TrainFrac: 0.4, FeatureNoise: 0.3,
@@ -106,6 +109,24 @@ func TestTrainEpochSurfacesTransportFailure(t *testing.T) {
 	}
 	if !sawFailure {
 		t.Fatal("injected transport failure was swallowed")
+	}
+
+	// Leak regression: before the abort channel, a mid-epoch Gather failure
+	// left sampling workers blocked on the inflight semaphore and the slot
+	// forwarder blocked on its per-batch channel, permanently. Every
+	// pipeline goroutine must unwind once TrainEpoch returns the error.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("pipeline goroutines leaked after failed epoch: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

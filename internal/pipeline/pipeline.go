@@ -71,6 +71,12 @@ type Rank struct {
 	trainIDs []int32
 	labels   []int32 // global labels (label < 0 means unlabeled)
 	rounds   int     // collective rounds per epoch (global max batches)
+
+	// Per-batch scratch reused across the epoch so the steady-state loop
+	// allocates nothing: pooled loss-gradient matrices and the label
+	// staging buffer.
+	pool     *tensor.Pool
+	labelBuf []int32
 }
 
 // EpochStats aggregates one training epoch on one rank.
@@ -109,6 +115,7 @@ func NewRank(cfg Config, commFeat, commGrad dist.Comm, store *dist.Store, s *sam
 		trainIDs: trainIDs,
 		labels:   labels,
 		rounds:   globalMaxBatches,
+		pool:     tensor.NewPool(),
 	}, nil
 }
 
@@ -144,12 +151,21 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 	var stats EpochStats
 	stats.Batches = real
 
+	// abort wakes every pipeline stage when the epoch exits early (gather
+	// or compute failure): sampling workers blocked on a pipeline slot, the
+	// slot forwarder, and the feature-collection stage all select on it, so
+	// no goroutine (or pipeline slot) leaks on the error path.
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	closeAbort := func() { abortOnce.Do(func() { close(abort) }) }
+	defer closeAbort()
+
 	// Stage A: parallel sampling, streamed in batch order. The semaphore
 	// enforces the paper's bound of PipelineDepth in-flight minibatches:
 	// workers acquire before sampling, the training loop releases after
 	// the batch finishes its model update.
 	inflight := make(chan struct{}, r.cfg.PipelineDepth)
-	sampled := r.streamSampled(batches, base.Split(1), inflight)
+	sampled := r.streamSampled(batches, base.Split(1), inflight, abort)
 
 	// Stage B: feature collection (three matched collectives per round).
 	ready := make(chan preparedBatch, r.cfg.PipelineDepth)
@@ -161,9 +177,18 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 			feats, gstats, err := r.store.Gather(sb.mfg.InputIDs())
 			if err != nil {
 				errCh <- err
+				closeAbort()
 				return
 			}
-			ready <- preparedBatch{mfg: sb.mfg, feats: feats, stats: gstats, gtime: time.Since(t0), stime: sb.stime, empty: sb.empty}
+			// RemoteByPeer aliases store scratch the next Gather reuses;
+			// only the scalar counts cross into the compute stage.
+			gstats.RemoteByPeer = nil
+			pb := preparedBatch{mfg: sb.mfg, feats: feats, stats: gstats, gtime: time.Since(t0), stime: sb.stime, empty: sb.empty}
+			select {
+			case ready <- pb:
+			case <-abort:
+				return
+			}
 		}
 	}()
 
@@ -176,11 +201,14 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 		if err != nil {
 			return stats, err
 		}
-		labels := make([]int32, len(pb.mfg.Seeds))
+		if cap(r.labelBuf) < len(pb.mfg.Seeds) {
+			r.labelBuf = make([]int32, len(pb.mfg.Seeds))
+		}
+		labels := r.labelBuf[:len(pb.mfg.Seeds)]
 		for i, v := range pb.mfg.Seeds {
 			labels[i] = r.labels[v]
 		}
-		dL := tensor.New(logits.Rows, logits.Cols)
+		dL := r.pool.Get(logits.Rows, logits.Cols)
 		loss := tensor.SoftmaxCrossEntropy(logits, labels, dL)
 		if !pb.empty {
 			stats.Loss += loss
@@ -194,6 +222,7 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 		}
 		r.model.ZeroGrad()
 		r.model.Backward(dL)
+		r.pool.Put(dL)
 
 		// Gradient all-reduce (mean across ranks) on the dedicated
 		// communicator, overlapping the next batches' feature collectives.
@@ -214,14 +243,18 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 		}
 		r.opt.Step(grads)
 		stats.ComputeTime += time.Since(t0)
-		pb.mfg.Release() // recycle the batch's sampling buffers
-		<-inflight       // retire the batch: frees one pipeline slot
+		r.store.Release(pb.feats) // recycle the batch's feature matrix
+		pb.mfg.Release()          // recycle the batch's sampling buffers
+		<-inflight                // retire the batch: frees one pipeline slot
 	}
 	select {
 	case err := <-errCh:
 		return stats, err
 	default:
 	}
+	// The last batch's intermediates would otherwise stay pinned in the
+	// model arena until the next epoch's first Forward.
+	r.model.ReleaseBatch()
 	if real > 0 {
 		stats.Loss /= float64(real)
 		stats.Accuracy /= float64(real)
@@ -234,8 +267,10 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 // streamSampled runs the sampling stage: SamplerWorkers goroutines sample
 // batches which are forwarded in order. Workers acquire a slot from
 // inflight before sampling; the training loop releases slots as batches
-// retire, bounding in-flight minibatches by PipelineDepth.
-func (r *Rank) streamSampled(batches [][]int32, base *rng.RNG, inflight chan struct{}) <-chan sampledBatch {
+// retire, bounding in-flight minibatches by PipelineDepth. Closing abort
+// unwinds every goroutine here even when no slot will ever be released
+// again (the error path).
+func (r *Rank) streamSampled(batches [][]int32, base *rng.RNG, inflight chan struct{}, abort <-chan struct{}) <-chan sampledBatch {
 	slots := make([]chan sampledBatch, len(batches))
 	for i := range slots {
 		slots[i] = make(chan sampledBatch, 1)
@@ -254,7 +289,11 @@ func (r *Rank) streamSampled(batches [][]int32, base *rng.RNG, inflight chan str
 			worker := r.sampler.AcquireWorker(rng.New(0))
 			defer r.sampler.ReleaseWorker(worker)
 			for {
-				inflight <- struct{}{} // claim a pipeline slot
+				select {
+				case inflight <- struct{}{}: // claim a pipeline slot
+				case <-abort:
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -266,6 +305,8 @@ func (r *Rank) streamSampled(batches [][]int32, base *rng.RNG, inflight chan str
 				worker.SetRNG(base.Split(uint64(i)))
 				t0 := time.Now()
 				m := worker.Sample(batches[i])
+				// Capacity-1 channel with this goroutine as sole producer:
+				// the send never blocks.
 				slots[i] <- sampledBatch{mfg: m, empty: len(batches[i]) == 0, stime: time.Since(t0)}
 			}
 		}()
@@ -274,7 +315,18 @@ func (r *Rank) streamSampled(batches [][]int32, base *rng.RNG, inflight chan str
 	go func() {
 		defer close(out)
 		for i := range slots {
-			out <- <-slots[i]
+			var sb sampledBatch
+			select {
+			case sb = <-slots[i]:
+			case <-abort:
+				return
+			}
+			select {
+			case out <- sb:
+			case <-abort:
+				sb.mfg.Release()
+				return
+			}
 		}
 	}()
 	return out
@@ -315,6 +367,9 @@ func (r *Rank) Evaluate(ids []int32, fanouts []int, batch, rounds, epoch int) (i
 			return correct, total, err
 		}
 		logits, err := r.model.Forward(mfg, feats, false)
+		// Inference never runs Backward, so the input features are dead as
+		// soon as Forward returns (logits live in the model's own arena).
+		r.store.Release(feats)
 		if err != nil {
 			return correct, total, err
 		}
@@ -323,18 +378,12 @@ func (r *Rank) Evaluate(ids []int32, fanouts []int, batch, rounds, epoch int) (i
 				continue
 			}
 			total++
-			row := logits.Row(i)
-			best := 0
-			for j := range row {
-				if row[j] > row[best] {
-					best = j
-				}
-			}
-			if int32(best) == r.labels[v] {
+			if int32(tensor.ArgmaxRow(logits.Row(i))) == r.labels[v] {
 				correct++
 			}
 		}
 		mfg.Release()
 	}
+	r.model.ReleaseBatch()
 	return correct, total, nil
 }

@@ -72,33 +72,39 @@ func SoftmaxCrossEntropy(logits *Matrix, labels []int32, grad *Matrix) float64 {
 	return loss
 }
 
+// ArgmaxRow returns the index of the largest value in row (first winner on
+// ties). Allocation-free; shared by every accuracy path.
+func ArgmaxRow(row []float32) int {
+	best := 0
+	for j, v := range row {
+		if v > row[best] {
+			best = j
+		}
+	}
+	return best
+}
+
 // Argmax returns the index of the largest value in each row.
 func Argmax(m *Matrix) []int32 {
 	out := make([]int32, m.Rows)
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		best := 0
-		for j, v := range row {
-			if v > row[best] {
-				best = j
-			}
-		}
-		out[i] = int32(best)
+		out[i] = int32(ArgmaxRow(m.Row(i)))
 	}
 	return out
 }
 
 // Accuracy returns the fraction of rows whose argmax matches the label,
-// ignoring rows with label < 0. Returns 0 when nothing is labeled.
+// ignoring rows with label < 0. Returns 0 when nothing is labeled. The
+// argmax is computed inline (no intermediate slice) because this runs once
+// per minibatch on the steady-state training path.
 func Accuracy(logits *Matrix, labels []int32) float64 {
-	pred := Argmax(logits)
 	correct, counted := 0, 0
 	for i, l := range labels {
 		if l < 0 {
 			continue
 		}
 		counted++
-		if pred[i] == l {
+		if int32(ArgmaxRow(logits.Row(i))) == l {
 			correct++
 		}
 	}
