@@ -1,0 +1,71 @@
+// Command gnnserve runs the online-inference serving stack end to end: it
+// assembles a K-machine cluster on a synthetic analog (partitioning, VIP
+// analysis, caching, feature sharding), freezes the model into a
+// serve.Server (sibling feature stores + coalescing admission queue), and
+// drives it with a closed-loop load generator, reporting
+// sustained throughput, latency percentiles, batch coalescing, and the
+// cache's effect on remote feature traffic.
+//
+// Example:
+//
+//	gnnserve -papers 60000 -clients 8 -requests 200
+//	gnnserve -alphas 0,0.32 -maxbatch 64 -maxwait 2000
+//	gnnserve -json -serveout BENCH_serve.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+
+	"salientpp/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gnnserve: ")
+	var (
+		papers   = flag.Int("papers", 60000, "papers-sim vertices")
+		batch    = flag.Int("batch", 128, "training batch size (sets up the cluster)")
+		workers  = flag.Int("workers", 2, "sampler/analysis workers")
+		alphas   = flag.String("alphas", "0,0.08,0.16,0.32", "replication-factor sweep (comma separated)")
+		clients  = flag.Int("clients", 8, "closed-loop load-generator clients")
+		requests = flag.Int("requests", 150, "requests per client (fixed, so the workload is identical across alphas)")
+		maxBatch = flag.Int("maxbatch", 32, "coalescing: max requests per rank per round")
+		maxWait  = flag.Int64("maxwait", 1000, "coalescing: max microseconds the oldest request waits for company")
+		useTCP   = flag.Bool("tcp", false, "serve the feature collectives over loopback TCP")
+		seed     = flag.Uint64("seed", 7, "random seed")
+		asJSON   = flag.Bool("json", false, "also write the machine-readable report (-serveout)")
+		serveOut = flag.String("serveout", "BENCH_serve.json", "machine-readable output path")
+	)
+	flag.Parse()
+
+	if runtime.NumCPU() == 1 {
+		log.Printf("warning: single-CPU machine; coalesced rounds serialize with the clients")
+	}
+	alphaList, err := experiments.ParseAlphas(*alphas)
+	if err != nil {
+		log.Fatalf("-alphas: %v", err)
+	}
+
+	scale := experiments.DefaultScale()
+	scale.PapersN = *papers
+	scale.Batch = *batch
+	scale.Workers = *workers
+	scale.Seed = *seed
+	res, err := experiments.ServeBench(scale, experiments.ServeConfig{
+		Alphas: alphaList, Clients: *clients, RequestsPerClient: *requests,
+		MaxBatch: *maxBatch, MaxWaitMicros: *maxWait, UseTCP: *useTCP,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		if err := res.WriteJSON(*serveOut); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *serveOut)
+	}
+	fmt.Println(experiments.RenderServeBench(res))
+}

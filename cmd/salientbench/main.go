@@ -10,12 +10,21 @@
 //	salientbench -exp all -papers 200000 -batch 32
 //	salientbench -exp hotpaths -json          # writes BENCH_sample_vip.json
 //	salientbench -exp epoch -json             # writes BENCH_epoch.json
+//	salientbench -exp serve -json             # writes BENCH_serve.json
+//
+// It is also the CI perf-regression gate: compare two committed benchmark
+// reports of the same kind and exit non-zero when a headline metric
+// regresses beyond the tolerance:
+//
+//	salientbench -compare BENCH_epoch.json new_epoch.json -tolerance 0.25
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -27,21 +36,32 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salientbench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|table4|fig4|fig5|fig6|fig7|fig8|fig9|hotpaths|epoch|all")
-		products = flag.Int("products", 60000, "products-sim vertices")
-		papers   = flag.Int("papers", 200000, "papers-sim vertices")
-		mag240   = flag.Int("mag240", 100000, "mag240-sim vertices")
-		batch    = flag.Int("batch", 128, "per-machine batch size")
-		boost    = flag.Float64("trainboost", 8, "training-density boost for sparse-label datasets (see EXPERIMENTS.md)")
-		workers  = flag.Int("workers", 2, "sampler workers")
-		seed     = flag.Uint64("seed", 7, "random seed")
-		asJSON   = flag.Bool("json", false, "also write machine-readable reports (-jsonout, -epochout)")
-		jsonOut  = flag.String("jsonout", "BENCH_sample_vip.json", "machine-readable hotpaths output path")
-		epochOut = flag.String("epochout", "BENCH_epoch.json", "machine-readable epoch-benchmark output path")
-		epochs   = flag.Int("epochs", 3, "epochs for -exp epoch")
-		sweep    = flag.String("sweep", "1,2,4,8", "comma-separated worker counts for -exp hotpaths")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|table4|fig4|fig5|fig6|fig7|fig8|fig9|hotpaths|epoch|serve|all")
+		products  = flag.Int("products", 60000, "products-sim vertices")
+		papers    = flag.Int("papers", 200000, "papers-sim vertices")
+		mag240    = flag.Int("mag240", 100000, "mag240-sim vertices")
+		batch     = flag.Int("batch", 128, "per-machine batch size")
+		boost     = flag.Float64("trainboost", 8, "training-density boost for sparse-label datasets (see EXPERIMENTS.md)")
+		workers   = flag.Int("workers", 2, "sampler workers")
+		seed      = flag.Uint64("seed", 7, "random seed")
+		asJSON    = flag.Bool("json", false, "also write machine-readable reports (-jsonout, -epochout, -serveout)")
+		jsonOut   = flag.String("jsonout", "BENCH_sample_vip.json", "machine-readable hotpaths output path")
+		epochOut  = flag.String("epochout", "BENCH_epoch.json", "machine-readable epoch-benchmark output path")
+		serveOut  = flag.String("serveout", "BENCH_serve.json", "machine-readable serving-benchmark output path")
+		epochs    = flag.Int("epochs", 3, "epochs for -exp epoch")
+		sweep     = flag.String("sweep", "1,2,4,8", "comma-separated worker counts for -exp hotpaths")
+		alphas    = flag.String("alphas", "0,0.08,0.16,0.32", "comma-separated replication factors for -exp serve")
+		clients   = flag.Int("clients", 8, "closed-loop serving clients for -exp serve")
+		requests  = flag.Int("requests", 150, "requests per serving client for -exp serve")
+		compare   = flag.String("compare", "", "gate mode: old benchmark report; the new report follows as a positional argument")
+		tolerance = flag.Float64("tolerance", 0.25, "relative regression tolerance for -compare")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		runCompare(*compare, flag.Args(), *tolerance)
+		return
+	}
 
 	// The timing experiments measure parallel speedups; a runtime pinned to
 	// one proc on a multi-core box silently flattens every column (it has
@@ -157,9 +177,28 @@ func main() {
 			}
 			return experiments.RenderEpochBench(r), nil
 		},
+		"serve": func() (string, error) {
+			alphaList, err := experiments.ParseAlphas(*alphas)
+			if err != nil {
+				return "", fmt.Errorf("-alphas: %w", err)
+			}
+			r, err := experiments.ServeBench(scale, experiments.ServeConfig{
+				Alphas: alphaList, Clients: *clients, RequestsPerClient: *requests,
+			})
+			if err != nil {
+				return "", err
+			}
+			if *asJSON {
+				if err := r.WriteJSON(*serveOut); err != nil {
+					return "", err
+				}
+				log.Printf("wrote %s", *serveOut)
+			}
+			return experiments.RenderServeBench(r), nil
+		},
 	}
 
-	order := []string{"table2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table4", "hotpaths", "epoch"}
+	order := []string{"table2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table4", "hotpaths", "epoch", "serve"}
 	var selected []string
 	if *exp == "all" {
 		selected = order
@@ -180,4 +219,41 @@ func main() {
 		fmt.Println(out)
 		fmt.Println()
 	}
+}
+
+// runCompare implements the CI perf-regression gate:
+//
+//	salientbench -compare old.json new.json -tolerance 0.25
+//
+// The new report arrives as the first positional argument; because the
+// flag package stops flag parsing there, a trailing -tolerance is parsed
+// by a second FlagSet over the remaining arguments (a -tolerance placed
+// before -compare is picked up by the ordinary flag). Exits 1 when any
+// headline metric regressed beyond the tolerance.
+func runCompare(oldPath string, args []string, tolerance float64) {
+	const usage = "usage: salientbench -compare old.json new.json [-tolerance 0.25]"
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		log.Fatal(usage)
+	}
+	newPath := args[0]
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // log.Fatalf below prints the one usage line
+	tol := fs.Float64("tolerance", tolerance, "relative regression tolerance")
+	if err := fs.Parse(args[1:]); err != nil {
+		log.Fatalf("%v (%s)", err, usage)
+	}
+	if fs.NArg() > 0 {
+		log.Fatalf("unexpected argument %q (%s)", fs.Arg(0), usage)
+	}
+	tolerance = *tol
+	cs, err := experiments.CompareBenchFiles(oldPath, newPath, tolerance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderComparisons(cs, tolerance))
+	if experiments.AnyRegressed(cs) {
+		log.Printf("FAIL: regression beyond %.0f%% against %s", tolerance*100, oldPath)
+		os.Exit(1)
+	}
+	log.Printf("ok: no metric regressed beyond %.0f%% against %s", tolerance*100, oldPath)
 }

@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"salientpp/internal/tensor"
+)
+
+// testAbortUnblocksGather blocks a Gather mid-collective (the peer never
+// issues its matching call) and fires the abort channel installed with
+// SetAbort: the in-flight gather must unwind promptly instead of
+// deadlocking — the guarantee an online-serving loop relies on at
+// shutdown.
+func testAbortUnblocksGather(t *testing.T, mk func(k int) ([]Comm, error)) {
+	t.Helper()
+	const n, dim = 32, 4
+	comms, err := mk(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms[0].Close()
+	defer comms[1].Close()
+	layout, err := NewLayout([]int64{0, n / 2, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := tensor.New(n/2, dim)
+	st, err := NewStore(comms[0], layout, dim, local, nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abort := make(chan struct{})
+	st.SetAbort(abort)
+
+	// Request a remote row so the gather really blocks on rank 1, which
+	// never answers.
+	ids := []int32{n/2 + 1}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := st.Gather(ids)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("gather finished without a peer: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(abort)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("aborted gather returned no error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gather still blocked 5s after abort: SetAbort did not unwind the collective")
+	}
+	// The group is torn down: future collectives fail instead of hanging.
+	if _, _, err := st.Gather(ids); err == nil {
+		t.Fatal("gather on an aborted group succeeded")
+	}
+}
+
+func TestSetAbortUnblocksGatherLocal(t *testing.T) { testAbortUnblocksGather(t, NewLocalGroup) }
+func TestSetAbortUnblocksGatherTCP(t *testing.T)   { testAbortUnblocksGather(t, NewTCPGroup) }
+
+// TestSetAbortDetach verifies that replacing the abort channel detaches
+// the previous watcher: firing the old channel afterwards must not tear
+// the group down.
+func TestSetAbortDetach(t *testing.T) {
+	comms, err := NewLocalGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms[0].Close()
+	old := make(chan struct{})
+	comms[0].SetAbort(old)
+	comms[0].SetAbort(nil)
+	close(old)
+	time.Sleep(10 * time.Millisecond) // give a leaked watcher time to misbehave
+	if _, err := comms[0].AllToAll([][]byte{nil}); err != nil {
+		t.Fatalf("group torn down by a detached abort channel: %v", err)
+	}
+}
+
+// TestSiblingSharesDataNotScratch checks the concurrent read path: a
+// sibling store over a second communicator group returns identical rows
+// and classification while the original store keeps gathering.
+func TestSiblingSharesDataNotScratch(t *testing.T) {
+	const n, dim = 64, 8
+	mkStore := func(comms []Comm) *Store {
+		layout, err := NewLayout([]int64{0, n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := tensor.New(n, dim)
+		for i := range local.Data {
+			local.Data[i] = float32(i)
+		}
+		st, err := NewStore(comms[0], layout, dim, local, nil, nil, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	comms, err := NewLocalGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms[0].Close()
+	st := mkStore(comms)
+	comms2, err := NewLocalGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms2[0].Close()
+	sib, err := st.Sibling(comms2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := []int32{1, 40, 63, 0}
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 50; i++ {
+			out, _, err := st.Gather(ids)
+			if err != nil {
+				done <- err
+				return
+			}
+			st.Release(out)
+		}
+		done <- nil
+	}()
+	for i := 0; i < 50; i++ {
+		out, stats, err := sib.Gather(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.LocalGPU+stats.LocalCPU != len(ids) {
+			t.Fatalf("sibling misclassified: %+v", stats)
+		}
+		for r, v := range ids {
+			for c := 0; c < dim; c++ {
+				if out.At(r, c) != float32(int(v)*dim+c) {
+					t.Fatalf("sibling row %d wrong", r)
+				}
+			}
+		}
+		sib.Release(out)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

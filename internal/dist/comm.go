@@ -39,6 +39,30 @@ type Comm interface {
 	// the training loop relies on for failure propagation (like an NCCL
 	// abort).
 	Close()
+	// SetAbort installs an abort channel on this member: when the channel
+	// closes, the whole group is torn down exactly as by Close, so every
+	// blocked or future collective — including an in-flight feature gather
+	// on a peer — fails promptly instead of deadlocking. This is how an
+	// online-serving loop unwinds collectives on shutdown without a
+	// matched "final round". Passing nil detaches the previous channel.
+	// SetAbort must not race with collectives on the same member (install
+	// it before the serving/training loop starts).
+	SetAbort(abort <-chan struct{})
+}
+
+// watchAbort spawns the watcher goroutine backing SetAbort: when abort
+// closes, closeGroup runs; when stop closes first (a later SetAbort call
+// detaching the channel), the watcher exits without side effects. Both
+// transports share this helper because their Close methods already
+// implement prompt group-wide teardown.
+func watchAbort(abort <-chan struct{}, stop <-chan struct{}, closeGroup func()) {
+	go func() {
+		select {
+		case <-abort:
+			closeGroup()
+		case <-stop:
+		}
+	}()
 }
 
 // i32ToBytes appends the little-endian encoding of ids to buf and returns

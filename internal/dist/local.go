@@ -49,10 +49,11 @@ type localComm struct {
 	// scratch, peerBuf, recvBuf, and sendBuf are reused across collectives
 	// to avoid per-call allocation; a Comm serves one goroutine at a time,
 	// and results are documented valid only until the next collective.
-	scratch []byte
-	peerBuf []float32
-	recvBuf [][]byte
-	sendBuf [][]byte
+	scratch   []byte
+	peerBuf   []float32
+	recvBuf   [][]byte
+	sendBuf   [][]byte
+	stopWatch chan struct{} // cancels the SetAbort watcher
 }
 
 func (c *localComm) Rank() int { return c.rank }
@@ -62,6 +63,18 @@ func (c *localComm) BytesSent() int64 { return c.g.bytes[c.rank].Load() }
 
 func (c *localComm) Close() {
 	c.g.once.Do(func() { close(c.g.done) })
+}
+
+func (c *localComm) SetAbort(abort <-chan struct{}) {
+	if c.stopWatch != nil {
+		close(c.stopWatch)
+		c.stopWatch = nil
+	}
+	if abort == nil {
+		return
+	}
+	c.stopWatch = make(chan struct{})
+	watchAbort(abort, c.stopWatch, c.Close)
 }
 
 func (c *localComm) AllToAll(send [][]byte) ([][]byte, error) {

@@ -105,11 +105,18 @@ func NewStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cach
 	if gpuFraction < 0 || gpuFraction > 1 {
 		return nil, fmt.Errorf("dist: gpuFraction %v outside [0,1]", gpuFraction)
 	}
+	return newStore(comm, layout, dim, local, cc, cdata, int(gpuFraction*float64(local.Rows))), nil
+}
+
+// newStore assembles a validated store with fresh per-Gather scratch. Both
+// construction sites (NewStore and Sibling) go through here so a new
+// scratch field cannot be initialized in one and forgotten in the other.
+func newStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cache.Cache, cdata *tensor.Matrix, gpuRows int) *Store {
 	k := layout.K()
 	return &Store{
 		comm: comm, layout: layout, dim: dim,
 		local: local, cache: cc, cdata: cdata,
-		gpuRows:  int(gpuFraction * float64(local.Rows)),
+		gpuRows:  gpuRows,
 		pool:     tensor.NewPool(),
 		reqIDs:   make([][]int32, k),
 		rowOf:    make([][]int32, k),
@@ -118,8 +125,42 @@ func NewStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cach
 		sendPtr:  make([][]byte, k),
 		featBuf:  make([][]float32, k),
 		byPeer:   make([]int, k),
-	}, nil
+	}
 }
+
+// Sibling returns a second store over the same read-only feature data —
+// local shard, cache index, cache rows, layout, and GPU split — but a
+// fresh communicator and private per-Gather scratch. This is the
+// concurrent read path: the underlying matrices are never written after
+// construction, so any number of sibling stores (an online-serving loop
+// next to the training pipeline, several serving replicas) may Gather
+// concurrently, each from its own goroutine, as long as each sibling's
+// comm belongs to a distinct matched group.
+func (s *Store) Sibling(comm Comm) (*Store, error) {
+	if comm == nil {
+		return nil, fmt.Errorf("dist: sibling needs a comm")
+	}
+	if comm.Rank() != s.comm.Rank() || comm.Size() != s.comm.Size() {
+		return nil, fmt.Errorf("dist: sibling comm is rank %d/%d, store is rank %d/%d",
+			comm.Rank(), comm.Size(), s.comm.Rank(), s.comm.Size())
+	}
+	// gpuRows is copied outright (not re-derived from a fraction) so access
+	// classification matches the original store exactly.
+	return newStore(comm, s.layout, s.dim, s.local, s.cache, s.cdata, s.gpuRows), nil
+}
+
+// Layout returns the store's partition layout (read-only).
+func (s *Store) Layout() *Layout { return s.layout }
+
+// Dim returns the feature dimension.
+func (s *Store) Dim() int { return s.dim }
+
+// SetAbort installs an abort channel on the store's communicator: when it
+// closes, an in-flight or future Gather fails promptly (the comm group is
+// torn down as by Close). Serving loops install their shutdown channel
+// here so a Gather blocked on a peer unwinds instead of deadlocking.
+// Install before the first Gather; do not call concurrently with Gather.
+func (s *Store) SetAbort(abort <-chan struct{}) { s.comm.SetAbort(abort) }
 
 // Release returns a matrix obtained from Gather to the store's pool. The
 // matrix must not be used afterwards. Optional — an unreleased matrix is

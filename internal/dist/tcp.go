@@ -24,10 +24,11 @@ type tcpComm struct {
 	// Reusable collective buffers; a Comm serves one goroutine at a
 	// time and AllToAll's writers drain before it returns, so reuse
 	// across calls is safe.
-	scratch []byte
-	peerBuf []float32
-	recvBuf [][]byte
-	sendBuf [][]byte
+	scratch   []byte
+	peerBuf   []float32
+	recvBuf   [][]byte
+	sendBuf   [][]byte
+	stopWatch chan struct{} // cancels the SetAbort watcher
 }
 
 // NewTCPGroup builds a fully connected loopback TCP group of size k. It
@@ -153,6 +154,23 @@ func (c *tcpComm) Close() {
 			conn.Close()
 		}
 	}
+}
+
+// SetAbort installs an abort channel: when it closes, this rank's
+// connections are torn down (as by Close), so peers blocked mid-collective
+// fail with connection errors and the abort propagates through the group —
+// real bytes in flight unwind exactly like a multi-host deployment losing
+// a member.
+func (c *tcpComm) SetAbort(abort <-chan struct{}) {
+	if c.stopWatch != nil {
+		close(c.stopWatch)
+		c.stopWatch = nil
+	}
+	if abort == nil {
+		return
+	}
+	c.stopWatch = make(chan struct{})
+	watchAbort(abort, c.stopWatch, c.Close)
 }
 
 func (c *tcpComm) failed() error {

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"salientpp/internal/metrics"
+)
+
+// Comparison is one gated metric of a benchmark-report pair. Change is the
+// signed relative difference (new-old)/old; Regressed is true when the new
+// value is worse than the old by more than the tolerance in the metric's
+// bad direction.
+type Comparison struct {
+	Metric         string  `json:"metric"`
+	Old            float64 `json:"old"`
+	New            float64 `json:"new"`
+	Change         float64 `json:"change"`
+	HigherIsBetter bool    `json:"higher_is_better"`
+	Regressed      bool    `json:"regressed"`
+}
+
+// CompareBenchFiles is the CI perf-regression gate behind
+// `salientbench -compare old.json new.json -tolerance 0.25`: it detects
+// the report kind from its fields and gates the kind's headline metrics.
+//
+//   - BENCH_epoch.json: best epoch wall time (lower is better).
+//   - BENCH_serve.json: per-α serving p95 latency (lower) and closed-loop
+//     throughput (higher), matched row by row on α.
+//
+// Both files must be the same kind. A missing α row in the new report is
+// itself a regression (coverage must not silently shrink).
+func CompareBenchFiles(oldPath, newPath string, tolerance float64) ([]Comparison, error) {
+	if tolerance < 0 {
+		return nil, fmt.Errorf("compare: negative tolerance %v", tolerance)
+	}
+	oldKind, oldRaw, err := loadBench(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newKind, newRaw, err := loadBench(newPath)
+	if err != nil {
+		return nil, err
+	}
+	if oldKind != newKind {
+		return nil, fmt.Errorf("compare: %s is a %s report but %s is a %s report", oldPath, oldKind, newPath, newKind)
+	}
+	switch oldKind {
+	case "epoch":
+		return compareEpoch(oldRaw, newRaw, tolerance)
+	default:
+		return compareServe(oldRaw, newRaw, tolerance)
+	}
+}
+
+// loadBench reads a BENCH_*.json file and classifies it.
+func loadBench(path string) (kind string, raw map[string]json.RawMessage, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := json.Unmarshal(buf, &raw); err != nil {
+		return "", nil, fmt.Errorf("compare: %s: %w", path, err)
+	}
+	switch {
+	case raw["best_wall_seconds"] != nil:
+		return "epoch", raw, nil
+	case raw["alphas"] != nil:
+		return "serve", raw, nil
+	default:
+		return "", nil, fmt.Errorf("compare: %s is not a recognized benchmark report (want BENCH_epoch.json or BENCH_serve.json shape)", path)
+	}
+}
+
+func jsonFloat(raw map[string]json.RawMessage, key string) (float64, error) {
+	var v float64
+	if raw[key] == nil {
+		return 0, fmt.Errorf("compare: report lacks %q", key)
+	}
+	if err := json.Unmarshal(raw[key], &v); err != nil {
+		return 0, fmt.Errorf("compare: bad %q: %w", key, err)
+	}
+	return v, nil
+}
+
+// gate appends the comparison of one metric pair. A non-positive value on
+// either side is an error, not a pass: every gated metric is a wall time,
+// a latency, or a throughput, all strictly positive in any real report. A
+// zero baseline means a truncated or hand-damaged file; a zero new value
+// means the measurement itself broke (e.g. a latency histogram that
+// stopped receiving samples) and would otherwise read as an infinite
+// improvement — either way, silently skipping the check is exactly the
+// failure mode a gate must not have.
+func gate(out []Comparison, metric string, oldV, newV, tol float64, higherBetter bool) ([]Comparison, error) {
+	if oldV <= 0 {
+		return nil, fmt.Errorf("compare: baseline %s is %v; a gated metric must be positive (damaged baseline file?)", metric, oldV)
+	}
+	if newV <= 0 {
+		return nil, fmt.Errorf("compare: new %s is %v; a gated metric must be positive (broken measurement in the new report?)", metric, newV)
+	}
+	c := Comparison{Metric: metric, Old: oldV, New: newV, HigherIsBetter: higherBetter}
+	c.Change = (newV - oldV) / oldV
+	if higherBetter {
+		c.Regressed = newV < oldV*(1-tol)
+	} else {
+		c.Regressed = newV > oldV*(1+tol)
+	}
+	return append(out, c), nil
+}
+
+func compareEpoch(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Comparison, error) {
+	oldBest, err := jsonFloat(oldRaw, "best_wall_seconds")
+	if err != nil {
+		return nil, err
+	}
+	newBest, err := jsonFloat(newRaw, "best_wall_seconds")
+	if err != nil {
+		return nil, err
+	}
+	return gate(nil, "best_wall_seconds", oldBest, newBest, tol, false)
+}
+
+// serveGateRow is the gated subset of a ServeAlphaRow.
+type serveGateRow struct {
+	Alpha         float64 `json:"alpha"`
+	P95           float64 `json:"p95_latency_seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+func compareServe(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Comparison, error) {
+	var oldRows, newRows []serveGateRow
+	if err := json.Unmarshal(oldRaw["alphas"], &oldRows); err != nil {
+		return nil, fmt.Errorf("compare: bad alphas in old report: %w", err)
+	}
+	if err := json.Unmarshal(newRaw["alphas"], &newRows); err != nil {
+		return nil, fmt.Errorf("compare: bad alphas in new report: %w", err)
+	}
+	if len(oldRows) == 0 {
+		return nil, fmt.Errorf("compare: old serve report has no alpha rows")
+	}
+	byAlpha := map[float64]serveGateRow{}
+	for _, r := range newRows {
+		byAlpha[r.Alpha] = r
+	}
+	var out []Comparison
+	var err error
+	for _, o := range oldRows {
+		n, ok := byAlpha[o.Alpha]
+		if !ok {
+			out = append(out, Comparison{
+				Metric: fmt.Sprintf("alpha=%.2f", o.Alpha), Old: o.Alpha,
+				Regressed: true, // the new report silently dropped coverage
+			})
+			continue
+		}
+		out, err = gate(out, fmt.Sprintf("p95_latency_seconds[alpha=%.2f]", o.Alpha), o.P95, n.P95, tol, false)
+		if err != nil {
+			return nil, err
+		}
+		out, err = gate(out, fmt.Sprintf("throughput_rps[alpha=%.2f]", o.Alpha), o.ThroughputRPS, n.ThroughputRPS, tol, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ParseAlphas parses a comma-separated replication-factor list (shared by
+// cmd/salientbench and cmd/gnnserve).
+func ParseAlphas(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		a, err := strconv.ParseFloat(tok, 64)
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("bad alpha entry %q", tok)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AnyRegressed reports whether the gate should fail the build.
+func AnyRegressed(cs []Comparison) bool {
+	for _, c := range cs {
+		if c.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderComparisons formats the gate verdict table.
+func RenderComparisons(cs []Comparison, tolerance float64) string {
+	t := metrics.NewTable(
+		fmt.Sprintf("Benchmark regression gate (tolerance %.0f%%)", tolerance*100),
+		"metric", "old", "new", "change", "verdict")
+	for _, c := range cs {
+		dir := "lower is better"
+		if c.HigherIsBetter {
+			dir = "higher is better"
+		}
+		verdict := "ok (" + dir + ")"
+		if c.Regressed {
+			verdict = "REGRESSED (" + dir + ")"
+		}
+		t.AddRow(c.Metric,
+			fmt.Sprintf("%.6g", c.Old),
+			fmt.Sprintf("%.6g", c.New),
+			fmt.Sprintf("%+.1f%%", c.Change*100),
+			verdict)
+	}
+	return t.String()
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeEpochReport(t *testing.T, dir, name string, best float64) string {
+	t.Helper()
+	r := &EpochBenchResult{
+		Dataset: "papers-sim", Vertices: 1000, K: 2,
+		Epochs:          []EpochRow{{Epoch: 0, WallSeconds: best}},
+		BestWallSeconds: best, MeanWallSeconds: best,
+	}
+	p := filepath.Join(dir, name)
+	if err := r.WriteJSON(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func writeServeReport(t *testing.T, dir, name string, rows []ServeAlphaRow) string {
+	t.Helper()
+	r := &ServeBenchResult{Dataset: "papers-sim", Vertices: 1000, K: 2, Alphas: rows}
+	p := filepath.Join(dir, name)
+	if err := r.WriteJSON(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCompareGateFailsOnInjectedEpochRegression is the acceptance check
+// for the CI gate: a >25% epoch wall-time regression must fail, smaller
+// drift and improvements must pass.
+func TestCompareGateFailsOnInjectedEpochRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeEpochReport(t, dir, "old.json", 10.0)
+
+	bad := writeEpochReport(t, dir, "bad.json", 13.0) // +30%
+	cs, err := CompareBenchFiles(old, bad, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatalf("30%% slower epoch passed the 25%% gate: %+v", cs)
+	}
+
+	drift := writeEpochReport(t, dir, "drift.json", 11.0) // +10%
+	cs, err = CompareBenchFiles(old, drift, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("10%% drift failed the 25%% gate: %+v", cs)
+	}
+
+	better := writeEpochReport(t, dir, "better.json", 7.0)
+	cs, err = CompareBenchFiles(old, better, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("improvement failed the gate: %+v", cs)
+	}
+	if !strings.Contains(RenderComparisons(cs, 0.25), "best_wall_seconds") {
+		t.Fatal("rendered gate verdict lacks the metric name")
+	}
+}
+
+// TestCompareGateServeRows gates serving p95 and throughput per α row and
+// treats dropped rows as regressions.
+func TestCompareGateServeRows(t *testing.T) {
+	dir := t.TempDir()
+	oldRows := []ServeAlphaRow{
+		{Alpha: 0, P95: 0.010, ThroughputRPS: 1000},
+		{Alpha: 0.16, P95: 0.005, ThroughputRPS: 2000},
+	}
+	old := writeServeReport(t, dir, "old.json", oldRows)
+
+	// Same numbers: pass.
+	same := writeServeReport(t, dir, "same.json", oldRows)
+	cs, err := CompareBenchFiles(old, same, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("identical serve reports regressed: %+v", cs)
+	}
+	if len(cs) != 4 {
+		t.Fatalf("expected 2 metrics × 2 rows, got %d comparisons", len(cs))
+	}
+
+	// p95 +30% at one α: fail.
+	slow := []ServeAlphaRow{
+		{Alpha: 0, P95: 0.013, ThroughputRPS: 1000},
+		{Alpha: 0.16, P95: 0.005, ThroughputRPS: 2000},
+	}
+	cs, err = CompareBenchFiles(old, writeServeReport(t, dir, "slow.json", slow), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatal("30% p95 regression passed the gate")
+	}
+
+	// Throughput -30% at one α: fail.
+	weak := []ServeAlphaRow{
+		{Alpha: 0, P95: 0.010, ThroughputRPS: 700},
+		{Alpha: 0.16, P95: 0.005, ThroughputRPS: 2000},
+	}
+	cs, err = CompareBenchFiles(old, writeServeReport(t, dir, "weak.json", weak), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatal("30% throughput regression passed the gate")
+	}
+
+	// Dropped α row: fail.
+	dropped := writeServeReport(t, dir, "dropped.json", oldRows[:1])
+	cs, err = CompareBenchFiles(old, dropped, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatal("dropping an alpha row passed the gate")
+	}
+}
+
+// TestCompareRejectsMismatchedKinds refuses to gate an epoch report
+// against a serve report.
+func TestCompareRejectsMismatchedKinds(t *testing.T) {
+	dir := t.TempDir()
+	e := writeEpochReport(t, dir, "epoch.json", 10)
+	s := writeServeReport(t, dir, "serve.json", []ServeAlphaRow{{Alpha: 0, P95: 1, ThroughputRPS: 1}})
+	if _, err := CompareBenchFiles(e, s, 0.25); err == nil {
+		t.Fatal("mismatched report kinds accepted")
+	}
+	if _, err := CompareBenchFiles(e, filepath.Join(dir, "missing.json"), 0.25); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := CompareBenchFiles(e, e, -1); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
+// TestCompareRejectsZeroBaseline refuses a non-positive baseline metric
+// instead of silently disabling the gate for it.
+func TestCompareRejectsZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	zero := writeEpochReport(t, dir, "zero.json", 0)
+	good := writeEpochReport(t, dir, "good.json", 10)
+	if _, err := CompareBenchFiles(zero, good, 0.25); err == nil {
+		t.Fatal("zero epoch baseline accepted")
+	}
+	zs := writeServeReport(t, dir, "zs.json", []ServeAlphaRow{{Alpha: 0, P95: 0, ThroughputRPS: 100}})
+	gs := writeServeReport(t, dir, "gs.json", []ServeAlphaRow{{Alpha: 0, P95: 0.01, ThroughputRPS: 100}})
+	if _, err := CompareBenchFiles(zs, gs, 0.25); err == nil {
+		t.Fatal("zero serve p95 baseline accepted")
+	}
+	// A zero metric in the NEW report is a broken measurement, not an
+	// infinite improvement.
+	if _, err := CompareBenchFiles(gs, zs, 0.25); err == nil {
+		t.Fatal("zero serve p95 in the new report accepted")
+	}
+	if _, err := CompareBenchFiles(good, zero, 0.25); err == nil {
+		t.Fatal("zero epoch wall time in the new report accepted")
+	}
+}
+
+// TestParseAlphas covers the shared CLI alpha-list parser.
+func TestParseAlphas(t *testing.T) {
+	got, err := ParseAlphas(" 0, 0.08 ,0.32,")
+	if err != nil || len(got) != 3 || got[0] != 0 || got[1] != 0.08 || got[2] != 0.32 {
+		t.Fatalf("ParseAlphas: %v, %v", got, err)
+	}
+	if _, err := ParseAlphas("0,-0.1"); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	if _, err := ParseAlphas("0,x"); err == nil {
+		t.Fatal("garbage alpha accepted")
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"salientpp/internal/dataset"
+	"salientpp/internal/metrics"
+	"salientpp/internal/pipeline"
+	"salientpp/internal/rng"
+	"salientpp/internal/serve"
+)
+
+// ServeAlphaRow is one measured serving run at a fixed replication factor
+// α: a closed-loop load generator drives the coalescing server with a
+// same-seed workload, so rows differ only in the cache.
+type ServeAlphaRow struct {
+	Alpha         float64 `json:"alpha"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Requests      int64   `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	P50  float64 `json:"p50_latency_seconds"`
+	P95  float64 `json:"p95_latency_seconds"`
+	P99  float64 `json:"p99_latency_seconds"`
+	Mean float64 `json:"mean_latency_seconds"`
+
+	Rounds    int64   `json:"rounds"`
+	MeanBatch float64 `json:"mean_batch"`
+
+	LocalRows     int64   `json:"local_rows"`
+	CacheHits     int64   `json:"cache_hits"`
+	RemoteFetches int64   `json:"remote_fetches"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	BytesSent     int64   `json:"bytes_sent"`
+}
+
+// ServeBenchResult is the machine-readable online-inference report
+// (BENCH_serve.json): sustained closed-loop throughput and latency
+// percentiles of the coalescing server across the cache-α sweep, on the
+// real distributed data path (sampler → partitioned cache-aware gather →
+// frozen-model forward). The workload is identical across rows — each
+// client replays the same seeded vertex stream — so remote-fetch counts
+// and hit rates are directly attributable to the cache.
+type ServeBenchResult struct {
+	Dataset           string          `json:"dataset"`
+	Vertices          int             `json:"vertices"`
+	Edges             int64           `json:"edges"`
+	K                 int             `json:"k"`
+	Fanouts           []int           `json:"fanouts"`
+	Hidden            int             `json:"hidden"`
+	MaxBatch          int             `json:"max_batch"`
+	MaxWaitMicros     int64           `json:"max_wait_micros"`
+	Clients           int             `json:"clients"`
+	RequestsPerClient int             `json:"requests_per_client"`
+	Seed              uint64          `json:"seed"`
+	MaxProcs          int             `json:"gomaxprocs"`
+	NumCPU            int             `json:"numcpu"`
+	Alphas            []ServeAlphaRow `json:"alphas"`
+
+	// BestP95Seconds and BestThroughputRPS summarize the sweep (the gate
+	// in cmd/salientbench -compare also checks every row individually).
+	BestP95Seconds    float64 `json:"best_p95_latency_seconds"`
+	BestThroughputRPS float64 `json:"best_throughput_rps"`
+}
+
+// ServeConfig sizes the serving benchmark.
+type ServeConfig struct {
+	// Alphas is the replication-factor sweep; nil uses {0, 0.08, 0.16, 0.32}.
+	Alphas []float64
+	// Clients is the closed-loop client count (default 8).
+	Clients int
+	// RequestsPerClient fixes the per-client request count (default 150),
+	// making the workload identical across α rows.
+	RequestsPerClient int
+	// MaxBatch and MaxWaitMicros set the coalescing admission policy
+	// (defaults 32 and 1000).
+	MaxBatch      int
+	MaxWaitMicros int64
+	// UseTCP serves over loopback TCP instead of in-process channels.
+	UseTCP bool
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if len(c.Alphas) == 0 {
+		c.Alphas = []float64{0, 0.08, 0.16, 0.32}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.RequestsPerClient <= 0 {
+		c.RequestsPerClient = 150
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWaitMicros <= 0 {
+		c.MaxWaitMicros = 1000
+	}
+	return c
+}
+
+// ServeBench builds a K=2 cluster on the papers-sim analog per α, freezes
+// the model into a serving deployment, and drives it with closed-loop
+// clients. Per-α clusters share the scale seed, so partitioning, VIP
+// analysis, reordering, and the client vertex streams are identical — the
+// only variable is cache capacity.
+func ServeBench(scale Scale, cfg ServeConfig) (*ServeBenchResult, error) {
+	cfg = cfg.withDefaults()
+	restore, procs := ensureParallel()
+	defer restore()
+	ds, err := dataset.Generate(dataset.SyntheticConfig{
+		Name: "papers-sim", NumVertices: scale.PapersN, AvgDegree: 28.8,
+		FeatureDim: 128, NumClasses: 32,
+		TrainFrac: 0.10, ValFrac: 0.02, TestFrac: 0.05,
+		FeatureNoise: 0.6, Materialize: true, Seed: scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dims := PaperDims(ds.Name)
+	const k = 2
+	res := &ServeBenchResult{
+		Dataset: ds.Name, Vertices: ds.NumVertices(), Edges: ds.Graph.NumEdges(),
+		K: k, Fanouts: dims.Fanouts, Hidden: dims.Hidden,
+		MaxBatch: cfg.MaxBatch, MaxWaitMicros: cfg.MaxWaitMicros,
+		Clients: cfg.Clients, RequestsPerClient: cfg.RequestsPerClient,
+		Seed: scale.Seed, MaxProcs: procs, NumCPU: runtime.NumCPU(),
+	}
+	for _, alpha := range cfg.Alphas {
+		row, err := serveOneAlpha(ds, scale, cfg, dims, k, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("serve bench at alpha=%v: %w", alpha, err)
+		}
+		res.Alphas = append(res.Alphas, *row)
+	}
+	for i, r := range res.Alphas {
+		if i == 0 || r.P95 < res.BestP95Seconds {
+			res.BestP95Seconds = r.P95
+		}
+		if r.ThroughputRPS > res.BestThroughputRPS {
+			res.BestThroughputRPS = r.ThroughputRPS
+		}
+	}
+	return res, nil
+}
+
+func serveOneAlpha(ds *dataset.Dataset, scale Scale, cfg ServeConfig, dims ModelDims, k int, alpha float64) (*ServeAlphaRow, error) {
+	cl, err := pipeline.NewCluster(ds, pipeline.ClusterConfig{
+		K: k, Alpha: alpha, GPUFraction: 1, VIPReorder: true,
+		Hidden: dims.Hidden, Layers: len(dims.Fanouts), UseTCP: cfg.UseTCP,
+		Train: pipeline.Config{
+			Fanouts: dims.Fanouts, BatchSize: scale.Batch, PipelineDepth: 10,
+			SamplerWorkers: scale.Workers, Parallelism: scale.Workers,
+			LR: 1e-3, Seed: scale.Seed,
+		},
+		ModelSeed: scale.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	srv, err := serve.New(cl, serve.Config{
+		MaxBatch: cfg.MaxBatch,
+		MaxWait:  time.Duration(cfg.MaxWaitMicros) * time.Microsecond,
+		Seed:     scale.Seed,
+		UseTCP:   cfg.UseTCP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	n := ds.NumVertices()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Same-seed vertex stream for every α row.
+			r := rng.New(scale.Seed ^ 0x5eed).Split(uint64(c))
+			out := make([]float32, srv.Classes())
+			for i := 0; i < cfg.RequestsPerClient; i++ {
+				if _, err := srv.Predict(int32(r.Intn(n)), out); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	snap := srv.Snapshot()
+	row := &ServeAlphaRow{
+		Alpha: alpha, WallSeconds: wall, Requests: snap.Requests,
+		ThroughputRPS: float64(snap.Requests) / wall,
+		P50:           snap.P50, P95: snap.P95, P99: snap.P99, Mean: snap.Mean,
+		Rounds: snap.Rounds, MeanBatch: snap.MeanBatch,
+		LocalRows: snap.LocalGPU + snap.LocalCPU,
+		CacheHits: snap.CacheHits, RemoteFetches: snap.RemoteFetches,
+		CacheHitRate: snap.CacheHitRate, BytesSent: snap.BytesSent,
+	}
+	return row, nil
+}
+
+// WriteJSON writes the report for machine consumption (the serving perf
+// trajectory file committed as BENCH_serve.json).
+func (r *ServeBenchResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// RenderServeBench formats the α-sweep table.
+func RenderServeBench(r *ServeBenchResult) string {
+	t := metrics.NewTable(
+		fmt.Sprintf("Online inference serving (%s, N=%d, K=%d, fanouts=%v, %d clients × %d reqs, maxbatch=%d, maxwait=%dµs, GOMAXPROCS=%d/%d CPUs)",
+			r.Dataset, r.Vertices, r.K, r.Fanouts, r.Clients, r.RequestsPerClient, r.MaxBatch, r.MaxWaitMicros, r.MaxProcs, r.NumCPU),
+		"α", "req/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean batch", "hit rate", "remote rows", "MB sent")
+	for _, row := range r.Alphas {
+		t.AddRow(
+			fmt.Sprintf("%.2f", row.Alpha),
+			fmt.Sprintf("%.0f", row.ThroughputRPS),
+			fmt.Sprintf("%.3f", row.P50*1e3),
+			fmt.Sprintf("%.3f", row.P95*1e3),
+			fmt.Sprintf("%.3f", row.P99*1e3),
+			fmt.Sprintf("%.2f", row.MeanBatch),
+			fmt.Sprintf("%.3f", row.CacheHitRate),
+			row.RemoteFetches,
+			fmt.Sprintf("%.2f", float64(row.BytesSent)/1e6))
+	}
+	return t.String()
+}

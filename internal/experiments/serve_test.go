@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestServeBenchReport runs the serving benchmark at test scale and checks
+// the report's structure plus the property the caching story depends on:
+// on the same-seed workload, growing α must not lose cache hit rate and
+// must not add remote fetches.
+func TestServeBenchReport(t *testing.T) {
+	scale := SmallScale()
+	scale.PapersN = 4000
+	res, err := ServeBench(scale, ServeConfig{
+		Alphas: []float64{0, 0.08, 0.32}, Clients: 4, RequestsPerClient: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alphas) != 3 {
+		t.Fatalf("got %d alpha rows", len(res.Alphas))
+	}
+	for _, row := range res.Alphas {
+		if row.Requests != 4*25 {
+			t.Fatalf("α=%v served %d requests, want 100", row.Alpha, row.Requests)
+		}
+		if row.ThroughputRPS <= 0 || row.WallSeconds <= 0 {
+			t.Fatalf("non-positive throughput: %+v", row)
+		}
+		if row.P50 <= 0 || row.P95 < row.P50 || row.P99 < row.P95 {
+			t.Fatalf("implausible latency quantiles: %+v", row)
+		}
+		if row.MeanBatch < 1 {
+			t.Fatalf("mean batch < 1: %+v", row)
+		}
+	}
+	if res.Alphas[0].CacheHitRate != 0 || res.Alphas[0].CacheHits != 0 {
+		t.Fatalf("α=0 row reports cache hits: %+v", res.Alphas[0])
+	}
+	for i := 1; i < len(res.Alphas); i++ {
+		prev, cur := res.Alphas[i-1], res.Alphas[i]
+		if cur.CacheHitRate < prev.CacheHitRate {
+			t.Fatalf("cache hit rate fell with α: %v@%v -> %v@%v",
+				prev.CacheHitRate, prev.Alpha, cur.CacheHitRate, cur.Alpha)
+		}
+		if cur.RemoteFetches > prev.RemoteFetches {
+			t.Fatalf("remote fetches grew with α: %d@%v -> %d@%v",
+				prev.RemoteFetches, prev.Alpha, cur.RemoteFetches, cur.Alpha)
+		}
+	}
+	if res.BestP95Seconds <= 0 || res.BestThroughputRPS <= 0 {
+		t.Fatalf("summary malformed: %+v", res)
+	}
+	if RenderServeBench(res) == "" {
+		t.Fatal("empty rendering")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServeBenchResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Alphas) != len(res.Alphas) || back.Dataset != res.Dataset {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	// The regenerated file must satisfy the gate against itself.
+	cs, err := CompareBenchFiles(path, path, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("self-comparison regressed: %+v", cs)
+	}
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h, err := NewHistogram(1e-6, 10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10k samples uniform in [1ms, 2ms): quantiles must land inside the
+	// range with bucket-width accuracy.
+	for i := 0; i < 10000; i++ {
+		h.Observe(0.001 + float64(i)*1e-7)
+	}
+	if got := h.Count(); got != 10000 {
+		t.Fatalf("count %d", got)
+	}
+	if m := h.HistMean(); math.Abs(m-0.0015) > 1e-4 {
+		t.Fatalf("mean %v, want ~0.0015", m)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 0.0015, 0.00025},
+		{0.95, 0.00195, 0.0003},
+		{0.99, 0.00199, 0.0003},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.2f = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestHistogramOrderedQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, v := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1} {
+		for i := 0; i < 100; i++ {
+			h.Observe(v)
+		}
+	}
+	last := 0.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < last {
+			t.Fatalf("quantiles not monotone: q%.2f=%v after %v", q, v, last)
+		}
+		last = v
+	}
+}
+
+func TestHistogramOverflowAndEmpty(t *testing.T) {
+	h, err := NewHistogram(1, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Observe(1e9) // beyond the last bound
+	_, _, over := h.Buckets()
+	if over != 1 {
+		t.Fatalf("overflow count %d", over)
+	}
+	if got := h.Quantile(0.99); got != h.bounds[len(h.bounds)-1] {
+		t.Fatalf("overflow quantile %v, want last bound %v", got, h.bounds[len(h.bounds)-1])
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1e-4 * float64(1+w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+	want := 0.0
+	for w := 1; w <= workers; w++ {
+		want += 1e-4 * float64(w) * per
+	}
+	if math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("sum %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestHistogramObserveAllocationFree(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(0.001)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.0015) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestHistogramBadLayout(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 4); err == nil {
+		t.Fatal("lo=0 accepted")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Fatal("hi<lo accepted")
+	}
+	if _, err := NewHistogram(1, 2, 0); err == nil {
+		t.Fatal("perDecade=0 accepted")
+	}
+}

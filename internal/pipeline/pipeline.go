@@ -122,6 +122,14 @@ func NewRank(cfg Config, commFeat, commGrad dist.Comm, store *dist.Store, s *sam
 // Model exposes the rank's model (e.g. for evaluation or weight checks).
 func (r *Rank) Model() *nn.Model { return r.model }
 
+// Store exposes the rank's partitioned feature store. Serving attaches
+// here: Store().Sibling gives an independently-communicating store over
+// the same read-only shard and cache.
+func (r *Rank) Store() *dist.Store { return r.store }
+
+// Sampler exposes the rank's training sampler (immutable; safe to share).
+func (r *Rank) Sampler() *sample.Sampler { return r.sampler }
+
 // preparedBatch flows between pipeline stages.
 type preparedBatch struct {
 	mfg   *sample.MFG

@@ -44,18 +44,25 @@ func New(seed uint64) *RNG {
 // identical children, which makes parallel sampling deterministic: worker i
 // uses parent.Split(uint64(i)).
 func (r *RNG) Split(stream uint64) *RNG {
+	c := new(RNG)
+	r.SplitInto(stream, c)
+	return c
+}
+
+// SplitInto writes the child stream Split(stream) would return into dst
+// without allocating — the long-running serving loop derives one child per
+// round this way, keeping its steady state allocation-free.
+func (r *RNG) SplitInto(stream uint64, dst *RNG) {
 	// Mix the parent state with the stream id through SplitMix64 so that
 	// nearby stream ids yield unrelated child states.
 	sm := r.s0 ^ (stream+1)*0x9e3779b97f4a7c15
-	var c RNG
-	c.s0 = splitmix64(&sm)
+	dst.s0 = splitmix64(&sm)
 	sm ^= r.s1
-	c.s1 = splitmix64(&sm)
+	dst.s1 = splitmix64(&sm)
 	sm ^= r.s2
-	c.s2 = splitmix64(&sm)
+	dst.s2 = splitmix64(&sm)
 	sm ^= r.s3
-	c.s3 = splitmix64(&sm)
-	return &c
+	dst.s3 = splitmix64(&sm)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

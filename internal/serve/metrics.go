@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"salientpp/internal/dist"
+	"salientpp/internal/metrics"
+)
+
+// Metrics is the server's live instrumentation: a request-latency
+// histogram, a batch-occupancy histogram, and gather-classification
+// counters. All updates are lock-free and allocation-free so recording
+// them keeps the serving loop's zero-allocation guarantee.
+type Metrics struct {
+	// Latency records end-to-end request latency in seconds.
+	Latency *metrics.Histogram
+	// BatchOccupancy records coalesced requests per non-empty round.
+	BatchOccupancy *metrics.Histogram
+
+	requests    atomic.Int64
+	rounds      atomic.Int64
+	emptyRounds atomic.Int64
+	localGPU    atomic.Int64
+	localCPU    atomic.Int64
+	cacheHits   atomic.Int64
+	remote      atomic.Int64
+}
+
+func newMetrics(maxBatch int) *Metrics {
+	if maxBatch < 2 {
+		maxBatch = 2
+	}
+	return &Metrics{
+		Latency:        metrics.NewLatencyHistogram(),
+		BatchOccupancy: metrics.NewCountHistogram(float64(maxBatch)),
+	}
+}
+
+func (m *Metrics) observeRequest(st *Stats) {
+	m.requests.Add(1)
+	m.Latency.Observe(st.Total.Seconds())
+}
+
+func (m *Metrics) observeRound(batch int, g dist.GatherStats) {
+	m.rounds.Add(1)
+	if batch == 0 {
+		m.emptyRounds.Add(1)
+		return
+	}
+	m.BatchOccupancy.Observe(float64(batch))
+	m.localGPU.Add(int64(g.LocalGPU))
+	m.localCPU.Add(int64(g.LocalCPU))
+	m.cacheHits.Add(int64(g.CacheHits))
+	m.remote.Add(int64(g.RemoteFetch))
+}
+
+// Snapshot is a point-in-time aggregate of the serving metrics.
+type Snapshot struct {
+	Requests    int64 `json:"requests"`
+	Rounds      int64 `json:"rounds"`
+	EmptyRounds int64 `json:"empty_rounds"`
+
+	// Latency quantiles and mean, in seconds.
+	P50  float64 `json:"p50_latency_seconds"`
+	P95  float64 `json:"p95_latency_seconds"`
+	P99  float64 `json:"p99_latency_seconds"`
+	Mean float64 `json:"mean_latency_seconds"`
+
+	// MeanBatch is the mean coalesced batch size over non-empty rounds.
+	MeanBatch float64 `json:"mean_batch"`
+
+	// Gather classification totals across all rounds.
+	LocalGPU      int64 `json:"local_gpu_rows"`
+	LocalCPU      int64 `json:"local_cpu_rows"`
+	CacheHits     int64 `json:"cache_hits"`
+	RemoteFetches int64 `json:"remote_fetches"`
+	// CacheHitRate is hits/(hits+remote): the fraction of would-be remote
+	// accesses the static cache absorbed.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// BytesSent is the cumulative feature-collective payload volume.
+	BytesSent int64 `json:"bytes_sent"`
+}
+
+func (m *Metrics) snapshot(bytes int64) Snapshot {
+	hits := m.cacheHits.Load()
+	remote := m.remote.Load()
+	hitRate := 0.0
+	if hits+remote > 0 {
+		hitRate = float64(hits) / float64(hits+remote)
+	}
+	return Snapshot{
+		Requests:      m.requests.Load(),
+		Rounds:        m.rounds.Load(),
+		EmptyRounds:   m.emptyRounds.Load(),
+		P50:           m.Latency.Quantile(0.50),
+		P95:           m.Latency.Quantile(0.95),
+		P99:           m.Latency.Quantile(0.99),
+		Mean:          m.Latency.HistMean(),
+		MeanBatch:     m.BatchOccupancy.HistMean(),
+		LocalGPU:      m.localGPU.Load(),
+		LocalCPU:      m.localCPU.Load(),
+		CacheHits:     hits,
+		RemoteFetches: remote,
+		CacheHitRate:  hitRate,
+		BytesSent:     bytes,
+	}
+}

@@ -1,0 +1,545 @@
+// Package serve implements online GNN inference over the SALIENT++ stack:
+// an embeddable server that accepts per-vertex prediction requests,
+// coalesces concurrent requests into sampled micro-batches, and runs them
+// through the existing sampler → cache-aware partitioned Gather → frozen
+// GraphSAGE forward path.
+//
+// Architecture (one round):
+//
+//	clients ──Predict──▶ per-rank admission queues (routed by vertex owner)
+//	                               │
+//	             driver fires a round when any rank reaches MaxBatch
+//	             or the oldest queued request has waited MaxWait
+//	                               │
+//	     all K engines execute the round in lockstep (matched collectives):
+//	     dedup+sort seeds → sample MFG → Store.Gather → Frozen.Forward
+//	                               │
+//	     per-request logits copied out, latency recorded, buffers recycled
+//
+// Rounds are lockstep across ranks because Gather's three collectives must
+// stay matched — a rank with an empty queue gathers an empty id list, the
+// same padding discipline the training pipeline uses. Within a round the K
+// engines run concurrently.
+//
+// The steady-state serving loop is allocation-free: requests are pooled,
+// seeds/batches reuse high-water-mark scratch, the MFG comes from the
+// sampler arena, gathered features from the store's tensor pool, and model
+// intermediates from the frozen snapshot's arena (all released when the
+// round retires). guarded by TestServeAllocationFree.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"salientpp/internal/dist"
+	"salientpp/internal/nn"
+	"salientpp/internal/pipeline"
+	"salientpp/internal/rng"
+	"salientpp/internal/sample"
+	"salientpp/internal/tensor"
+)
+
+// ErrClosed is returned by Predict once the server is shut down.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config controls the coalescing admission policy and the inference
+// sampling setup.
+type Config struct {
+	// MaxBatch caps the coalesced requests per rank per round; a rank
+	// reaching it fires the round immediately. Defaults to 64.
+	MaxBatch int
+	// MaxWait bounds how long the oldest queued request waits for company
+	// before a round fires anyway. 0 means the 500µs default; negative
+	// fires rounds as soon as any request arrives (lowest latency, least
+	// batching).
+	MaxWait time.Duration
+	// Fanouts are the inference sampling fanouts; nil uses the cluster's
+	// training fanouts.
+	Fanouts []int
+	// Seed drives inference sampling: round r on rank k samples with the
+	// stream Seed→Split(k)→Split(r), so a given (round, seed set) is
+	// reproducible offline.
+	Seed uint64
+	// UseTCP routes the serving gathers over loopback TCP instead of
+	// in-process channels.
+	UseTCP bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 500 * time.Microsecond
+	}
+	if c.MaxWait < 0 {
+		c.MaxWait = 0
+	}
+	return c
+}
+
+// Stats is the per-request accounting Predict returns. Stage durations
+// describe the micro-batch (round) that served the request; Queue and
+// Total are specific to the request.
+type Stats struct {
+	// Round is the global round that served the request; BatchSize is how
+	// many requests it coalesced on this rank.
+	Round     uint64
+	BatchSize int
+	// Queue is the admission-queue wait before the round started.
+	Queue time.Duration
+	// Sample, Gather, and Compute are the round's stage times.
+	Sample  time.Duration
+	Gather  time.Duration
+	Compute time.Duration
+	// Total is enqueue-to-reply latency.
+	Total time.Duration
+	// RemoteFetch and CacheHits classify the round's feature accesses.
+	RemoteFetch int
+	CacheHits   int
+}
+
+// request is a pooled in-flight prediction.
+type request struct {
+	vertex int32
+	out    []float32
+	stats  Stats
+	err    error
+	arrive time.Time
+	done   chan struct{} // cap 1; reused across lives
+}
+
+// Server coalesces concurrent per-vertex prediction requests into sampled
+// micro-batches over an in-process K-rank serving deployment. Predict is
+// safe for any number of concurrent callers.
+type Server struct {
+	cfg      Config
+	layout   *dist.Layout
+	engines  []*engine
+	comms    []dist.Comm
+	classes  int
+	numVerts int
+
+	reqPool  sync.Pool
+	arrivals chan struct{} // cap 1: "a request arrived somewhere"
+	full     chan struct{} // cap 1: "some rank reached MaxBatch"
+	shutdown chan struct{}
+	closed   sync.Once
+	wg       sync.WaitGroup
+	round    uint64
+
+	met *Metrics
+}
+
+// New builds a serving deployment over a trained (or training) cluster:
+// per rank, a sibling feature store sharing the read-only shard and cache
+// over a fresh communicator group, a frozen snapshot of the rank's model,
+// and an inference sampler. The cluster may keep training afterwards; the
+// server's predictions come from the snapshot taken here.
+func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	k := len(cl.Ranks)
+	if k == 0 {
+		return nil, fmt.Errorf("serve: cluster has no ranks")
+	}
+	fanouts := cfg.Fanouts
+	if len(fanouts) == 0 {
+		fanouts = cl.Ranks[0].Sampler().Fanouts()
+	}
+	var comms []dist.Comm
+	var err error
+	if cfg.UseTCP {
+		comms, err = dist.NewTCPGroup(k)
+	} else {
+		comms, err = dist.NewLocalGroup(k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		layout:   cl.Layout,
+		comms:    comms,
+		numVerts: cl.Data.NumVertices(),
+		arrivals: make(chan struct{}, 1),
+		full:     make(chan struct{}, 1),
+		shutdown: make(chan struct{}),
+		met:      newMetrics(cfg.MaxBatch),
+	}
+	// fail closes the shutdown channel too, so abort watchers already
+	// installed on sibling stores exit instead of leaking.
+	fail := func(err error) (*Server, error) {
+		s.closed.Do(func() { close(s.shutdown) })
+		s.closeComms()
+		return nil, err
+	}
+	for r := 0; r < k; r++ {
+		st, err := cl.Ranks[r].Store().Sibling(comms[r])
+		if err != nil {
+			return fail(err)
+		}
+		st.SetAbort(s.shutdown)
+		frozen := cl.Ranks[r].Model().Freeze()
+		if frozen.NumLayers() != len(fanouts) {
+			return fail(fmt.Errorf("serve: %d fanouts for a %d-layer model", len(fanouts), frozen.NumLayers()))
+		}
+		smp, err := sample.NewSampler(cl.Data.Graph, fanouts)
+		if err != nil {
+			return fail(err)
+		}
+		// Dedup scratch covers only this rank's partition interval:
+		// Predict routes every request to its vertex's owner, so the
+		// engine never indexes a foreign vertex, and total scratch across
+		// engines stays O(N) instead of O(N·K).
+		e := &engine{
+			srv:    s,
+			rank:   r,
+			store:  st,
+			model:  frozen,
+			worker: smp.NewWorker(rng.New(0)), // stream replaced every round
+			base:   rng.New(cfg.Seed).Split(uint64(r)),
+			lo:     int32(cl.Layout.Starts[r]),
+			stamp:  make([]uint64, cl.Layout.PartSize(r)),
+			rowOf:  make([]int32, cl.Layout.PartSize(r)),
+			start:  make(chan uint64),
+			ended:  make(chan struct{}, 1),
+		}
+		s.engines = append(s.engines, e)
+		s.classes = frozen.Classes()
+	}
+	s.wg.Add(1 + k)
+	for _, e := range s.engines {
+		go e.loop()
+	}
+	go s.driver()
+	return s, nil
+}
+
+// Classes returns the logit width Predict fills (len(out) must equal it).
+func (s *Server) Classes() int { return s.classes }
+
+// Metrics returns the server's live metrics registry.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Snapshot returns an aggregate view of the metrics, including the bytes
+// the serving collectives have moved so far.
+func (s *Server) Snapshot() Snapshot {
+	var bytes int64
+	for _, c := range s.comms {
+		bytes += c.BytesSent()
+	}
+	return s.met.snapshot(bytes)
+}
+
+// Predict requests class logits for vertex v, blocking until the coalesced
+// micro-batch containing the request completes. out receives the logits
+// and must have length Classes(). Safe for concurrent use; the warm path
+// performs no heap allocations.
+func (s *Server) Predict(v int32, out []float32) (Stats, error) {
+	if v < 0 || int(v) >= s.numVerts {
+		return Stats{}, fmt.Errorf("serve: vertex %d outside [0,%d)", v, s.numVerts)
+	}
+	if len(out) != s.classes {
+		return Stats{}, fmt.Errorf("serve: output buffer has %d slots for %d classes", len(out), s.classes)
+	}
+	r, _ := s.reqPool.Get().(*request)
+	if r == nil {
+		r = &request{done: make(chan struct{}, 1)}
+	}
+	r.vertex, r.out, r.err = v, out, nil
+	r.stats = Stats{}
+	r.arrive = time.Now()
+
+	e := s.engines[s.layout.Owner(v)]
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		r.out = nil
+		s.reqPool.Put(r)
+		return Stats{}, ErrClosed
+	}
+	e.pending = append(e.pending, r)
+	isFull := len(e.pending) >= s.cfg.MaxBatch
+	e.mu.Unlock()
+
+	select {
+	case s.arrivals <- struct{}{}:
+	default:
+	}
+	if isFull {
+		select {
+		case s.full <- struct{}{}:
+		default:
+		}
+	}
+
+	<-r.done
+	st, err := r.stats, r.err
+	r.out = nil
+	s.reqPool.Put(r)
+	return st, err
+}
+
+// Close shuts the server down: queued and in-flight requests fail with
+// ErrClosed (an in-flight Gather unwinds promptly through the abort
+// channel installed on every serving store), the driver and engines exit,
+// and the serving communicators are torn down. Safe to call more than
+// once.
+func (s *Server) Close() error {
+	s.closed.Do(func() { close(s.shutdown) })
+	s.wg.Wait()
+	s.closeComms()
+	return nil
+}
+
+func (s *Server) closeComms() {
+	for _, c := range s.comms {
+		c.Close()
+	}
+}
+
+// driver owns round formation: it waits for traffic, applies the
+// MaxBatch/MaxWait admission policy, and fires lockstep rounds across all
+// engines.
+func (s *Server) driver() {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	stopTimer := func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+	for {
+		select {
+		case <-s.shutdown:
+			s.failPending()
+			return
+		case <-s.arrivals:
+		}
+		oldest, any, isFull := s.scanQueues()
+		if !any {
+			continue // stale wake: the previous round already served it
+		}
+		// Admission window: hold the round open up to MaxWait from the
+		// oldest queued arrival unless some rank is already full.
+		if !isFull && s.cfg.MaxWait > 0 {
+			if wait := s.cfg.MaxWait - time.Since(oldest); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-s.shutdown:
+					stopTimer()
+					s.failPending()
+					return
+				case <-s.full:
+					stopTimer()
+				case <-timer.C:
+				}
+			}
+		}
+		round := s.round
+		s.round++
+		for _, e := range s.engines {
+			select {
+			case e.start <- round:
+			case <-s.shutdown:
+				// Engines that already received the round unwind through
+				// the comm abort; their final ended signal parks in the
+				// buffered channel.
+				s.failPending()
+				return
+			}
+		}
+		for _, e := range s.engines {
+			<-e.ended
+		}
+		// A full signal raised by requests this round already served is
+		// stale; scanQueues re-derives fullness freshly next iteration.
+		select {
+		case <-s.full:
+		default:
+		}
+		if _, any, _ := s.scanQueues(); any {
+			select {
+			case s.arrivals <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// scanQueues reports the oldest queued arrival, whether any request is
+// queued, and whether any rank has a full batch waiting.
+func (s *Server) scanQueues() (oldest time.Time, any, isFull bool) {
+	for _, e := range s.engines {
+		e.mu.Lock()
+		if n := len(e.pending); n > 0 {
+			a := e.pending[0].arrive
+			if !any || a.Before(oldest) {
+				oldest = a
+			}
+			any = true
+			if n >= s.cfg.MaxBatch {
+				isFull = true
+			}
+		}
+		e.mu.Unlock()
+	}
+	return oldest, any, isFull
+}
+
+// failPending marks every engine closed and fails all queued requests.
+// Engines executing a round keep going; their requests complete with the
+// gather abort error instead.
+func (s *Server) failPending() {
+	for _, e := range s.engines {
+		e.mu.Lock()
+		e.stopped = true
+		for i, r := range e.pending {
+			r.err = ErrClosed
+			r.done <- struct{}{}
+			e.pending[i] = nil
+		}
+		e.pending = e.pending[:0]
+		e.mu.Unlock()
+	}
+}
+
+// engine is one rank's serving state: admission queue, sibling store,
+// frozen model, sampler worker, and reusable round scratch.
+type engine struct {
+	srv    *Server
+	rank   int
+	store  *dist.Store
+	model  *nn.Frozen
+	worker *sample.Worker
+	base   *rng.RNG
+
+	mu      sync.Mutex
+	pending []*request
+	stopped bool
+
+	// Round scratch, touched only by this engine's executor goroutine.
+	// stamp and rowOf are indexed by v-lo: every request routed here is
+	// owned by this rank, so the scratch spans one partition interval.
+	lo       int32 // first vertex of this rank's partition interval
+	batch    []*request
+	seeds    []int32
+	stamp    []uint64 // (v-lo) -> round+1 marker for batch dedup
+	rowOf    []int32  // (v-lo) -> seed row in the current round
+	roundRNG rng.RNG  // per-round sampling stream, derived in place
+
+	start chan uint64
+	ended chan struct{}
+}
+
+// loop is the engine's executor goroutine: it runs rounds in lockstep with
+// its peers until shutdown.
+func (e *engine) loop() {
+	defer e.srv.wg.Done()
+	for {
+		select {
+		case <-e.srv.shutdown:
+			return
+		case round := <-e.start:
+			e.run(round)
+			e.ended <- struct{}{}
+		}
+	}
+}
+
+// run executes one serving round on this rank: snapshot up to MaxBatch
+// queued requests, coalesce them into a sorted deduplicated seed list,
+// sample, gather (matched with every peer, even when empty), forward, and
+// reply. All buffers are recycled before returning.
+func (e *engine) run(round uint64) {
+	s := e.srv
+	roundStart := time.Now()
+
+	e.mu.Lock()
+	n := len(e.pending)
+	if n > s.cfg.MaxBatch {
+		n = s.cfg.MaxBatch
+	}
+	e.batch = append(e.batch[:0], e.pending[:n]...)
+	rem := copy(e.pending, e.pending[n:])
+	for i := rem; i < len(e.pending); i++ {
+		e.pending[i] = nil
+	}
+	e.pending = e.pending[:rem]
+	e.mu.Unlock()
+
+	// Coalesce: concurrent requests for the same vertex share one seed.
+	// Sorting makes the micro-batch (and therefore the sampled MFG and the
+	// logits) a deterministic function of (round, vertex set), independent
+	// of request arrival order.
+	mark := round + 1
+	e.seeds = e.seeds[:0]
+	for _, r := range e.batch {
+		if e.stamp[r.vertex-e.lo] != mark {
+			e.stamp[r.vertex-e.lo] = mark
+			e.seeds = append(e.seeds, r.vertex)
+		}
+	}
+	slices.Sort(e.seeds)
+	for i, v := range e.seeds {
+		e.rowOf[v-e.lo] = int32(i)
+	}
+
+	e.base.SplitInto(round, &e.roundRNG)
+	e.worker.SetRNG(&e.roundRNG)
+	t0 := time.Now()
+	mfg := e.worker.Sample(e.seeds)
+	tSample := time.Since(t0)
+
+	t0 = time.Now()
+	feats, gstats, err := e.store.Gather(mfg.InputIDs())
+	tGather := time.Since(t0)
+	// RemoteByPeer aliases store scratch; only scalars may outlive the round.
+	gstats.RemoteByPeer = nil
+
+	var tCompute time.Duration
+	var logits *tensor.Matrix
+	if err == nil && len(e.seeds) > 0 {
+		t0 = time.Now()
+		logits, err = e.model.Forward(mfg, feats)
+		tCompute = time.Since(t0)
+	}
+
+	now := time.Now()
+	for i, r := range e.batch {
+		if err != nil {
+			r.err = err
+		} else {
+			copy(r.out, logits.Row(int(e.rowOf[r.vertex-e.lo])))
+			r.stats = Stats{
+				Round: round, BatchSize: n,
+				Queue:  roundStart.Sub(r.arrive),
+				Sample: tSample, Gather: tGather, Compute: tCompute,
+				Total:       now.Sub(r.arrive),
+				RemoteFetch: gstats.RemoteFetch, CacheHits: gstats.CacheHits,
+			}
+			s.met.observeRequest(&r.stats)
+		}
+		r.done <- struct{}{}
+		e.batch[i] = nil
+	}
+	e.batch = e.batch[:0]
+	if err == nil {
+		s.met.observeRound(n, gstats)
+	}
+	if feats != nil {
+		e.store.Release(feats)
+	}
+	mfg.Release()
+	e.model.ReleaseBatch()
+}

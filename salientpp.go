@@ -17,6 +17,7 @@
 //   - internal/tensor,nn  — dense float32 tensors and GraphSAGE fwd/bwd
 //   - internal/dist       — transports, collectives, partitioned feature store
 //   - internal/pipeline   — the real 10-stage training pipeline (§4.3)
+//   - internal/serve      — online inference with request coalescing
 //   - internal/simnet     — bandwidth/latency/token-bucket link models
 //   - internal/perfmodel  — discrete-event performance simulator
 //   - internal/experiments— harnesses for every table and figure
@@ -31,6 +32,7 @@ import (
 	"salientpp/internal/graph"
 	"salientpp/internal/partition"
 	"salientpp/internal/pipeline"
+	"salientpp/internal/serve"
 	"salientpp/internal/vip"
 )
 
@@ -53,6 +55,13 @@ type (
 	ClusterConfig = pipeline.ClusterConfig
 	// TrainConfig configures the per-rank training loop.
 	TrainConfig = pipeline.Config
+	// Server coalesces concurrent per-vertex prediction requests into
+	// sampled micro-batches over a frozen model snapshot.
+	Server = serve.Server
+	// ServeConfig configures the coalescing admission policy.
+	ServeConfig = serve.Config
+	// ServeStats is the per-request latency accounting Predict returns.
+	ServeStats = serve.Stats
 )
 
 // NewPapersDataset generates the scaled ogbn-papers100M analog with n
@@ -114,6 +123,15 @@ func VIPProbabilities(g *Graph, trainIDs []int32, cfg VIPConfig) ([]float64, err
 // feature sharding, communicators, and per-rank models.
 func NewCluster(ds *Dataset, cfg ClusterConfig) (*Cluster, error) {
 	return pipeline.NewCluster(ds, cfg)
+}
+
+// NewServer builds an online-inference server over a cluster: per rank, a
+// sibling feature store sharing the read-only shard and cache, a frozen
+// snapshot of the rank's model, and a coalescing admission queue. The
+// cluster may keep training afterwards; predictions come from the
+// snapshot.
+func NewServer(cl *Cluster, cfg ServeConfig) (*Server, error) {
+	return serve.New(cl, cfg)
 }
 
 // VIPCachePolicy returns the paper's analytic caching policy.
