@@ -35,6 +35,7 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 32, "coalescing: max requests per rank per round")
 		maxWait  = flag.Int64("maxwait", 1000, "coalescing: max microseconds the oldest request waits for company")
 		useTCP   = flag.Bool("tcp", false, "serve the feature collectives over loopback TCP")
+		ckptPath = flag.String("checkpoint", "", "serve a frozen snapshot restored from this checkpoint file (gnntrain -checkpoint-dir format); dataset, seed, batch, fanouts, and K are reconstructed from the file, overriding the corresponding flags")
 		seed     = flag.Uint64("seed", 7, "random seed")
 		asJSON   = flag.Bool("json", false, "also write the machine-readable report (-serveout)")
 		serveOut = flag.String("serveout", "BENCH_serve.json", "machine-readable output path")
@@ -57,6 +58,7 @@ func main() {
 	res, err := experiments.ServeBench(scale, experiments.ServeConfig{
 		Alphas: alphaList, Clients: *clients, RequestsPerClient: *requests,
 		MaxBatch: *maxBatch, MaxWaitMicros: *maxWait, UseTCP: *useTCP,
+		Checkpoint: *ckptPath,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -3,9 +3,17 @@
 // machines with partitioned features, VIP caching and reordering, the
 // deep minibatch pipeline, and synchronous gradient all-reduce.
 //
+// Fault tolerance: -checkpoint-dir enables coordinated checkpoints
+// (atomic rename-into-place, retain-K rotation) covering the complete
+// training state — weights, Adam moments, RNG streams, epoch/round cursor,
+// and the partition/VIP/cache topology. -resume restores the newest valid
+// checkpoint and continues bitwise identically to an uninterrupted run.
+//
 // Example:
 //
 //	gnntrain -dataset products-sim -n 8000 -k 2 -epochs 5
+//	gnntrain -dataset products-sim -checkpoint-dir ckpts -checkpoint-every-rounds 50
+//	gnntrain -dataset products-sim -checkpoint-dir ckpts -resume
 package main
 
 import (
@@ -30,6 +38,12 @@ func main() {
 		epochs   = flag.Int("epochs", 5, "training epochs")
 		lr       = flag.Float64("lr", 0.005, "Adam learning rate")
 		seed     = flag.Uint64("seed", 3, "random seed")
+
+		ckptDir    = flag.String("checkpoint-dir", "", "enable coordinated checkpointing into this directory")
+		ckptRounds = flag.Int("checkpoint-every-rounds", 0, "checkpoint every N pipeline rounds (0 disables mid-epoch checkpoints)")
+		ckptEpochs = flag.Int("checkpoint-every-epochs", 0, "checkpoint every N epoch boundaries (0 with no -checkpoint-every-rounds defaults to 1)")
+		ckptRetain = flag.Int("checkpoint-retain", 3, "keep the newest N checkpoint files")
+		resume     = flag.Bool("resume", false, "restore the newest valid checkpoint in -checkpoint-dir and continue (single dataset only)")
 	)
 	flag.Parse()
 
@@ -46,6 +60,11 @@ func main() {
 	cfg.Epochs = *epochs
 	cfg.LR = *lr
 	cfg.Seed = *seed
+	cfg.Checkpoint.Dir = *ckptDir
+	cfg.Checkpoint.EveryRounds = *ckptRounds
+	cfg.Checkpoint.EveryEpochs = *ckptEpochs
+	cfg.Checkpoint.Retain = *ckptRetain
+	cfg.Resume = *resume
 
 	rows, err := experiments.Accuracy(cfg)
 	if err != nil {

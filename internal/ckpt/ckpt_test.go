@@ -1,0 +1,273 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testState builds a small but fully populated state: 2 ranks, 2 params
+// each, non-trivial topology and partial statistics.
+func testState() *TrainState {
+	mkRank := func(seed float32) *RankState {
+		return &RankState{
+			Params: []ParamState{
+				{Rows: 2, Cols: 3, W: []float32{seed, 1, 2, 3, 4, 5}, M: []float32{6, 7, 8, 9, 10, 11}, V: []float32{0, 0, 1, 1, 2, 2}},
+				{Rows: 1, Cols: 2, W: []float32{seed + 0.5, -1}, M: []float32{0.25, 0.125}, V: []float32{1e-9, 2e-9}},
+			},
+			AdamStep: 17,
+			ModelRNG: [4]uint64{1, 2, 3, ^uint64(0)},
+			Partial: PartialEpoch{
+				Loss: 1.25, Accuracy: 0.5, Batches: 3,
+				LocalGPU: 10, LocalCPU: 4, CacheHit: 7, Remote: 2,
+				BytesSent: 4096, SampleNS: 11, GatherNS: 22, ComputeNS: 33,
+			},
+		}
+	}
+	return &TrainState{
+		Step:      Step{Epoch: 1, Round: 3},
+		Rounds:    5,
+		Dataset:   "toy-sim",
+		Seed:      77,
+		BatchSize: 2,
+		Fanouts:   []int32{3, 2},
+		Topo: &Topology{
+			NumVertices: 6, FeatureDim: 4, K: 2,
+			Perm:     []int32{0, 2, 4, 1, 3, 5},
+			Starts:   []int64{0, 3, 6},
+			Parts:    []int32{0, 0, 0, 1, 1, 1},
+			CacheIDs: [][]int32{{4, 5}, {0}},
+		},
+		Ranks: []*RankState{mkRank(0.5), mkRank(-0.5)},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := testState()
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", st, got)
+	}
+}
+
+// TestDecodeRejectsCorruption flips every byte of a valid checkpoint, one
+// at a time, and demands that Decode either errors or returns a state that
+// still validates — it must never panic. Most flips are caught by the
+// per-section CRC; preamble flips by the magic/version checks.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	st := testState()
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	corrupt := make([]byte, len(orig))
+	errors := 0
+	for i := range orig {
+		copy(corrupt, orig)
+		corrupt[i] ^= 0xff
+		if _, err := Decode(bytes.NewReader(corrupt)); err != nil {
+			errors++
+		}
+	}
+	// Every single-byte flip lands in the preamble, a section frame, or a
+	// CRC-covered payload, so every one must be detected.
+	if errors != len(orig) {
+		t.Fatalf("only %d of %d single-byte corruptions were rejected", errors, len(orig))
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	st := testState()
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for cut := 0; cut < len(orig); cut += 7 {
+		if _, err := Decode(bytes.NewReader(orig[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", cut, len(orig))
+		}
+	}
+}
+
+func TestValidateCatchesInconsistency(t *testing.T) {
+	mutations := map[string]func(*TrainState){
+		"nil topo":        func(s *TrainState) { s.Topo = nil },
+		"bad K":           func(s *TrainState) { s.Topo.K = 0 },
+		"bad batch":       func(s *TrainState) { s.BatchSize = 0 },
+		"no dataset":      func(s *TrainState) { s.Dataset = "" },
+		"no fanouts":      func(s *TrainState) { s.Fanouts = nil },
+		"bad fanout":      func(s *TrainState) { s.Fanouts[1] = -1 },
+		"cursor past end": func(s *TrainState) { s.Step.Round = s.Rounds },
+		"short perm":      func(s *TrainState) { s.Topo.Perm = s.Topo.Perm[:3] },
+		"layout gap":      func(s *TrainState) { s.Topo.Starts[1] = 99 },
+		"cache range":     func(s *TrainState) { s.Topo.CacheIDs[0][0] = 100 },
+		"param shape":     func(s *TrainState) { s.Ranks[1].Params[0].W = s.Ranks[1].Params[0].W[:2] },
+		"missing rank":    func(s *TrainState) { s.Ranks = s.Ranks[:1] },
+	}
+	for name, mut := range mutations {
+		st := testState()
+		mut(st)
+		if err := st.Validate(); err == nil {
+			t.Errorf("%s: mutation passed validation", name)
+		}
+	}
+}
+
+func TestSaverBarrierWriteAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSaver(Config{Dir: dir, EveryRounds: 1, Retain: 2}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testState()
+	s.SetTopology(base.Topo)
+	s.SetRunConfig(base.Dataset, base.Seed, int(base.BatchSize), []int{3, 2})
+	fill := func(src *RankState) func(*RankState) {
+		return func(dst *RankState) { *dst = *src }
+	}
+	steps := []Step{{0, 2}, {0, 4}, {1, 0}, {1, 2}}
+	for _, step := range steps {
+		// Offers may arrive in any rank order; the write happens on the
+		// second (last) arrival.
+		if err := s.Offer(1, step, fill(base.Ranks[1])); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, FileName(step))); err == nil {
+			t.Fatalf("step %+v written before the barrier completed", step)
+		}
+		if err := s.Offer(0, step, fill(base.Ranks[0])); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, FileName(step))); err != nil {
+			t.Fatalf("step %+v not written after the barrier: %v", step, err)
+		}
+	}
+
+	// Retain 2: only the two newest files survive, and no temp droppings.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("stale temp file %s after rotation", e.Name())
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("rotation kept %d files %v, want 2", len(names), names)
+	}
+
+	// Latest picks the newest by step; the loaded state round-trips.
+	latest, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latest) != FileName(Step{1, 2}) {
+		t.Fatalf("latest = %s, want %s", latest, FileName(Step{1, 2}))
+	}
+	got, path, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != latest {
+		t.Fatalf("LoadLatest chose %s, Latest says %s", path, latest)
+	}
+	if got.Step != (Step{1, 2}) || len(got.Ranks) != 2 {
+		t.Fatalf("loaded wrong state: %+v", got.Step)
+	}
+
+	// A duplicate offer for an already-saved step is silently ignored
+	// (round and epoch triggers may coincide).
+	if err := s.Offer(0, Step{1, 2}, fill(base.Ranks[0])); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadLatestSkipsTornFile plants a corrupt newest checkpoint and
+// checks restore falls back to the previous valid one.
+func TestLoadLatestSkipsTornFile(t *testing.T) {
+	dir := t.TempDir()
+	older := testState()
+	older.Step = Step{Epoch: 0, Round: 2}
+	var buf bytes.Buffer
+	if err := Encode(&buf, older); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, FileName(older.Step)), buf.Bytes(), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// Newest file: valid prefix, torn tail.
+	if err := os.WriteFile(filepath.Join(dir, FileName(Step{1, 0})), buf.Bytes()[:buf.Len()/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	got, path, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != FileName(older.Step) {
+		t.Fatalf("LoadLatest used %s instead of falling back", path)
+	}
+	if got.Step != older.Step {
+		t.Fatalf("fell back to wrong state %+v", got.Step)
+	}
+}
+
+func TestSaverRejectsBarrierViolations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSaver(Config{Dir: dir, EveryRounds: 1}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTopology(testState().Topo)
+	s.SetRunConfig("toy-sim", 77, 2, []int{3, 2})
+	fill := func(dst *RankState) { *dst = *testState().Ranks[0] }
+	if err := s.Offer(0, Step{0, 1}, fill); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Offer(0, Step{0, 1}, fill); err == nil {
+		t.Fatal("duplicate offer from the same rank was accepted")
+	}
+	s2, err := NewSaver(Config{Dir: dir, EveryRounds: 1}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.SetTopology(testState().Topo)
+	s2.SetRunConfig("toy-sim", 77, 2, []int{3, 2})
+	if err := s2.Offer(0, Step{0, 1}, fill); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Offer(1, Step{0, 2}, fill); err == nil {
+		t.Fatal("mismatched step across ranks was accepted")
+	}
+}
+
+func TestDueTriggers(t *testing.T) {
+	s, err := NewSaver(Config{Dir: t.TempDir(), EveryRounds: 3, EveryEpochs: 2}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rounds, want := range map[int]bool{1: false, 3: true, 6: true, 10: false} {
+		if got := s.DueRound(rounds); got != want {
+			t.Errorf("DueRound(%d) = %v, want %v", rounds, got, want)
+		}
+	}
+	for epochs, want := range map[int]bool{1: false, 2: true, 3: false, 4: true} {
+		if got := s.DueEpoch(epochs); got != want {
+			t.Errorf("DueEpoch(%d) = %v, want %v", epochs, got, want)
+		}
+	}
+}

@@ -1,11 +1,32 @@
 package dist
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
 	"salientpp/internal/tensor"
 )
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// baseline+slack, failing the test otherwise — the same leak-regression
+// pattern as pipeline/failure_test.go.
+func waitGoroutines(t *testing.T, baseline, slack int, context string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("%s leaked goroutines: %d > baseline %d\n%s",
+				context, runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
 
 // testAbortUnblocksGather blocks a Gather mid-collective (the peer never
 // issues its matching call) and fires the abort channel installed with
@@ -14,6 +35,7 @@ import (
 // shutdown.
 func testAbortUnblocksGather(t *testing.T, mk func(k int) ([]Comm, error)) {
 	t.Helper()
+	baseline := runtime.NumGoroutine()
 	const n, dim = 32, 4
 	comms, err := mk(2)
 	if err != nil {
@@ -59,6 +81,16 @@ func testAbortUnblocksGather(t *testing.T, mk func(k int) ([]Comm, error)) {
 	if _, _, err := st.Gather(ids); err == nil {
 		t.Fatal("gather on an aborted group succeeded")
 	}
+	// Leak regression: both aborted gathers must hand their pooled output
+	// matrices back (before the failGather cleanup they leaked from the
+	// store pool), and every transport goroutine — abort watcher included
+	// — must unwind once the group is closed.
+	if live := st.Live(); live != 0 {
+		t.Fatalf("aborted gathers leaked %d pooled matrices", live)
+	}
+	comms[0].Close()
+	comms[1].Close()
+	waitGoroutines(t, baseline, 2, "abort path")
 }
 
 func TestSetAbortUnblocksGatherLocal(t *testing.T) { testAbortUnblocksGather(t, NewLocalGroup) }

@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+
+	"salientpp/internal/tensor"
+)
+
+// TestGatherRejectsCorruptPeerRequests plays a malicious rank 1 by hand:
+// it participates in the first two gather collectives but requests vertex
+// ids rank 0 does not own — including negative ids, which Layout.Owner
+// maps to rank 0 (everything below Starts[1] does), so before the explicit
+// interval check the row subtraction indexed the local shard out of
+// bounds and panicked. The decoder must error, never panic, and must hand
+// its pooled output back.
+func TestGatherRejectsCorruptPeerRequests(t *testing.T) {
+	const n, dim = 32, 4
+	for _, evil := range []int32{-5, n, 1 << 30} {
+		comms, err := NewLocalGroup(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layout, err := NewLayout([]int64{0, n / 2, n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := tensor.New(n/2, dim)
+		st, err := NewStore(comms[0], layout, dim, local, nil, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		errCh := make(chan error, 1)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Gather panicked on corrupt peer request %d: %v", evil, r)
+					errCh <- nil
+				}
+			}()
+			_, _, err := st.Gather(nil) // no requests of its own
+			errCh <- err
+		}()
+
+		// Rank 1 by hand: collective 1 announces one request for rank 0,
+		// collective 2 sends the out-of-range id.
+		var cnt [8]byte
+		binary.LittleEndian.PutUint32(cnt[0:], 1) // one id for rank 0
+		if _, err := comms[1].AllToAll([][]byte{cnt[0:4], nil}); err != nil {
+			t.Fatal(err)
+		}
+		var ids [4]byte
+		binary.LittleEndian.PutUint32(ids[:], uint32(evil))
+		if _, err := comms[1].AllToAll([][]byte{ids[:], nil}); err != nil {
+			t.Fatal(err)
+		}
+
+		select {
+		case err := <-errCh:
+			if err == nil || !strings.Contains(err.Error(), "not owned here") {
+				t.Fatalf("corrupt request %d: got %v, want a not-owned error", evil, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("corrupt request %d: Gather still blocked", evil)
+		}
+		if live := st.Live(); live != 0 {
+			t.Fatalf("corrupt request %d: %d pooled matrices leaked", evil, live)
+		}
+		comms[0].Close()
+	}
+}

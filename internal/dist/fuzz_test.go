@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFrameDecode drives the transport's frame decoder with arbitrary
+// bytes: decodeFrame must error — never panic, never allocate beyond the
+// bytes actually present — on truncated, oversized, or garbage input, and
+// any frame it accepts must match a re-encode of its payload.
+func FuzzFrameDecode(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		return append(hdr[:], payload...)
+	}
+	// Seed corpus: empty frame, small frame, truncated frame, a header
+	// claiming far more bytes than follow, and an over-limit length.
+	f.Add(frame(nil))
+	f.Add(frame([]byte("feature payload")))
+	f.Add(frame([]byte("feature payload"))[:6])
+	f.Add([]byte{0xff, 0xff, 0x00, 0x00, 1, 2, 3})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		payload, err := decodeFrame(r)
+		if err != nil {
+			return
+		}
+		if len(payload) > len(data)-4 {
+			t.Fatalf("decoded %d payload bytes from %d input bytes", len(payload), len(data))
+		}
+		want := binary.LittleEndian.Uint32(data[:4])
+		if uint32(len(payload)) != want {
+			t.Fatalf("decoded %d bytes, header promised %d", len(payload), want)
+		}
+		if !bytes.Equal(payload, data[4:4+want]) {
+			t.Fatal("payload differs from wire bytes")
+		}
+	})
+}
+
+// FuzzWireViews checks the zero-copy int32/float32 reinterpretations
+// tolerate every length (they truncate partial trailing elements rather
+// than reading out of bounds).
+func FuzzWireViews(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Copy to a fresh allocation so the views get the alignment the
+		// production callers guarantee.
+		b := append([]byte(nil), data...)
+		if got := bytesAsI32(b); len(got) != len(b)/4 {
+			t.Fatalf("bytesAsI32 yielded %d elements from %d bytes", len(got), len(b))
+		}
+		if got := bytesAsF32(b); len(got) != len(b)/4 {
+			t.Fatalf("bytesAsF32 yielded %d elements from %d bytes", len(got), len(b))
+		}
+	})
+}

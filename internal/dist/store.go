@@ -162,6 +162,17 @@ func (s *Store) Dim() int { return s.dim }
 // Install before the first Gather; do not call concurrently with Gather.
 func (s *Store) SetAbort(abort <-chan struct{}) { s.comm.SetAbort(abort) }
 
+// failGather returns a Gather error after handing the pooled output back.
+func (s *Store) failGather(out *tensor.Matrix, stats GatherStats, err error) (*tensor.Matrix, GatherStats, error) {
+	s.pool.Put(out)
+	return nil, stats, err
+}
+
+// Live returns the number of matrices handed out by Gather and not yet
+// returned with Release — the store-pool leak gauge the shutdown/abort
+// regression tests assert returns to zero.
+func (s *Store) Live() int64 { return s.pool.Live() }
+
 // Release returns a matrix obtained from Gather to the store's pool. The
 // matrix must not be used afterwards. Optional — an unreleased matrix is
 // simply collected by the GC — but the training pipeline releases every
@@ -182,6 +193,8 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 	}
 	stats := GatherStats{RemoteByPeer: s.byPeer[:k]}
 	out := s.pool.Get(len(ids), s.dim)
+	// Every error path below hands the pooled output back via failGather,
+	// so an aborted or failed gather leaks nothing from the store's pool.
 
 	// Classify accesses, satisfy local/cached rows immediately, and build
 	// per-peer request lists for the rest.
@@ -222,7 +235,7 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 	}
 	cnts, err := s.comm.AllToAll(s.sendPtr)
 	if err != nil {
-		return nil, stats, err
+		return s.failGather(out, stats, err)
 	}
 	// Decode before the next collective recycles the receive buffers.
 	for p := 0; p < k; p++ {
@@ -231,7 +244,7 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 			continue
 		}
 		if len(cnts[p]) != 4 {
-			return nil, stats, fmt.Errorf("dist: rank %d sent a %d-byte count frame", p, len(cnts[p]))
+			return s.failGather(out, stats, fmt.Errorf("dist: rank %d sent a %d-byte count frame", p, len(cnts[p])))
 		}
 		s.cntRecv[p] = int32(binary.LittleEndian.Uint32(cnts[p]))
 	}
@@ -248,7 +261,7 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 	}
 	reqs, err := s.comm.AllToAll(s.sendPtr)
 	if err != nil {
-		return nil, stats, err
+		return s.failGather(out, stats, err)
 	}
 
 	// Collective 3: feature payloads answering each peer's request list.
@@ -261,7 +274,7 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 		}
 		want := bytesAsI32(reqs[p])
 		if int32(len(want)) != s.cntRecv[p] {
-			return nil, stats, fmt.Errorf("dist: rank %d announced %d requests but sent %d ids", p, s.cntRecv[p], len(want))
+			return s.failGather(out, stats, fmt.Errorf("dist: rank %d announced %d requests but sent %d ids", p, s.cntRecv[p], len(want)))
 		}
 		if len(want) == 0 {
 			continue
@@ -273,8 +286,12 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 			buf = buf[:need]
 		}
 		for j, v := range want {
-			if s.layout.Owner(v) != rank {
-				return nil, stats, fmt.Errorf("dist: rank %d requested vertex %d not owned here", p, v)
+			// Explicit interval check, not Owner(): a corrupt peer can send
+			// a negative or out-of-range id, and Owner maps everything below
+			// Starts[1] — including negatives — to rank 0, which would turn
+			// the row subtraction below into an out-of-bounds panic.
+			if int64(v) < s.layout.Starts[rank] || int64(v) >= s.layout.Starts[rank+1] {
+				return s.failGather(out, stats, fmt.Errorf("dist: rank %d requested vertex %d not owned here", p, v))
 			}
 			row := int(int64(v) - s.layout.Starts[rank])
 			copy(buf[j*s.dim:(j+1)*s.dim], s.local.Row(row))
@@ -284,7 +301,7 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 	}
 	feats, err := s.comm.AllToAll(s.sendPtr)
 	if err != nil {
-		return nil, stats, err
+		return s.failGather(out, stats, err)
 	}
 
 	// Scatter the received payloads directly into the waiting output rows
@@ -295,7 +312,7 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 		}
 		vals := bytesAsF32(feats[p])
 		if len(vals) != len(s.rowOf[p])*s.dim {
-			return nil, stats, fmt.Errorf("dist: rank %d returned %d values for %d requested rows", p, len(vals), len(s.rowOf[p]))
+			return s.failGather(out, stats, fmt.Errorf("dist: rank %d returned %d values for %d requested rows", p, len(vals), len(s.rowOf[p])))
 		}
 		for j, row := range s.rowOf[p] {
 			copy(out.Row(int(row)), vals[j*s.dim:(j+1)*s.dim])

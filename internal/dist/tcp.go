@@ -181,6 +181,9 @@ func (c *tcpComm) failed() error {
 
 // writeFrame sends one length-prefixed payload.
 func writeFrame(conn net.Conn, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("dist: %d-byte payload exceeds the %d-byte frame limit", len(payload), maxFrame)
+	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := conn.Write(hdr[:]); err != nil {
@@ -193,21 +196,10 @@ func writeFrame(conn net.Conn, payload []byte) error {
 	return err
 }
 
-// readFrame receives one length-prefixed payload.
+// readFrame receives one length-prefixed payload (see decodeFrame for the
+// bounded, corruption-tolerant framing contract).
 func readFrame(conn net.Conn) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 {
-		return nil, nil
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(conn, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
+	return decodeFrame(conn)
 }
 
 func (c *tcpComm) AllToAll(send [][]byte) ([][]byte, error) {

@@ -1,6 +1,11 @@
 package dist
 
-import "unsafe"
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"unsafe"
+)
 
 // Zero-copy wire conversions. The feature-gather hot path reinterprets
 // int32/float32 slices as their byte payloads (and back) instead of
@@ -13,6 +18,54 @@ import "unsafe"
 // framing used for counts matches on the amd64/arm64 targets. The returned
 // slices alias their argument — they are views, not copies — and payloads
 // handed to AllToAll are only read until the collective returns.
+
+// maxFrame bounds a single transport frame (1 GiB). Feature payloads at
+// reproduction scale are a few MiB; anything beyond the bound is treated
+// as a corrupt or hostile header rather than allocated.
+const maxFrame = 1 << 30
+
+// decodeFrame reads one length-prefixed frame from r: a little-endian u32
+// length followed by that many payload bytes. It returns an error — never
+// panics, never allocates more than the bytes actually present — on
+// corrupt input: the payload buffer grows incrementally in bounded chunks
+// while reading, so a lying length prefix on a truncated stream costs at
+// most one chunk. This is the TCP transport's receive path and the fuzz
+// surface of FuzzFrameDecode.
+func decodeFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("dist: frame of %d bytes exceeds the %d-byte limit", n, maxFrame)
+	}
+	// Fill the current capacity, then grow geometrically (doubling, capped
+	// at n): a truthful header costs O(log(n/64Ki)) allocations with at
+	// most 2x total copy traffic on this hot receive path, while a lying
+	// header on a truncated stream allocates at most ~2x the bytes
+	// actually read plus one 64 KiB floor — growth only happens after the
+	// previous capacity was really received.
+	const chunk = 64 << 10
+	buf := make([]byte, 0, min(int(n), chunk))
+	for len(buf) < int(n) {
+		if len(buf) == cap(buf) {
+			grown := make([]byte, len(buf), min(int(n), 2*cap(buf)))
+			copy(grown, buf)
+			buf = grown
+		}
+		lo := len(buf)
+		hi := min(int(n), cap(buf))
+		buf = buf[:hi]
+		if _, err := io.ReadFull(r, buf[lo:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
 
 // i32AsBytes returns the byte view of x.
 func i32AsBytes(x []int32) []byte {

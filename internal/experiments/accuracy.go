@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"salientpp/internal/ckpt"
 	"salientpp/internal/dataset"
 	"salientpp/internal/metrics"
 	"salientpp/internal/pipeline"
@@ -25,6 +26,17 @@ type AccuracyConfig struct {
 	Epochs     int
 	LR         float64
 	Seed       uint64
+
+	// Checkpoint enables coordinated fault-tolerance checkpoints for the
+	// training runs (internal/ckpt): Dir, EveryRounds/EveryEpochs
+	// triggers, retain-K rotation. If a Dir is set with no trigger, epoch
+	// boundaries are checkpointed.
+	Checkpoint ckpt.Config
+	// Resume restores the newest valid checkpoint in Checkpoint.Dir and
+	// continues training from its epoch/round cursor — bitwise identically
+	// to a run that was never interrupted. Requires exactly one dataset
+	// (a checkpoint belongs to one training run).
+	Resume bool
 }
 
 // DefaultAccuracyConfig is sized for a few minutes on a small CPU box.
@@ -56,51 +68,85 @@ type AccuracyRow struct {
 
 // Accuracy trains each dataset for real on the full distributed stack and
 // reports losses and sampled-inference accuracies.
+// DatasetByName regenerates one of the reduced-scale training analogs by
+// name. Accuracy, the serve bench, and checkpoint restore all go through
+// here so "the same dataset" means bit-identical features for all three
+// (regeneration is deterministic in (name, n, seed); checkpoints store
+// those, not feature bytes).
+func DatasetByName(name string, n int, seed uint64) (*dataset.Dataset, error) {
+	switch name {
+	case "products-sim":
+		return dataset.ProductsSim(n, true, seed)
+	case "papers-sim":
+		// The sparse-label analogs need enough labeled vertices to train
+		// at reduced scale: regenerate with products-like splits but
+		// papers-like graph statistics.
+		return dataset.Generate(dataset.SyntheticConfig{
+			Name: "papers-sim", NumVertices: n, AvgDegree: 28.8,
+			FeatureDim: 128, NumClasses: 32,
+			TrainFrac: 0.10, ValFrac: 0.02, TestFrac: 0.05,
+			FeatureNoise: 0.6, Materialize: true, Seed: seed,
+		})
+	case "mag240-sim":
+		return dataset.Generate(dataset.SyntheticConfig{
+			Name: "mag240-sim", NumVertices: n, AvgDegree: 21.5,
+			FeatureDim: 128, NumClasses: 32, // feature dim reduced from 768 for CPU-time budget
+			TrainFrac: 0.10, ValFrac: 0.02, TestFrac: 0.05,
+			FeatureNoise: 0.6, Materialize: true, Seed: seed,
+		})
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+}
+
 func Accuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
+	if cfg.Checkpoint.Dir != "" && cfg.Checkpoint.EveryRounds == 0 && cfg.Checkpoint.EveryEpochs == 0 {
+		cfg.Checkpoint.EveryEpochs = 1
+	}
+	if cfg.Checkpoint.Dir != "" && len(cfg.Datasets) != 1 {
+		// Checkpoint files are named by (epoch, round) only, so two
+		// datasets sharing a directory would silently clobber and rotate
+		// each other's files.
+		return nil, fmt.Errorf("experiments: checkpointing requires exactly one dataset, got %d (one checkpoint directory per run)", len(cfg.Datasets))
+	}
+	if cfg.Resume && cfg.Checkpoint.Dir == "" {
+		return nil, fmt.Errorf("experiments: -resume needs a checkpoint directory")
+	}
 	var rows []AccuracyRow
 	for _, name := range cfg.Datasets {
-		var ds *dataset.Dataset
-		var err error
-		switch name {
-		case "products-sim":
-			ds, err = dataset.ProductsSim(cfg.N, true, cfg.Seed)
-		case "papers-sim":
-			// The sparse-label analogs need enough labeled vertices to
-			// train at reduced scale: regenerate with products-like splits
-			// but papers-like graph statistics.
-			ds, err = dataset.Generate(dataset.SyntheticConfig{
-				Name: "papers-sim", NumVertices: cfg.N, AvgDegree: 28.8,
-				FeatureDim: 128, NumClasses: 32,
-				TrainFrac: 0.10, ValFrac: 0.02, TestFrac: 0.05,
-				FeatureNoise: 0.6, Materialize: true, Seed: cfg.Seed,
-			})
-		case "mag240-sim":
-			ds, err = dataset.Generate(dataset.SyntheticConfig{
-				Name: "mag240-sim", NumVertices: cfg.N, AvgDegree: 21.5,
-				FeatureDim: 128, NumClasses: 32, // feature dim reduced from 768 for CPU-time budget
-				TrainFrac: 0.10, ValFrac: 0.02, TestFrac: 0.05,
-				FeatureNoise: 0.6, Materialize: true, Seed: cfg.Seed,
-			})
-		default:
-			return nil, fmt.Errorf("experiments: unknown dataset %q", name)
-		}
+		ds, err := DatasetByName(name, cfg.N, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		cl, err := pipeline.NewCluster(ds, pipeline.ClusterConfig{
+		ccfg := pipeline.ClusterConfig{
 			K: cfg.K, Alpha: cfg.Alpha, GPUFraction: 1, VIPReorder: true,
 			Hidden: cfg.Hidden, Layers: len(cfg.Fanouts), Dropout: 0,
 			Train: pipeline.Config{
 				Fanouts: cfg.Fanouts, BatchSize: cfg.Batch,
 				PipelineDepth: 10, SamplerWorkers: 2, LR: cfg.LR, Seed: cfg.Seed,
 			},
-			ModelSeed: cfg.Seed + 1,
-		})
+			ModelSeed:  cfg.Seed + 1,
+			Checkpoint: cfg.Checkpoint,
+		}
+		if cfg.Resume {
+			state, path, err := ckpt.LoadLatest(cfg.Checkpoint.Dir)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: loading latest checkpoint: %w", err)
+			}
+			fmt.Printf("resuming %s from %s (epoch %d, round %d)\n", name, path, state.Step.Epoch, state.Step.Round)
+			ccfg.Resume = state
+		}
+		cl, err := pipeline.NewCluster(ds, ccfg)
 		if err != nil {
 			return nil, err
 		}
+		if cl.FirstEpoch() >= cfg.Epochs {
+			cl.Close()
+			return nil, fmt.Errorf("experiments: checkpoint already covers epoch %d of the requested %d; raise -epochs to continue the run",
+				cl.FirstEpoch(), cfg.Epochs)
+		}
 		row := AccuracyRow{Dataset: name}
-		for e := 0; e < cfg.Epochs; e++ {
+		for e := cl.FirstEpoch(); e < cfg.Epochs; e++ {
 			stats, err := cl.TrainEpochAll(e)
 			if err != nil {
 				cl.Close()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"salientpp/internal/ckpt"
 	"salientpp/internal/dataset"
 	"salientpp/internal/metrics"
 	"salientpp/internal/pipeline"
@@ -83,6 +84,13 @@ type ServeConfig struct {
 	MaxWaitMicros int64
 	// UseTCP serves over loopback TCP instead of in-process channels.
 	UseTCP bool
+	// Checkpoint, when set, serves a frozen snapshot restored from this
+	// checkpoint file (the format cmd/gnntrain -checkpoint-dir writes):
+	// the cluster — dataset, partition layout, cache contents, trained
+	// weights, model dimensions — is rebuilt entirely from the file
+	// instead of being trained fresh, and the α sweep collapses to the
+	// checkpoint's own cache configuration.
+	Checkpoint string
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -104,6 +112,17 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	return c
 }
 
+// serveBenchDataset is the analog ServeBench (and the checkpoint-serving
+// test, which must regenerate the identical dataset) runs on.
+func serveBenchDataset(scale Scale) (*dataset.Dataset, error) {
+	return dataset.Generate(dataset.SyntheticConfig{
+		Name: "papers-sim", NumVertices: scale.PapersN, AvgDegree: 28.8,
+		FeatureDim: 128, NumClasses: 32,
+		TrainFrac: 0.10, ValFrac: 0.02, TestFrac: 0.05,
+		FeatureNoise: 0.6, Materialize: true, Seed: scale.Seed,
+	})
+}
+
 // ServeBench builds a K=2 cluster on the papers-sim analog per α, freezes
 // the model into a serving deployment, and drives it with closed-loop
 // clients. Per-α clusters share the scale seed, so partitioning, VIP
@@ -113,30 +132,70 @@ func ServeBench(scale Scale, cfg ServeConfig) (*ServeBenchResult, error) {
 	cfg = cfg.withDefaults()
 	restore, procs := ensureParallel()
 	defer restore()
-	ds, err := dataset.Generate(dataset.SyntheticConfig{
-		Name: "papers-sim", NumVertices: scale.PapersN, AvgDegree: 28.8,
-		FeatureDim: 128, NumClasses: 32,
-		TrainFrac: 0.10, ValFrac: 0.02, TestFrac: 0.05,
-		FeatureNoise: 0.6, Materialize: true, Seed: scale.Seed,
-	})
-	if err != nil {
-		return nil, err
+	var (
+		ds    *dataset.Dataset
+		dims  ModelDims
+		k     = 2
+		seed  = scale.Seed
+		state *ckpt.TrainState
+		err   error
+	)
+	if cfg.Checkpoint != "" {
+		// Serving from a checkpoint: every run parameter that must match
+		// the checkpointed training run — dataset identity, seed, batch
+		// size, fanouts, K, and the hidden width (recovered from the saved
+		// parameter shapes) — is reconstructed from the file itself, so
+		// any gnntrain/gnnserve checkpoint is servable without replaying
+		// its flags.
+		state, err = ckpt.Load(cfg.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		ds, err = DatasetByName(state.Dataset, int(state.Topo.NumVertices), state.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("regenerating the checkpointed dataset: %w", err)
+		}
+		k = int(state.Topo.K)
+		seed = state.Seed
+		scale.Batch = int(state.BatchSize)
+		scale.Seed = state.Seed
+		fanouts := make([]int, len(state.Fanouts))
+		for i, f := range state.Fanouts {
+			fanouts[i] = int(f)
+		}
+		// Layer 0's WSelf is inDim x hidden (x classes for a 1-layer
+		// model, where the hidden width is unused anyway).
+		dims = ModelDims{Hidden: int(state.Ranks[0].Params[0].Cols), Fanouts: fanouts}
+	} else {
+		ds, err = serveBenchDataset(scale)
+		if err != nil {
+			return nil, err
+		}
+		dims = PaperDims(ds.Name)
 	}
-	dims := PaperDims(ds.Name)
-	const k = 2
 	res := &ServeBenchResult{
 		Dataset: ds.Name, Vertices: ds.NumVertices(), Edges: ds.Graph.NumEdges(),
 		K: k, Fanouts: dims.Fanouts, Hidden: dims.Hidden,
 		MaxBatch: cfg.MaxBatch, MaxWaitMicros: cfg.MaxWaitMicros,
 		Clients: cfg.Clients, RequestsPerClient: cfg.RequestsPerClient,
-		Seed: scale.Seed, MaxProcs: procs, NumCPU: runtime.NumCPU(),
+		Seed: seed, MaxProcs: procs, NumCPU: runtime.NumCPU(),
 	}
-	for _, alpha := range cfg.Alphas {
-		row, err := serveOneAlpha(ds, scale, cfg, dims, k, alpha)
+	if state != nil {
+		// One row: the checkpoint's own cache configuration.
+		alpha := float64(len(state.Topo.CacheIDs[0])*k) / float64(ds.NumVertices())
+		row, err := serveOneAlpha(ds, scale, cfg, dims, k, alpha, state)
 		if err != nil {
-			return nil, fmt.Errorf("serve bench at alpha=%v: %w", alpha, err)
+			return nil, fmt.Errorf("serve bench from checkpoint %s: %w", cfg.Checkpoint, err)
 		}
 		res.Alphas = append(res.Alphas, *row)
+	} else {
+		for _, alpha := range cfg.Alphas {
+			row, err := serveOneAlpha(ds, scale, cfg, dims, k, alpha, nil)
+			if err != nil {
+				return nil, fmt.Errorf("serve bench at alpha=%v: %w", alpha, err)
+			}
+			res.Alphas = append(res.Alphas, *row)
+		}
 	}
 	for i, r := range res.Alphas {
 		if i == 0 || r.P95 < res.BestP95Seconds {
@@ -149,17 +208,26 @@ func ServeBench(scale Scale, cfg ServeConfig) (*ServeBenchResult, error) {
 	return res, nil
 }
 
-func serveOneAlpha(ds *dataset.Dataset, scale Scale, cfg ServeConfig, dims ModelDims, k int, alpha float64) (*ServeAlphaRow, error) {
-	cl, err := pipeline.NewCluster(ds, pipeline.ClusterConfig{
+// serveClusterConfig is the cluster assembly serveOneAlpha uses. It is a
+// named helper so the checkpoint-serving test trains its checkpoint with
+// exactly this configuration (resume validation requires a match).
+func serveClusterConfig(scale Scale, useTCP bool, dims ModelDims, k int, alpha float64) pipeline.ClusterConfig {
+	return pipeline.ClusterConfig{
 		K: k, Alpha: alpha, GPUFraction: 1, VIPReorder: true,
-		Hidden: dims.Hidden, Layers: len(dims.Fanouts), UseTCP: cfg.UseTCP,
+		Hidden: dims.Hidden, Layers: len(dims.Fanouts), UseTCP: useTCP,
 		Train: pipeline.Config{
 			Fanouts: dims.Fanouts, BatchSize: scale.Batch, PipelineDepth: 10,
 			SamplerWorkers: scale.Workers, Parallelism: scale.Workers,
 			LR: 1e-3, Seed: scale.Seed,
 		},
 		ModelSeed: scale.Seed + 1,
-	})
+	}
+}
+
+func serveOneAlpha(ds *dataset.Dataset, scale Scale, cfg ServeConfig, dims ModelDims, k int, alpha float64, resume *ckpt.TrainState) (*ServeAlphaRow, error) {
+	ccfg := serveClusterConfig(scale, cfg.UseTCP, dims, k, alpha)
+	ccfg.Resume = resume
+	cl, err := pipeline.NewCluster(ds, ccfg)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"salientpp/internal/ckpt"
+	"salientpp/internal/pipeline"
 )
 
 // TestServeBenchReport runs the serving benchmark at test scale and checks
@@ -80,5 +83,124 @@ func TestServeBenchReport(t *testing.T) {
 	}
 	if AnyRegressed(cs) {
 		t.Fatalf("self-comparison regressed: %+v", cs)
+	}
+}
+
+// TestServeBenchFromCheckpoint exercises the serve-from-snapshot path: a
+// short checkpointed training run (the exact cluster configuration
+// ServeBench uses), then ServeBench pointed at the checkpoint file instead
+// of training fresh — the restored cluster's cache configuration becomes
+// the single reported row.
+func TestServeBenchFromCheckpoint(t *testing.T) {
+	scale := SmallScale()
+	scale.PapersN = 4000
+	ds, err := serveBenchDataset(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := PaperDims(ds.Name)
+	dir := t.TempDir()
+	const alpha = 0.08
+	ccfg := serveClusterConfig(scale, false, dims, 2, alpha)
+	ccfg.Checkpoint = ckpt.Config{Dir: dir, EveryEpochs: 1}
+	cl, err := pipeline.NewCluster(ds, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.TrainEpochAll(0); err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	trainedW := flatRankWeights(cl)
+	cl.Close()
+	path, err := ckpt.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ServeBench(scale, ServeConfig{
+		Clients: 4, RequestsPerClient: 25, Checkpoint: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alphas) != 1 {
+		t.Fatalf("checkpoint serving produced %d rows, want 1", len(res.Alphas))
+	}
+	row := res.Alphas[0]
+	if row.Requests != 4*25 || row.ThroughputRPS <= 0 {
+		t.Fatalf("implausible serving row: %+v", row)
+	}
+	// The row's α must reflect the checkpoint's cache, not a sweep default.
+	if diff := row.Alpha - alpha; diff < -0.01 || diff > 0.01 {
+		t.Fatalf("row alpha %v does not reflect the checkpoint's cache (%v)", row.Alpha, alpha)
+	}
+	if row.CacheHits == 0 {
+		t.Fatal("checkpointed cache served no hits")
+	}
+
+	// And the served weights are the trained snapshot: rebuilding the
+	// cluster from the same checkpoint yields the trained weights bitwise.
+	state, err := ckpt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := serveClusterConfig(scale, false, dims, 2, alpha)
+	rcfg.Resume = state
+	cl2, err := pipeline.NewCluster(ds, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	restoredW := flatRankWeights(cl2)
+	for i := range trainedW {
+		if trainedW[i] != restoredW[i] {
+			t.Fatalf("restored weights diverge at %d", i)
+		}
+	}
+}
+
+func flatRankWeights(cl *pipeline.Cluster) []float32 {
+	var out []float32
+	for _, p := range cl.Ranks[0].Model().Params() {
+		out = append(out, p.W.Data...)
+	}
+	return out
+}
+
+// TestServeBenchServesForeignCheckpoint pins the shipped CLI workflow:
+// a checkpoint written by the gnntrain path (products-sim, gnntrain's own
+// fanouts/hidden/seed/batch — none of which match the serve bench's
+// defaults) must be servable by ServeBench, which reconstructs the
+// dataset, model dimensions, and run parameters from the file.
+func TestServeBenchServesForeignCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	acfg := DefaultAccuracyConfig()
+	acfg.Datasets = []string{"products-sim"}
+	acfg.N = 2000
+	acfg.Epochs = 1
+	acfg.Checkpoint = ckpt.Config{Dir: dir}
+	if _, err := Accuracy(acfg); err != nil {
+		t.Fatal(err)
+	}
+	path, err := ckpt.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ServeBench(SmallScale(), ServeConfig{
+		Clients: 2, RequestsPerClient: 10, Checkpoint: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "products-sim" {
+		t.Fatalf("served dataset %q, checkpoint was trained on products-sim", res.Dataset)
+	}
+	if len(res.Fanouts) != len(acfg.Fanouts) || res.Hidden != acfg.Hidden || res.Seed != acfg.Seed {
+		t.Fatalf("reconstruction drifted: fanouts %v hidden %d seed %d, want %v/%d/%d",
+			res.Fanouts, res.Hidden, res.Seed, acfg.Fanouts, acfg.Hidden, acfg.Seed)
+	}
+	if len(res.Alphas) != 1 || res.Alphas[0].Requests != 2*10 {
+		t.Fatalf("implausible serving result: %+v", res.Alphas)
 	}
 }

@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom drives the binary graph loader with arbitrary bytes: it
+// must error — never panic, never allocate beyond what the input justifies
+// — on corrupt input, and any graph it does accept must pass Validate
+// (ReadFrom runs it) and round-trip through Write.
+func FuzzReadFrom(f *testing.F) {
+	// Seed corpus: a valid small graph, a truncation of it, a corrupt
+	// header, and an empty input.
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, BuildOptions{Undirected: true, Dedup: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	huge := append([]byte(nil), valid...)
+	huge[8] = 0xff // claim a large vertex count
+	huge[15] = 0x7f
+	f.Add(huge)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("accepted graph does not re-encode: %v", err)
+		}
+		back, err := ReadFrom(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded graph does not re-decode: %v", err)
+		}
+		if back.NumVertices() != got.NumVertices() || back.NumEdges() != got.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				got.NumVertices(), got.NumEdges(), back.NumVertices(), back.NumEdges())
+		}
+	})
+}

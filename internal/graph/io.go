@@ -64,24 +64,34 @@ func ReadFrom(r io.Reader) (*CSR, error) {
 	if v := le.Uint32(hdr[4:]); v != ioVersion {
 		return nil, fmt.Errorf("graph: unsupported version %d", v)
 	}
-	n := int(le.Uint64(hdr[8:]))
+	n := int64(le.Uint64(hdr[8:]))
 	m := int64(le.Uint64(hdr[16:]))
-	if n < 0 || m < 0 {
+	// Size sanity: the counts are attacker-controlled on corrupt input, so
+	// reject anything that could not be a real graph before touching them
+	// (n+1 must not overflow, ids must fit int32) …
+	if n < 0 || m < 0 || n > (1<<31)-2 || m > (1<<40) {
 		return nil, fmt.Errorf("graph: corrupt sizes n=%d m=%d", n, m)
 	}
-	g := &CSR{Offsets: make([]int64, n+1), Adj: make([]int32, m)}
+	// … and allocate incrementally while reading, so a huge claimed size on
+	// a short stream fails with a truncation error instead of attempting a
+	// multi-gigabyte allocation. Growth is bounded by the bytes actually
+	// present in the input.
+	g := &CSR{}
 	var buf [8]byte
-	for i := range g.Offsets {
+	const chunk = 64 << 10
+	g.Offsets = make([]int64, 0, min(n+1, chunk))
+	for i := int64(0); i <= n; i++ {
 		if _, err := io.ReadFull(br, buf[:8]); err != nil {
 			return nil, fmt.Errorf("graph: reading offsets: %w", err)
 		}
-		g.Offsets[i] = int64(le.Uint64(buf[:]))
+		g.Offsets = append(g.Offsets, int64(le.Uint64(buf[:])))
 	}
-	for i := range g.Adj {
+	g.Adj = make([]int32, 0, min(m, chunk))
+	for i := int64(0); i < m; i++ {
 		if _, err := io.ReadFull(br, buf[:4]); err != nil {
 			return nil, fmt.Errorf("graph: reading adjacency: %w", err)
 		}
-		g.Adj[i] = int32(le.Uint32(buf[:4]))
+		g.Adj = append(g.Adj, int32(le.Uint32(buf[:4])))
 	}
 	flag, err := br.ReadByte()
 	if err != nil {

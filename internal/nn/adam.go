@@ -47,3 +47,8 @@ func (a *Adam) Step(params []*Param) {
 
 // StepCount returns the number of updates applied so far.
 func (a *Adam) StepCount() int { return a.step }
+
+// SetStepCount overwrites the update counter. Checkpoint restore uses this
+// so the bias-correction terms of resumed steps match the uninterrupted
+// run exactly (the moment estimates themselves live in each Param).
+func (a *Adam) SetStepCount(n int) { a.step = n }

@@ -137,6 +137,15 @@ func (m *Model) ReleaseBatch() {
 	m.masks = m.masks[:0]
 }
 
+// RNGState returns the dropout stream's internal state. The stream advances
+// sequentially across training batches, so checkpoints must capture it for
+// a resumed run to apply the exact dropout masks the uninterrupted run
+// would have.
+func (m *Model) RNGState() [4]uint64 { return m.dropRNG.State() }
+
+// SetRNGState restores the dropout stream captured by RNGState.
+func (m *Model) SetRNGState(s [4]uint64) { m.dropRNG.SetState(s) }
+
 // Params returns all learnable parameters in a stable order.
 func (m *Model) Params() []*Param { return m.params }
 

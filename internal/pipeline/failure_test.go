@@ -59,6 +59,7 @@ func TestTrainEpochSurfacesTransportFailure(t *testing.T) {
 	}
 	var calls atomic.Int64
 	ranks := make([]*Rank, 2)
+	stores := make([]*dist.Store, 2)
 	for r := 0; r < 2; r++ {
 		local := tensor.New(200, d.FeatureDim)
 		for v := 0; v < 200; v++ {
@@ -72,6 +73,7 @@ func TestTrainEpochSurfacesTransportFailure(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		stores[r] = store
 		smp, err := sample.NewSampler(d.Graph, []int{3, 3})
 		if err != nil {
 			t.Fatal(err)
@@ -109,6 +111,16 @@ func TestTrainEpochSurfacesTransportFailure(t *testing.T) {
 	}
 	if !sawFailure {
 		t.Fatal("injected transport failure was swallowed")
+	}
+
+	// Pooled-tensor regression: the abort path must hand every gathered
+	// feature matrix back to its store pool — the failing batch's, those
+	// queued between the gather and compute stages, and those stranded by
+	// the stage-B abort select.
+	for r, st := range stores {
+		if live := st.Live(); live != 0 {
+			t.Errorf("rank %d leaked %d pooled feature matrices on the abort path", r, live)
+		}
 	}
 
 	// Leak regression: before the abort channel, a mid-epoch Gather failure

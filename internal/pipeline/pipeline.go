@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"salientpp/internal/ckpt"
 	"salientpp/internal/dist"
 	"salientpp/internal/nn"
 	"salientpp/internal/rng"
@@ -77,6 +78,11 @@ type Rank struct {
 	// staging buffer.
 	pool     *tensor.Pool
 	labelBuf []int32
+
+	// saver, when set, receives barrier-consistent checkpoint offers at
+	// round boundaries. Rounds that do not checkpoint cost one integer
+	// check (guarded by TestCheckpointIdleAddsNoAllocations).
+	saver *ckpt.Saver
 }
 
 // EpochStats aggregates one training epoch on one rank.
@@ -130,6 +136,90 @@ func (r *Rank) Store() *dist.Store { return r.store }
 // Sampler exposes the rank's training sampler (immutable; safe to share).
 func (r *Rank) Sampler() *sample.Sampler { return r.sampler }
 
+// SetCheckpointer attaches the run's coordinated checkpoint saver. All
+// ranks of a run must share one saver (it is the barrier that makes saves
+// consistent). Install before training starts.
+func (r *Rank) SetCheckpointer(s *ckpt.Saver) { r.saver = s }
+
+// RestoreState loads a checkpointed rank state: parameter values, Adam
+// moments, the Adam step counter, and the dropout RNG stream. Shapes must
+// match the rank's model.
+func (r *Rank) RestoreState(st *ckpt.RankState) error {
+	ps := r.model.Params()
+	if len(st.Params) != len(ps) {
+		return fmt.Errorf("pipeline: checkpoint has %d params, model has %d", len(st.Params), len(ps))
+	}
+	for i, p := range ps {
+		sp := &st.Params[i]
+		if int(sp.Rows) != p.W.Rows || int(sp.Cols) != p.W.Cols {
+			return fmt.Errorf("pipeline: checkpoint param %d is %dx%d, model wants %dx%d",
+				i, sp.Rows, sp.Cols, p.W.Rows, p.W.Cols)
+		}
+		copy(p.W.Data, sp.W)
+		copy(p.M.Data, sp.M)
+		copy(p.V.Data, sp.V)
+		p.ZeroGrad()
+	}
+	r.opt.SetStepCount(int(st.AdamStep))
+	r.model.SetRNGState(st.ModelRNG)
+	return nil
+}
+
+// offerCheckpoint contributes this rank's state to a barrier-consistent
+// checkpoint at step. The fill callback appends into the saver's reusable
+// per-rank slot, so steady-state checkpointing reallocates nothing once
+// the slot has reached its high-water size.
+func (r *Rank) offerCheckpoint(step ckpt.Step, partial ckpt.PartialEpoch) error {
+	return r.saver.Offer(r.commFeat.Rank(), step, func(st *ckpt.RankState) {
+		ps := r.model.Params()
+		if len(st.Params) != len(ps) {
+			st.Params = make([]ckpt.ParamState, len(ps))
+		}
+		for i, p := range ps {
+			sp := &st.Params[i]
+			sp.Rows, sp.Cols = int32(p.W.Rows), int32(p.W.Cols)
+			sp.W = append(sp.W[:0], p.W.Data...)
+			sp.M = append(sp.M[:0], p.M.Data...)
+			sp.V = append(sp.V[:0], p.V.Data...)
+		}
+		st.AdamStep = int64(r.opt.StepCount())
+		st.ModelRNG = r.model.RNGState()
+		st.Partial = partial
+	})
+}
+
+// failCheckpoint turns a checkpoint-save failure into a loud, group-wide
+// abort. The saver's Offer only surfaces the write error on the
+// last-arriving rank; its peers already got nil and will block in the next
+// gradient all-reduce waiting for this rank. Closing both communicator
+// groups — exactly what a dying rank does — makes every peer's blocked or
+// future collective error out, so the whole run fails with an error
+// instead of hanging on (say) a full disk.
+func (r *Rank) failCheckpoint(err error) error {
+	r.commFeat.Close()
+	r.commGrad.Close()
+	return fmt.Errorf("pipeline: checkpoint save failed, aborting the run: %w", err)
+}
+
+// partialFrom snapshots the accumulated epoch statistics at a round
+// boundary into checkpoint form.
+func partialFrom(stats *EpochStats, doneReal int, liveBytes int64) ckpt.PartialEpoch {
+	return ckpt.PartialEpoch{
+		Loss:     stats.Loss,
+		Accuracy: stats.Accuracy,
+		Batches:  int64(doneReal),
+		LocalGPU: int64(stats.Gather.LocalGPU),
+		LocalCPU: int64(stats.Gather.LocalCPU),
+		CacheHit: int64(stats.Gather.CacheHits),
+		Remote:   int64(stats.Gather.RemoteFetch),
+
+		BytesSent: liveBytes,
+		SampleNS:  stats.SampleTime.Nanoseconds(),
+		GatherNS:  stats.GatherTime.Nanoseconds(),
+		ComputeNS: stats.ComputeTime.Nanoseconds(),
+	}
+}
+
 // preparedBatch flows between pipeline stages.
 type preparedBatch struct {
 	mfg   *sample.MFG
@@ -143,6 +233,17 @@ type preparedBatch struct {
 // TrainEpoch runs one synchronized training epoch. All ranks must call it
 // with the same epoch number.
 func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
+	return r.trainEpochFrom(epoch, 0, nil)
+}
+
+// trainEpochFrom runs epoch from the given round cursor: the first
+// startRound rounds are skipped (they were retired before the checkpoint
+// this resume came from) and partial, when non-nil, seeds the epoch
+// statistics with the bitwise state accumulated before the restart. Batch
+// permutation and per-batch sampling streams are derived from absolute
+// round indices, so a resumed epoch processes exactly the batches — with
+// exactly the random numbers — the uninterrupted run would have.
+func (r *Rank) trainEpochFrom(epoch, startRound int, partial *ckpt.PartialEpoch) (EpochStats, error) {
 	start := time.Now()
 	base := rng.New(r.cfg.Seed ^ (uint64(epoch+1) * 0x9e3779b97f4a7c15)).Split(uint64(r.commFeat.Rank()))
 	batches := sample.EpochBatches(r.trainIDs, r.cfg.BatchSize, base.Split(0))
@@ -154,10 +255,34 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 	if len(batches) > r.rounds {
 		return EpochStats{}, fmt.Errorf("pipeline: rank %d has %d batches for %d rounds", r.commFeat.Rank(), len(batches), r.rounds)
 	}
+	if startRound < 0 || startRound >= r.rounds {
+		return EpochStats{}, fmt.Errorf("pipeline: resume round %d outside [0,%d)", startRound, r.rounds)
+	}
+	batches = batches[startRound:]
 
 	bytesBefore := r.commFeat.BytesSent()
 	var stats EpochStats
 	stats.Batches = real
+	// doneReal counts real batches retired so far (across the restart);
+	// resumedBytes carries the byte counter over it. Times and bytes are
+	// reporting-only: the resumed run re-pays the communication of rounds
+	// between the checkpoint and the crash, so BytesSent is approximate
+	// after a restore, while the loss/accuracy/access counts are exact.
+	doneReal := 0
+	var resumedBytes int64
+	if partial != nil {
+		stats.Loss = partial.Loss
+		stats.Accuracy = partial.Accuracy
+		stats.Gather.LocalGPU = int(partial.LocalGPU)
+		stats.Gather.LocalCPU = int(partial.LocalCPU)
+		stats.Gather.CacheHits = int(partial.CacheHit)
+		stats.Gather.RemoteFetch = int(partial.Remote)
+		stats.SampleTime = time.Duration(partial.SampleNS)
+		stats.GatherTime = time.Duration(partial.GatherNS)
+		stats.ComputeTime = time.Duration(partial.ComputeNS)
+		doneReal = int(partial.Batches)
+		resumedBytes = partial.BytesSent
+	}
 
 	// abort wakes every pipeline stage when the epoch exits early (gather
 	// or compute failure): sampling workers blocked on a pipeline slot, the
@@ -173,7 +298,7 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 	// workers acquire before sampling, the training loop releases after
 	// the batch finishes its model update.
 	inflight := make(chan struct{}, r.cfg.PipelineDepth)
-	sampled := r.streamSampled(batches, base.Split(1), inflight, abort)
+	sampled := r.streamSampled(batches, base.Split(1), startRound, inflight, abort)
 
 	// Stage B: feature collection (three matched collectives per round).
 	ready := make(chan preparedBatch, r.cfg.PipelineDepth)
@@ -184,6 +309,7 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 			t0 := time.Now()
 			feats, gstats, err := r.store.Gather(sb.mfg.InputIDs())
 			if err != nil {
+				sb.mfg.Release()
 				errCh <- err
 				closeAbort()
 				return
@@ -195,19 +321,42 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 			select {
 			case ready <- pb:
 			case <-abort:
+				// The undeliverable batch's pooled buffers go back now; the
+				// abort drain below can only see batches that reached ready.
+				r.store.Release(feats)
+				sb.mfg.Release()
 				return
 			}
 		}
 	}()
 
+	// failBatch unwinds the epoch on a stage-C error: wake every stage via
+	// abort, then hand the failing batch's pooled buffers — and those of
+	// every batch still queued in ready — back to their pools, so an
+	// aborted epoch leaks neither goroutines nor pooled tensors.
+	failBatch := func(pb preparedBatch, err error) (EpochStats, error) {
+		closeAbort()
+		r.store.Release(pb.feats)
+		if pb.mfg != nil {
+			pb.mfg.Release()
+		}
+		for more := range ready {
+			r.store.Release(more.feats)
+			more.mfg.Release()
+		}
+		r.model.ReleaseBatch()
+		return stats, err
+	}
+
 	// Stage C: model computation and gradient synchronization.
 	grads := r.model.Params()
 	flat := make([]float32, 0, r.model.NumParameters())
+	roundsDone := startRound
 	for pb := range ready {
 		t0 := time.Now()
 		logits, err := r.model.Forward(pb.mfg, pb.feats, true)
 		if err != nil {
-			return stats, err
+			return failBatch(pb, err)
 		}
 		if cap(r.labelBuf) < len(pb.mfg.Seeds) {
 			r.labelBuf = make([]int32, len(pb.mfg.Seeds))
@@ -227,6 +376,7 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 			stats.Gather.RemoteFetch += pb.stats.RemoteFetch
 			stats.GatherTime += pb.gtime
 			stats.SampleTime += pb.stime
+			doneReal++
 		}
 		r.model.ZeroGrad()
 		r.model.Backward(dL)
@@ -239,7 +389,7 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 			flat = append(flat, p.G.Data...)
 		}
 		if err := r.commGrad.AllReduceSum(flat); err != nil {
-			return stats, err
+			return failBatch(pb, err)
 		}
 		inv := float32(1) / float32(r.commGrad.Size())
 		off := 0
@@ -254,6 +404,19 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 		r.store.Release(pb.feats) // recycle the batch's feature matrix
 		pb.mfg.Release()          // recycle the batch's sampling buffers
 		<-inflight                // retire the batch: frees one pipeline slot
+		roundsDone++
+
+		// Barrier-consistent mid-epoch checkpoint: every rank evaluates the
+		// same trigger on the same shared round cursor, so all K offers
+		// carry the same Step. The boundary case roundsDone == r.rounds is
+		// normalized to the epoch-boundary checkpoint below.
+		if r.saver != nil && roundsDone < r.rounds && r.saver.DueRound(roundsDone) {
+			live := resumedBytes + r.commFeat.BytesSent() - bytesBefore
+			step := ckpt.Step{Epoch: epoch, Round: roundsDone}
+			if err := r.offerCheckpoint(step, partialFrom(&stats, doneReal, live)); err != nil {
+				return failBatch(preparedBatch{}, r.failCheckpoint(err))
+			}
+		}
 	}
 	select {
 	case err := <-errCh:
@@ -263,11 +426,19 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 	// The last batch's intermediates would otherwise stay pinned in the
 	// model arena until the next epoch's first Forward.
 	r.model.ReleaseBatch()
+	// Epoch-boundary checkpoint (also where a round trigger landing exactly
+	// on the last round is normalized to): saved as (epoch+1, round 0), so
+	// a restore starts the next epoch afresh with no partial statistics.
+	if r.saver != nil && (r.saver.DueEpoch(epoch+1) || r.saver.DueRound(r.rounds)) {
+		if err := r.offerCheckpoint(ckpt.Step{Epoch: epoch + 1, Round: 0}, ckpt.PartialEpoch{}); err != nil {
+			return stats, r.failCheckpoint(err)
+		}
+	}
 	if real > 0 {
 		stats.Loss /= float64(real)
 		stats.Accuracy /= float64(real)
 	}
-	stats.BytesSent = r.commFeat.BytesSent() - bytesBefore
+	stats.BytesSent = resumedBytes + r.commFeat.BytesSent() - bytesBefore
 	stats.Duration = time.Since(start)
 	return stats, nil
 }
@@ -277,8 +448,10 @@ func (r *Rank) TrainEpoch(epoch int) (EpochStats, error) {
 // inflight before sampling; the training loop releases slots as batches
 // retire, bounding in-flight minibatches by PipelineDepth. Closing abort
 // unwinds every goroutine here even when no slot will ever be released
-// again (the error path).
-func (r *Rank) streamSampled(batches [][]int32, base *rng.RNG, inflight chan struct{}, abort <-chan struct{}) <-chan sampledBatch {
+// again (the error path). offset is the absolute round index of
+// batches[0]: batch i always samples with the stream base.Split(offset+i),
+// so a resumed epoch draws exactly the numbers the uninterrupted one did.
+func (r *Rank) streamSampled(batches [][]int32, base *rng.RNG, offset int, inflight chan struct{}, abort <-chan struct{}) <-chan sampledBatch {
 	slots := make([]chan sampledBatch, len(batches))
 	for i := range slots {
 		slots[i] = make(chan sampledBatch, 1)
@@ -310,7 +483,7 @@ func (r *Rank) streamSampled(batches [][]int32, base *rng.RNG, inflight chan str
 					<-inflight // nothing left; return the slot
 					return
 				}
-				worker.SetRNG(base.Split(uint64(i)))
+				worker.SetRNG(base.Split(uint64(offset + i)))
 				t0 := time.Now()
 				m := worker.Sample(batches[i])
 				// Capacity-1 channel with this goroutine as sole producer:

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"testing"
 
 	"salientpp/internal/cache"
@@ -190,21 +191,73 @@ func TestPipelineDepthDoesNotChangeResults(t *testing.T) {
 	}
 }
 
-func TestClusterOverTCP(t *testing.T) {
+// TestCrossTransportDeterminism pins the transport-independence guarantee
+// across the configuration grid instead of a single ad-hoc point: training
+// over loopback TCP must produce bitwise-identical weights, loss, and
+// remote-fetch counts to the in-process channel transport at every
+// (K, PipelineDepth) combination — the collectives' ordering contract, not
+// scheduling luck, is what makes results reproducible.
+func TestCrossTransportDeterminism(t *testing.T) {
 	d := smallDataset(t)
-	cfg := smallConfig()
-	cfg.UseTCP = true
-	cl, err := NewCluster(d, cfg)
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct{ k, depth int }{
+		{2, 1}, // sequential batch preparation
+		{2, 4}, // deep pipeline
+		{3, 2}, // wider cluster, K not a power of two
 	}
-	defer cl.Close()
-	stats, err := cl.TrainEpochAll(0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if stats[0].Batches == 0 {
-		t.Fatal("no batches trained over TCP")
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("K=%d/depth=%d", tc.k, tc.depth), func(t *testing.T) {
+			type outcome struct {
+				weights []float32
+				loss    float64
+				remote  int64
+				batches int
+			}
+			run := func(useTCP bool) outcome {
+				cfg := smallConfig()
+				cfg.K = tc.k
+				cfg.Train.PipelineDepth = tc.depth
+				cfg.UseTCP = useTCP
+				cl, err := NewCluster(d, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cl.Close()
+				var o outcome
+				stats, err := cl.TrainEpochAll(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range stats {
+					o.loss += s.Loss
+					o.remote += int64(s.Gather.RemoteFetch)
+					o.batches += s.Batches
+				}
+				for _, p := range cl.Ranks[0].Model().Params() {
+					o.weights = append(o.weights, p.W.Data...)
+				}
+				return o
+			}
+			inproc := run(false)
+			tcp := run(true)
+			if inproc.batches == 0 {
+				t.Fatal("no batches trained")
+			}
+			if tcp.batches != inproc.batches {
+				t.Fatalf("batch counts differ: tcp %d, in-process %d", tcp.batches, inproc.batches)
+			}
+			if tcp.loss != inproc.loss {
+				t.Errorf("loss differs across transports: tcp %.17g, in-process %.17g", tcp.loss, inproc.loss)
+			}
+			if tcp.remote != inproc.remote {
+				t.Errorf("remote fetches differ across transports: tcp %d, in-process %d", tcp.remote, inproc.remote)
+			}
+			for i := range inproc.weights {
+				if inproc.weights[i] != tcp.weights[i] {
+					t.Fatalf("weights diverge across transports at %d: tcp %v, in-process %v (first difference)",
+						i, tcp.weights[i], inproc.weights[i])
+				}
+			}
+		})
 	}
 }
 

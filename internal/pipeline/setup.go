@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"salientpp/internal/cache"
+	"salientpp/internal/ckpt"
 	"salientpp/internal/dataset"
 	"salientpp/internal/dist"
 	"salientpp/internal/graph"
@@ -39,6 +40,31 @@ type ClusterConfig struct {
 	// UseTCP selects the loopback TCP transport instead of in-process
 	// channels.
 	UseTCP bool
+	// Checkpoint enables coordinated fault-tolerance checkpoints (see
+	// internal/ckpt): barrier-consistent saves every EveryRounds retired
+	// rounds and/or every EveryEpochs epoch boundaries, written atomically
+	// (temp file + rename) with retain-K rotation. Every checkpoint is
+	// self-contained: it carries the partition topology and cache contents
+	// alongside per-rank weights, Adam moments, and RNG streams.
+	Checkpoint ckpt.Config
+	// Resume restores a checkpointed run. The saved topology (vertex
+	// permutation, partition layout, per-rank cache contents) replaces
+	// partitioning, VIP analysis, and cache ranking — restore skips
+	// re-analysis entirely — and per-rank weights/optimizer/RNG state are
+	// loaded so training continues bitwise identically from the saved
+	// epoch/round cursor. The dataset and the training configuration
+	// (fanouts, batch size, seeds, K) must match the checkpointed run;
+	// VIPReorder and CachePolicy are ignored because the topology is
+	// pinned. Drive epochs starting at FirstEpoch().
+	Resume *ckpt.TrainState
+	// WrapComm, when non-nil, wraps each rank's communicators before the
+	// store and training loop are built. This is the crash-recovery
+	// harness's fault-injection point: wrap with Comms that fail at a
+	// chosen collective to kill a rank at an arbitrary batch (a realistic
+	// kill closes both groups, as a dying machine would, so peers unwind
+	// instead of deadlocking in the gradient all-reduce). Production
+	// deployments leave it nil.
+	WrapComm func(rank int, feat, grad dist.Comm) (dist.Comm, dist.Comm)
 }
 
 // Cluster is a ready-to-train in-process deployment.
@@ -55,6 +81,16 @@ type Cluster struct {
 
 	commFeat []dist.Comm
 	commGrad []dist.Comm
+	resume   *ckpt.TrainState // pending resume cursor; consumed by TrainEpochAll
+}
+
+// FirstEpoch returns the epoch TrainEpochAll should be driven from: the
+// checkpoint's epoch when the cluster was built with Resume, 0 otherwise.
+func (c *Cluster) FirstEpoch() int {
+	if c.resume != nil {
+		return c.resume.Step.Epoch
+	}
+	return 0
 }
 
 // Close releases communicators.
@@ -88,48 +124,70 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 		cfg.CachePolicy = cache.VIP{}
 	}
 
-	// 1. Partition with the paper's balance constraints.
-	isTrain := make([]bool, ds.NumVertices())
-	isVal := make([]bool, ds.NumVertices())
-	isTest := make([]bool, ds.NumVertices())
-	for v, s := range ds.Splits {
-		switch s {
-		case dataset.SplitTrain:
-			isTrain[v] = true
-		case dataset.SplitVal:
-			isVal[v] = true
-		case dataset.SplitTest:
-			isTest[v] = true
+	// Steps 1–3 (partitioning, VIP analysis, reordering) run only for
+	// fresh clusters; a Resume restores their results from the checkpoint
+	// topology instead, skipping the re-analysis entirely.
+	var (
+		perm   graph.Permutation
+		starts []int64
+		parts  []int32
+	)
+	if cfg.Resume != nil {
+		topo := cfg.Resume.Topo
+		if err := validateResume(ds, cfg, cfg.Resume); err != nil {
+			return nil, err
 		}
-	}
-	pres, err := partition.Partition(ds.Graph, partition.Config{
-		K:       cfg.K,
-		Weights: partition.SalientWeights(ds.Graph, isTrain, isVal, isTest),
-		Seed:    cfg.Train.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// 2. Partition-wise VIP analysis on the original ids.
-	vcfg := vip.Config{Fanouts: cfg.Train.Fanouts, BatchSize: cfg.Train.BatchSize, IncludeSeeds: true, Workers: cfg.Train.Parallelism}
-	vips, err := vip.ForPartitions(ds.Graph, pres.Parts, cfg.K, ds.TrainIDs(), vcfg)
-	if err != nil {
-		return nil, err
-	}
-
-	// 3. Reorder: partitions contiguous; within each partition by VIP rank
-	// (or original order for the "no reorder" ablation).
-	var score []float64
-	if cfg.VIPReorder {
-		score = make([]float64, ds.NumVertices())
-		for v := range score {
-			score[v] = vips[pres.Parts[v]][v]
+		perm = graph.Permutation(append([]int32(nil), topo.Perm...))
+		starts = append([]int64(nil), topo.Starts...)
+		parts = append([]int32(nil), topo.Parts...)
+	} else {
+		// 1. Partition with the paper's balance constraints.
+		isTrain := make([]bool, ds.NumVertices())
+		isVal := make([]bool, ds.NumVertices())
+		isTest := make([]bool, ds.NumVertices())
+		for v, s := range ds.Splits {
+			switch s {
+			case dataset.SplitTrain:
+				isTrain[v] = true
+			case dataset.SplitVal:
+				isVal[v] = true
+			case dataset.SplitTest:
+				isTest[v] = true
+			}
 		}
-	}
-	perm, starts, err := graph.PartitionOrder(pres.Parts, cfg.K, score)
-	if err != nil {
-		return nil, err
+		pres, err := partition.Partition(ds.Graph, partition.Config{
+			K:       cfg.K,
+			Weights: partition.SalientWeights(ds.Graph, isTrain, isVal, isTest),
+			Seed:    cfg.Train.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// 2. Partition-wise VIP analysis on the original ids.
+		vcfg := vip.Config{Fanouts: cfg.Train.Fanouts, BatchSize: cfg.Train.BatchSize, IncludeSeeds: true, Workers: cfg.Train.Parallelism}
+		vips, err := vip.ForPartitions(ds.Graph, pres.Parts, cfg.K, ds.TrainIDs(), vcfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// 3. Reorder: partitions contiguous; within each partition by VIP
+		// rank (or original order for the "no reorder" ablation).
+		var score []float64
+		if cfg.VIPReorder {
+			score = make([]float64, ds.NumVertices())
+			for v := range score {
+				score[v] = vips[pres.Parts[v]][v]
+			}
+		}
+		perm, starts, err = graph.PartitionOrder(pres.Parts, cfg.K, score)
+		if err != nil {
+			return nil, err
+		}
+		parts = make([]int32, ds.NumVertices())
+		for old, p := range pres.Parts {
+			parts[perm[old]] = p
+		}
 	}
 	rds, err := ds.Relabel(perm)
 	if err != nil {
@@ -138,10 +196,6 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 	layout, err := dist.NewLayout(starts)
 	if err != nil {
 		return nil, err
-	}
-	parts := make([]int32, ds.NumVertices())
-	for old, p := range pres.Parts {
-		parts[perm[old]] = p
 	}
 
 	// 4. Communicator groups (features and gradients are separate, like
@@ -181,6 +235,10 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 	if maxBatches == 0 {
 		return nil, fmt.Errorf("pipeline: no training vertices")
 	}
+	if cfg.Resume != nil && cfg.Resume.Rounds != maxBatches {
+		return nil, fmt.Errorf("pipeline: checkpoint has %d rounds per epoch, this configuration derives %d (batch size or dataset drifted)",
+			cfg.Resume.Rounds, maxBatches)
+	}
 
 	capacity := cache.CapacityForAlpha(cfg.Alpha, ds.NumVertices(), cfg.K)
 	refModel, err := nn.NewModel(rds.FeatureDim, cfg.Hidden, rds.NumClasses, cfg.Layers, cfg.Dropout, cfg.ModelSeed)
@@ -188,7 +246,8 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 
-	cl := &Cluster{Data: rds, Layout: layout, Parts: parts, Perm: perm, commFeat: commFeat, commGrad: commGrad}
+	cl := &Cluster{Data: rds, Layout: layout, Parts: parts, Perm: perm, commFeat: commFeat, commGrad: commGrad, resume: cfg.Resume}
+	cacheIDs := make([][]int32, cfg.K)
 	for rank := 0; rank < cfg.K; rank++ {
 		// Local shard in layout order.
 		lo, hi := starts[rank], starts[rank+1]
@@ -197,10 +256,21 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 			copy(local.Row(int(v-lo)), rds.FeatureRow(int32(v)))
 		}
 
-		// Remote cache via the configured policy (reordered id space).
+		// Remote cache: restored verbatim from the checkpoint topology, or
+		// built by the configured policy (reordered id space) on a fresh
+		// cluster. Feature rows are always rehydrated from the dataset —
+		// checkpoints store cache membership (the truncated VIP ranking),
+		// not feature bytes.
 		var cc *cache.Cache
 		var cdata *tensor.Matrix
-		if capacity > 0 {
+		if cfg.Resume != nil {
+			if ids := cfg.Resume.Topo.CacheIDs[rank]; len(ids) > 0 {
+				cc, err = cache.Build(ids, ds.NumVertices())
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else if capacity > 0 {
 			// cache.Context shares the vip.Config convention: Workers 0
 			// means GOMAXPROCS, so Parallelism passes through untouched.
 			ctx := &cache.Context{
@@ -217,13 +287,20 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
+		}
+		if cc != nil {
+			cacheIDs[rank] = cc.IDs()
 			cdata = tensor.New(cc.Len(), rds.FeatureDim)
 			for i, v := range cc.IDs() {
 				copy(cdata.Row(i), rds.FeatureRow(v))
 			}
 		}
 
-		store, err := dist.NewStore(commFeat[rank], layout, rds.FeatureDim, local, cc, cdata, cfg.GPUFraction)
+		fc, gc := commFeat[rank], commGrad[rank]
+		if cfg.WrapComm != nil {
+			fc, gc = cfg.WrapComm(rank, fc, gc)
+		}
+		store, err := dist.NewStore(fc, layout, rds.FeatureDim, local, cc, cdata, cfg.GPUFraction)
 		if err != nil {
 			return nil, err
 		}
@@ -240,24 +317,119 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 		}
 		labels := make([]int32, len(rds.Labels))
 		copy(labels, rds.Labels)
-		rk, err := NewRank(cfg.Train, commFeat[rank], commGrad[rank], store, smp, model, trainPer[rank], labels, maxBatches)
+		rk, err := NewRank(cfg.Train, fc, gc, store, smp, model, trainPer[rank], labels, maxBatches)
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Resume != nil {
+			if err := rk.RestoreState(cfg.Resume.Ranks[rank]); err != nil {
+				return nil, err
+			}
+		}
 		cl.Ranks = append(cl.Ranks, rk)
+	}
+
+	// Coordinated checkpointing: one saver shared by all ranks, primed with
+	// the run's topology so every checkpoint file is self-contained.
+	if cfg.Checkpoint.Enabled() {
+		saver, err := ckpt.NewSaver(cfg.Checkpoint, cfg.K, maxBatches)
+		if err != nil {
+			return nil, err
+		}
+		saver.SetRunConfig(ds.Name, cfg.Train.Seed, cfg.Train.BatchSize, cfg.Train.Fanouts)
+		saver.SetTopology(&ckpt.Topology{
+			NumVertices: int64(ds.NumVertices()),
+			FeatureDim:  int32(rds.FeatureDim),
+			K:           int32(cfg.K),
+			Perm:        perm,
+			Starts:      starts,
+			Parts:       parts,
+			CacheIDs:    cacheIDs,
+		})
+		for _, rk := range cl.Ranks {
+			rk.SetCheckpointer(saver)
+		}
 	}
 	return cl, nil
 }
 
+// validateResume checks a checkpoint against the dataset and configuration
+// it is being restored into.
+func validateResume(ds *dataset.Dataset, cfg ClusterConfig, st *ckpt.TrainState) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	topo := st.Topo
+	if int(topo.K) != cfg.K {
+		return fmt.Errorf("pipeline: checkpoint was taken with K=%d, configuration says K=%d", topo.K, cfg.K)
+	}
+	// The dataset name guards against resuming one run's topology and
+	// weights on another generated dataset that happens to share its shape
+	// (papers-sim and mag240-sim do at equal N); seed, batch size, and
+	// fanouts determine the batch permutation and per-batch sampling
+	// streams, so drift in any of them would silently replay different
+	// batches against the restored mid-epoch statistics.
+	if st.Dataset != ds.Name {
+		return fmt.Errorf("pipeline: checkpoint was taken on dataset %q, configuration supplies %q", st.Dataset, ds.Name)
+	}
+	if st.Seed != cfg.Train.Seed {
+		return fmt.Errorf("pipeline: checkpoint was taken with seed %d, configuration says %d", st.Seed, cfg.Train.Seed)
+	}
+	if int(st.BatchSize) != cfg.Train.BatchSize {
+		return fmt.Errorf("pipeline: checkpoint was taken with batch size %d, configuration says %d", st.BatchSize, cfg.Train.BatchSize)
+	}
+	if len(st.Fanouts) != len(cfg.Train.Fanouts) {
+		return fmt.Errorf("pipeline: checkpoint has %d fanouts, configuration has %d", len(st.Fanouts), len(cfg.Train.Fanouts))
+	}
+	for i, f := range st.Fanouts {
+		if int(f) != cfg.Train.Fanouts[i] {
+			return fmt.Errorf("pipeline: checkpoint fanouts %v differ from configured %v", st.Fanouts, cfg.Train.Fanouts)
+		}
+	}
+	if topo.NumVertices != int64(ds.NumVertices()) {
+		return fmt.Errorf("pipeline: checkpoint covers %d vertices, dataset has %d", topo.NumVertices, ds.NumVertices())
+	}
+	if int(topo.FeatureDim) != ds.FeatureDim {
+		return fmt.Errorf("pipeline: checkpoint feature dim %d, dataset has %d", topo.FeatureDim, ds.FeatureDim)
+	}
+	if err := graph.Permutation(topo.Perm).Validate(); err != nil {
+		return fmt.Errorf("pipeline: checkpoint permutation invalid: %w", err)
+	}
+	return nil
+}
+
 // TrainEpochAll runs one synchronized epoch across every rank concurrently
-// and returns per-rank stats.
+// and returns per-rank stats. On a cluster built with Resume, the first
+// call must pass FirstEpoch(): that epoch starts at the checkpoint's round
+// cursor with its partially accumulated statistics, and subsequent epochs
+// run normally.
 func (c *Cluster) TrainEpochAll(epoch int) ([]EpochStats, error) {
+	startRound := 0
+	var partials []*ckpt.PartialEpoch
+	if rs := c.resume; rs != nil {
+		if epoch < rs.Step.Epoch {
+			return nil, fmt.Errorf("pipeline: epoch %d precedes the resume point (epoch %d); drive training from FirstEpoch()", epoch, rs.Step.Epoch)
+		}
+		if epoch == rs.Step.Epoch && rs.Step.Round > 0 {
+			startRound = rs.Step.Round
+			partials = make([]*ckpt.PartialEpoch, len(c.Ranks))
+			for i, rk := range rs.Ranks {
+				p := rk.Partial
+				partials[i] = &p
+			}
+		}
+		c.resume = nil // the cursor applies to exactly one epoch
+	}
 	stats := make([]EpochStats, len(c.Ranks))
 	errs := make(chan error, len(c.Ranks))
 	done := make(chan struct{})
 	for i, r := range c.Ranks {
 		go func(i int, r *Rank) {
-			s, err := r.TrainEpoch(epoch)
+			var p *ckpt.PartialEpoch
+			if partials != nil {
+				p = partials[i]
+			}
+			s, err := r.trainEpochFrom(epoch, startRound, p)
 			stats[i] = s
 			if err != nil {
 				errs <- err

@@ -65,6 +65,26 @@ func (r *RNG) SplitInto(stream uint64, dst *RNG) {
 	dst.s3 = splitmix64(&sm)
 }
 
+// State returns the generator's internal xoshiro256** state. Together with
+// SetState it lets checkpoints capture and restore a stream mid-sequence so
+// resumed runs draw exactly the numbers the uninterrupted run would have.
+func (r *RNG) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState overwrites the generator's internal state with one previously
+// returned by State.
+func (r *RNG) SetState(s [4]uint64) {
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+}
+
+// FromState reconstructs a generator from a State snapshot.
+func FromState(s [4]uint64) *RNG {
+	r := new(RNG)
+	r.SetState(s)
+	return r
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -230,11 +231,15 @@ func TestServeConcurrentClients(t *testing.T) {
 
 // testShutdownUnderLoad closes a server while clients are mid-flight and
 // checks that every blocked Predict unwinds promptly (the abort channel
-// installed on the serving stores tears the collectives down) and that
-// later Predicts fail fast with ErrClosed.
+// installed on the serving stores tears the collectives down), that later
+// Predicts fail fast with ErrClosed, and — the leak-regression pattern
+// from pipeline/failure_test.go — that shutdown leaves zero serving
+// goroutines behind and every pooled feature matrix back in its store
+// pool.
 func testShutdownUnderLoad(t *testing.T, useTCP bool) {
 	cl := serveCluster(t, 2, 0.2, useTCP)
 	defer cl.Close()
+	baseline := runtime.NumGoroutine()
 	srv, err := New(cl, Config{MaxBatch: 4, MaxWait: 100 * time.Microsecond, Seed: 8, UseTCP: useTCP})
 	if err != nil {
 		t.Fatal(err)
@@ -282,6 +287,26 @@ func testShutdownUnderLoad(t *testing.T, useTCP bool) {
 	}
 	if err := srv.Close(); err != nil { // idempotent
 		t.Fatal(err)
+	}
+
+	// Pooled-tensor regression: every round — including the one the abort
+	// interrupted — must hand its gathered feature matrix back.
+	for i, e := range srv.engines {
+		if live := e.store.Live(); live != 0 {
+			t.Fatalf("engine %d leaked %d pooled matrices at shutdown", i, live)
+		}
+	}
+	// Goroutine regression: driver, engines, abort watchers, and the
+	// clients themselves must all be gone.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("serving goroutines leaked after Close: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

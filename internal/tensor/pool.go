@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool recycles Matrix backing storage across minibatches. Buffers are
@@ -20,6 +21,7 @@ import (
 type Pool struct {
 	mu      sync.Mutex
 	buckets [poolBuckets][]*Matrix
+	live    atomic.Int64 // Gets minus Puts: matrices currently checked out
 }
 
 // poolBuckets covers capacity classes up to 2^33 floats (32 GiB), far
@@ -47,6 +49,7 @@ func (p *Pool) Get(rows, cols int) *Matrix {
 	}
 	need := rows * cols
 	b := bucketFor(need)
+	p.live.Add(1)
 	p.mu.Lock()
 	if l := p.buckets[b]; len(l) > 0 {
 		m := l[len(l)-1]
@@ -68,6 +71,12 @@ func (p *Pool) GetZeroed(rows, cols int) *Matrix {
 	return m
 }
 
+// Live returns Gets minus Puts: the number of pooled matrices currently
+// checked out. Leak-regression tests assert it returns to zero after
+// shutdown/abort paths; the count is only meaningful when every matrix put
+// back came from this pool's Get.
+func (p *Pool) Live() int64 { return p.live.Load() }
+
 // Put returns m's storage to the pool. The caller must not use m (or any
 // slice obtained from it) afterwards; putting the same matrix twice
 // corrupts the free list. nil is ignored.
@@ -75,6 +84,7 @@ func (p *Pool) Put(m *Matrix) {
 	if m == nil || cap(m.Data) == 0 {
 		return
 	}
+	p.live.Add(-1)
 	// Class from capacity: Get allocates exact power-of-two capacities, and
 	// foreign matrices land in the class their capacity fully covers.
 	b := bits.Len(uint(cap(m.Data))) - 1

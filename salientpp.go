@@ -28,6 +28,7 @@ package salientpp
 
 import (
 	"salientpp/internal/cache"
+	"salientpp/internal/ckpt"
 	"salientpp/internal/dataset"
 	"salientpp/internal/graph"
 	"salientpp/internal/partition"
@@ -62,6 +63,13 @@ type (
 	ServeConfig = serve.Config
 	// ServeStats is the per-request latency accounting Predict returns.
 	ServeStats = serve.Stats
+	// CheckpointConfig configures coordinated fault-tolerance checkpoints
+	// (ClusterConfig.Checkpoint): trigger cadence, directory, rotation.
+	CheckpointConfig = ckpt.Config
+	// TrainState is a complete restored checkpoint (ClusterConfig.Resume):
+	// weights, Adam moments, RNG streams, the epoch/round cursor, and the
+	// partition/VIP/cache topology.
+	TrainState = ckpt.TrainState
 )
 
 // NewPapersDataset generates the scaled ogbn-papers100M analog with n
@@ -133,6 +141,16 @@ func NewCluster(ds *Dataset, cfg ClusterConfig) (*Cluster, error) {
 func NewServer(cl *Cluster, cfg ServeConfig) (*Server, error) {
 	return serve.New(cl, cfg)
 }
+
+// LoadCheckpoint decodes and validates the checkpoint at path (the
+// CRC-checked binary format of internal/ckpt). Pass the result as
+// ClusterConfig.Resume to continue the run bitwise identically, or build a
+// cluster from it and hand that to NewServer to serve the snapshot.
+func LoadCheckpoint(path string) (*TrainState, error) { return ckpt.Load(path) }
+
+// LoadLatestCheckpoint loads the newest valid checkpoint in dir, skipping
+// torn or corrupt files, and reports which file it used.
+func LoadLatestCheckpoint(dir string) (*TrainState, string, error) { return ckpt.LoadLatest(dir) }
 
 // VIPCachePolicy returns the paper's analytic caching policy.
 func VIPCachePolicy() CachePolicy { return cache.VIP{} }
