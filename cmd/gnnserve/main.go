@@ -35,7 +35,8 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 32, "coalescing: max requests per rank per round")
 		maxWait  = flag.Int64("maxwait", 1000, "coalescing: max microseconds the oldest request waits for company")
 		useTCP   = flag.Bool("tcp", false, "serve the feature collectives over loopback TCP")
-		ckptPath = flag.String("checkpoint", "", "serve a frozen snapshot restored from this checkpoint file (gnntrain -checkpoint-dir format); dataset, seed, batch, fanouts, and K are reconstructed from the file, overriding the corresponding flags")
+		codec    = flag.String("codec", "", "serving wire codec: fp32 (raw), fp16, int8; default inherits the cluster's codec (the checkpoint's recorded codec with -checkpoint, else fp32) — see README: communication efficiency")
+		ckptPath = flag.String("checkpoint", "", "serve a frozen snapshot restored from this checkpoint file (gnntrain -checkpoint-dir format); dataset, seed, batch, fanouts, K, and the training codec are reconstructed from the file, overriding the corresponding flags (-codec still selects the serving group's codec)")
 		seed     = flag.Uint64("seed", 7, "random seed")
 		asJSON   = flag.Bool("json", false, "also write the machine-readable report (-serveout)")
 		serveOut = flag.String("serveout", "BENCH_serve.json", "machine-readable output path")
@@ -55,10 +56,11 @@ func main() {
 	scale.Batch = *batch
 	scale.Workers = *workers
 	scale.Seed = *seed
+	scale.Codec = *codec
 	res, err := experiments.ServeBench(scale, experiments.ServeConfig{
 		Alphas: alphaList, Clients: *clients, RequestsPerClient: *requests,
 		MaxBatch: *maxBatch, MaxWaitMicros: *maxWait, UseTCP: *useTCP,
-		Checkpoint: *ckptPath,
+		Codec: *codec, Checkpoint: *ckptPath,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -38,6 +38,7 @@ func main() {
 		epochs   = flag.Int("epochs", 5, "training epochs")
 		lr       = flag.Float64("lr", 0.005, "Adam learning rate")
 		seed     = flag.Uint64("seed", 3, "random seed")
+		codec    = flag.String("codec", "fp32", "feature-gather wire codec: fp32 (raw), fp16 (half-precision rows + varint ids), int8 (per-row-scaled rows + varint ids)")
 
 		ckptDir    = flag.String("checkpoint-dir", "", "enable coordinated checkpointing into this directory")
 		ckptRounds = flag.Int("checkpoint-every-rounds", 0, "checkpoint every N pipeline rounds (0 disables mid-epoch checkpoints)")
@@ -60,6 +61,7 @@ func main() {
 	cfg.Epochs = *epochs
 	cfg.LR = *lr
 	cfg.Seed = *seed
+	cfg.Codec = *codec
 	cfg.Checkpoint.Dir = *ckptDir
 	cfg.Checkpoint.EveryRounds = *ckptRounds
 	cfg.Checkpoint.EveryEpochs = *ckptEpochs

@@ -44,6 +44,7 @@ func main() {
 		boost     = flag.Float64("trainboost", 8, "training-density boost for sparse-label datasets (see EXPERIMENTS.md)")
 		workers   = flag.Int("workers", 2, "sampler workers")
 		seed      = flag.Uint64("seed", 7, "random seed")
+		codec     = flag.String("codec", "fp32", "feature-gather wire codec for -exp epoch/serve: fp32 (raw), fp16, int8")
 		asJSON    = flag.Bool("json", false, "also write machine-readable reports (-jsonout, -epochout, -serveout)")
 		jsonOut   = flag.String("jsonout", "BENCH_sample_vip.json", "machine-readable hotpaths output path")
 		epochOut  = flag.String("epochout", "BENCH_epoch.json", "machine-readable epoch-benchmark output path")
@@ -91,6 +92,7 @@ func main() {
 	scale := experiments.Scale{
 		ProductsN: *products, PapersN: *papers, Mag240N: *mag240,
 		Batch: *batch, TrainBoost: *boost, Workers: *workers, Seed: *seed,
+		Codec: *codec,
 	}
 
 	run := map[string]func() (string, error){

@@ -265,11 +265,15 @@ func simulateCounts(ctx *Context, epochs int, seed uint64) ([]int64, error) {
 }
 
 // reachable returns all vertices within maxHops of the partition's local
-// training set (including the training vertices themselves).
+// training set (including the training vertices themselves). Distances are
+// int32: an int16 array overflowed once a distance passed 32767, and the
+// wrapped-negative values made visited vertices look unvisited again, so
+// the BFS re-enqueued them forever — deep-fanout configs pass len(Fanouts)
+// straight through here as maxHops.
 func reachable(ctx *Context, maxHops int) []int32 {
 	g := ctx.G
 	n := g.NumVertices()
-	dist := make([]int16, n)
+	dist := make([]int32, n)
 	for i := range dist {
 		dist[i] = -1
 	}

@@ -23,6 +23,13 @@ type Workload struct {
 	Counts []int64
 	// Epochs is the number of evaluation epochs sampled.
 	Epochs int
+
+	// oraclePrefix[i] is the summed count of the i highest-count remote
+	// vertices (oraclePrefix[0] = 0), built lazily by OracleVolume: the
+	// remote counts are sorted once, so an α-sweep costs one O(n log n)
+	// sort total instead of one per capacity. Not safe for concurrent
+	// first use; the experiment harnesses sweep sequentially.
+	oraclePrefix []int64
 }
 
 // NewWorkload samples epochs evaluation epochs of the partition's training
@@ -64,24 +71,34 @@ func (w *Workload) RemoteVolume(c *Cache) int64 {
 
 // OracleVolume returns the minimum possible volume for any static cache of
 // the given capacity: withhold the `capacity` highest-count remote
-// vertices — Figure 2's lower bound.
+// vertices — Figure 2's lower bound. The first call sorts the remote
+// counts into a descending prefix sum; every call (including the first
+// capacity of a sweep) then answers in O(1), so sweeping A alphas costs
+// O(n log n + A) rather than O(A · n log n).
 func (w *Workload) OracleVolume(capacity int) int64 {
-	remote := make([]int64, 0, len(w.Counts))
-	var total int64
-	for v, c := range w.Counts {
-		if w.Parts[v] != w.Part && c > 0 {
-			remote = append(remote, c)
-			total += c
+	if w.oraclePrefix == nil {
+		remote := make([]int64, 0, len(w.Counts))
+		for v, c := range w.Counts {
+			if w.Parts[v] != w.Part && c > 0 {
+				remote = append(remote, c)
+			}
 		}
+		sort.Slice(remote, func(i, j int) bool { return remote[i] > remote[j] })
+		prefix := make([]int64, len(remote)+1)
+		for i, c := range remote {
+			prefix[i+1] = prefix[i] + c
+		}
+		w.oraclePrefix = prefix
 	}
-	if capacity >= len(remote) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	top := len(w.oraclePrefix) - 1 // number of distinct remote vertices
+	if capacity >= top {
 		return 0
 	}
-	sort.Slice(remote, func(i, j int) bool { return remote[i] > remote[j] })
-	for i := 0; i < capacity; i++ {
-		total -= remote[i]
-	}
-	return total
+	total := w.oraclePrefix[top]
+	return total - w.oraclePrefix[capacity]
 }
 
 // PerEpoch converts a total volume to a per-epoch average.

@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"sort"
+	"testing"
+
+	"salientpp/internal/graph"
+)
+
+// TestOracleVolumePrefixMatchesBruteForce differentially checks the
+// prefix-sum OracleVolume against the straightforward per-call re-sort it
+// replaced, across the capacity range an α-sweep hits (including 0,
+// negative, every intermediate value, and beyond the remote-vertex count).
+func TestOracleVolumePrefixMatchesBruteForce(t *testing.T) {
+	parts := []int32{0, 1, 1, 0, 1, 1, 1, 0, 1, 1}
+	counts := []int64{9, 4, 0, 3, 7, 7, 1, 0, 12, 2}
+	brute := func(capacity int) int64 {
+		var remote []int64
+		var total int64
+		for v, c := range counts {
+			if parts[v] != 0 && c > 0 {
+				remote = append(remote, c)
+				total += c
+			}
+		}
+		if capacity >= len(remote) {
+			return 0
+		}
+		sort.Slice(remote, func(i, j int) bool { return remote[i] > remote[j] })
+		for i := 0; i < capacity && i >= 0; i++ {
+			total -= remote[i]
+		}
+		return total
+	}
+	w := &Workload{Part: 0, Parts: parts, Counts: counts, Epochs: 1}
+	for capacity := -1; capacity <= len(counts)+2; capacity++ {
+		want := brute(capacity)
+		if capacity < 0 {
+			want = brute(0)
+		}
+		if got := w.OracleVolume(capacity); got != want {
+			t.Errorf("OracleVolume(%d) = %d, brute force says %d", capacity, got, want)
+		}
+	}
+	// Capacity 0 equals the no-cache volume.
+	if w.OracleVolume(0) != w.RemoteTotal() {
+		t.Errorf("OracleVolume(0) = %d, RemoteTotal = %d", w.OracleVolume(0), w.RemoteTotal())
+	}
+	// Sweeping again (warm prefix) must agree with itself.
+	for capacity := 0; capacity <= len(counts); capacity++ {
+		if w.OracleVolume(capacity) != brute(capacity) {
+			t.Errorf("warm OracleVolume(%d) diverged", capacity)
+		}
+	}
+}
+
+// TestReachableDeepFanoutNoOverflow is the int16-overflow regression test:
+// on a 40000-vertex path with the training set at one end, a 33000-hop
+// reachability must stop at 33001 vertices. The pre-fix int16 distance
+// array wrapped negative at hop 32768; the negative distances made visited
+// vertices look unvisited, so the BFS re-enqueued them endlessly and this
+// test hangs (fails by timeout) on that code.
+func TestReachableDeepFanoutNoOverflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("40k-vertex BFS")
+	}
+	const n = 40000
+	edges := make([]graph.Edge, 0, n-1)
+	for v := int32(0); v < n-1; v++ {
+		edges = append(edges, graph.Edge{Src: v, Dst: v + 1})
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{Undirected: true, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{
+		G: g, Parts: make([]int32, n), K: 1, Part: 0,
+		TrainIDs: []int32{0}, Fanouts: []int{2}, BatchSize: 1,
+	}
+	const maxHops = 33000
+	got := reachable(ctx, maxHops)
+	if len(got) != maxHops+1 {
+		t.Fatalf("reachable(%d hops) returned %d vertices, want %d", maxHops, len(got), maxHops+1)
+	}
+	// The shallow case is unchanged.
+	if got := reachable(ctx, 2); len(got) != 3 {
+		t.Fatalf("reachable(2 hops) returned %d vertices, want 3", len(got))
+	}
+}

@@ -34,6 +34,7 @@ func testState() *TrainState {
 		Seed:      77,
 		BatchSize: 2,
 		Fanouts:   []int32{3, 2},
+		Codec:     "fp16",
 		Topo: &Topology{
 			NumVertices: 6, FeatureDim: 4, K: 2,
 			Perm:     []int32{0, 2, 4, 1, 3, 5},
@@ -42,6 +43,94 @@ func testState() *TrainState {
 			CacheIDs: [][]int32{{4, 5}, {0}},
 		},
 		Ranks: []*RankState{mkRank(0.5), mkRank(-0.5)},
+	}
+}
+
+// encodeV1 serializes st in the version-1 layout (no codec string in the
+// header), byte-for-byte what the pre-codec code wrote, so the
+// backward-compatibility test decodes a genuine v1 file.
+func encodeV1(st *TrainState) []byte {
+	var e enc
+	e.u32(magic)
+	e.u32(1)
+	out := e.b
+	var p enc
+	p.u32(uint32(st.Topo.K))
+	p.u32(uint32(st.Step.Epoch))
+	p.u32(uint32(st.Step.Round))
+	p.u32(uint32(st.Rounds))
+	p.u64(uint64(st.Topo.NumVertices))
+	p.u32(uint32(st.Topo.FeatureDim))
+	p.u64(st.Seed)
+	p.u32(uint32(st.BatchSize))
+	p.i32s(st.Fanouts)
+	p.str(st.Dataset)
+	out = p.section(out, tagHeader)
+	p.b = p.b[:0]
+	p.i32s(st.Topo.Perm)
+	p.i64s(st.Topo.Starts)
+	p.i32s(st.Topo.Parts)
+	for _, ids := range st.Topo.CacheIDs {
+		p.i32s(ids)
+	}
+	out = p.section(out, tagTopology)
+	for _, rs := range st.Ranks {
+		p.b = p.b[:0]
+		p.u32(uint32(len(rs.Params)))
+		for _, pr := range rs.Params {
+			p.u32(uint32(pr.Rows))
+			p.u32(uint32(pr.Cols))
+			p.f32s(pr.W)
+			p.f32s(pr.M)
+			p.f32s(pr.V)
+		}
+		p.i64(rs.AdamStep)
+		for _, s := range rs.ModelRNG {
+			p.u64(s)
+		}
+		pe := rs.Partial
+		p.f64(pe.Loss)
+		p.f64(pe.Accuracy)
+		p.i64(pe.Batches)
+		p.i64(pe.LocalGPU)
+		p.i64(pe.LocalCPU)
+		p.i64(pe.CacheHit)
+		p.i64(pe.Remote)
+		p.i64(pe.BytesSent)
+		p.i64(pe.SampleNS)
+		p.i64(pe.GatherNS)
+		p.i64(pe.ComputeNS)
+		out = p.section(out, tagRank)
+	}
+	return out
+}
+
+// TestDecodeAcceptsVersion1 guards restore compatibility: checkpoints
+// written before the wire-codec field (format v1) must still decode, with
+// the codec defaulting to "fp32" — the only wire format those runs could
+// have trained under.
+func TestDecodeAcceptsVersion1(t *testing.T) {
+	st := testState()
+	got, err := Decode(bytes.NewReader(encodeV1(st)))
+	if err != nil {
+		t.Fatalf("v1 checkpoint no longer decodes: %v", err)
+	}
+	if got.Codec != "fp32" {
+		t.Fatalf("v1 decode codec %q, want the fp32 default", got.Codec)
+	}
+	got.Codec = st.Codec // the only intended difference
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("v1 decode mismatch:\nwant %+v\ngot  %+v", st, got)
+	}
+	// An out-of-range version is still rejected.
+	bad := encodeV1(st)
+	bad[4] = 3
+	if _, err := Decode(bytes.NewReader(bad)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	bad[4] = 0
+	if _, err := Decode(bytes.NewReader(bad)); err == nil {
+		t.Fatal("version 0 accepted")
 	}
 }
 
@@ -107,6 +196,7 @@ func TestValidateCatchesInconsistency(t *testing.T) {
 		"bad K":           func(s *TrainState) { s.Topo.K = 0 },
 		"bad batch":       func(s *TrainState) { s.BatchSize = 0 },
 		"no dataset":      func(s *TrainState) { s.Dataset = "" },
+		"no codec":        func(s *TrainState) { s.Codec = "" },
 		"no fanouts":      func(s *TrainState) { s.Fanouts = nil },
 		"bad fanout":      func(s *TrainState) { s.Fanouts[1] = -1 },
 		"cursor past end": func(s *TrainState) { s.Step.Round = s.Rounds },
@@ -133,7 +223,7 @@ func TestSaverBarrierWriteAndRotation(t *testing.T) {
 	}
 	base := testState()
 	s.SetTopology(base.Topo)
-	s.SetRunConfig(base.Dataset, base.Seed, int(base.BatchSize), []int{3, 2})
+	s.SetRunConfig(base.Dataset, base.Seed, int(base.BatchSize), []int{3, 2}, base.Codec)
 	fill := func(src *RankState) func(*RankState) {
 		return func(dst *RankState) { *dst = *src }
 	}
@@ -233,7 +323,7 @@ func TestSaverRejectsBarrierViolations(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.SetTopology(testState().Topo)
-	s.SetRunConfig("toy-sim", 77, 2, []int{3, 2})
+	s.SetRunConfig("toy-sim", 77, 2, []int{3, 2}, "")
 	fill := func(dst *RankState) { *dst = *testState().Ranks[0] }
 	if err := s.Offer(0, Step{0, 1}, fill); err != nil {
 		t.Fatal(err)
@@ -246,7 +336,7 @@ func TestSaverRejectsBarrierViolations(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2.SetTopology(testState().Topo)
-	s2.SetRunConfig("toy-sim", 77, 2, []int{3, 2})
+	s2.SetRunConfig("toy-sim", 77, 2, []int{3, 2}, "")
 	if err := s2.Offer(0, Step{0, 1}, fill); err != nil {
 		t.Fatal(err)
 	}

@@ -38,7 +38,11 @@ import (
 
 const (
 	magic   uint32 = 0x4b435053 // "SPCK" little-endian
-	version uint32 = 1
+	version uint32 = 2          // written; v2 added the wire-codec identity to the header
+	// minVersion is the oldest format Decode still reads: v1 files lack
+	// the header codec string and decode with the "fp32" default — every
+	// v1 run trained under the only wire format that existed then.
+	minVersion uint32 = 1
 
 	tagHeader   uint32 = 1
 	tagTopology uint32 = 2
@@ -136,8 +140,13 @@ type TrainState struct {
 	Seed      uint64
 	BatchSize int32
 	Fanouts   []int32
-	Topo      *Topology
-	Ranks     []*RankState
+	// Codec names the feature-gather wire codec ("fp32", "fp16", "int8")
+	// the run trained under. A lossy codec perturbs every gathered remote
+	// row, so resuming under a different codec would silently diverge from
+	// the checkpointed trajectory; restore validates it like the seed.
+	Codec string
+	Topo  *Topology
+	Ranks []*RankState
 }
 
 // Validate checks the internal consistency a decoder or resume path relies
@@ -159,6 +168,9 @@ func (t *TrainState) Validate() error {
 	}
 	if t.Dataset == "" || len(t.Dataset) > 256 {
 		return fmt.Errorf("ckpt: missing or oversized dataset name")
+	}
+	if t.Codec == "" || len(t.Codec) > 32 {
+		return fmt.Errorf("ckpt: missing or oversized wire codec name")
 	}
 	if len(t.Fanouts) == 0 {
 		return fmt.Errorf("ckpt: missing fanouts")
@@ -302,6 +314,7 @@ func AppendEncode(dst []byte, t *TrainState) ([]byte, error) {
 	p.u32(uint32(t.BatchSize))
 	p.i32s(t.Fanouts)
 	p.str(t.Dataset)
+	p.str(t.Codec)
 	out = p.section(out, tagHeader)
 
 	// Topology.
@@ -532,8 +545,9 @@ func Decode(r io.Reader) (*TrainState, error) {
 	if m := uint32(pre[0]) | uint32(pre[1])<<8 | uint32(pre[2])<<16 | uint32(pre[3])<<24; m != magic {
 		return nil, fmt.Errorf("ckpt: bad magic %#x", m)
 	}
-	if v := uint32(pre[4]) | uint32(pre[5])<<8 | uint32(pre[6])<<16 | uint32(pre[7])<<24; v != version {
-		return nil, fmt.Errorf("ckpt: unsupported version %d", v)
+	ver := uint32(pre[4]) | uint32(pre[5])<<8 | uint32(pre[6])<<16 | uint32(pre[7])<<24
+	if ver < minVersion || ver > version {
+		return nil, fmt.Errorf("ckpt: unsupported version %d", ver)
 	}
 
 	t := &TrainState{}
@@ -595,6 +609,14 @@ func Decode(r io.Reader) (*TrainState, error) {
 			if err != nil {
 				return nil, err
 			}
+			// v1 headers end at the dataset name; the codec string was
+			// appended in v2, and every v1 run trained under fp32.
+			codec := "fp32"
+			if ver >= 2 {
+				if codec, err = c.str(); err != nil {
+					return nil, err
+				}
+			}
 			if k > 1<<16 || rounds > 1<<30 || epoch > 1<<30 || n > 1<<40 {
 				return nil, fmt.Errorf("ckpt: implausible header (k=%d rounds=%d epoch=%d n=%d)", k, rounds, epoch, n)
 			}
@@ -604,6 +626,7 @@ func Decode(r io.Reader) (*TrainState, error) {
 			t.BatchSize = int32(batch)
 			t.Fanouts = fanouts
 			t.Dataset = dsName
+			t.Codec = codec
 			t.Topo = &Topology{NumVertices: int64(n), FeatureDim: int32(dim), K: int32(k)}
 		case tagTopology:
 			if !sawHeader {

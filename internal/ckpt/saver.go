@@ -60,6 +60,7 @@ type Saver struct {
 	seed      uint64
 	batchSize int32
 	fanouts   []int32
+	codec     string
 	slots     []*RankState
 	filled    []bool
 	arrived   int
@@ -96,10 +97,12 @@ func NewSaver(cfg Config, k, rounds int) (*Saver, error) {
 func (s *Saver) SetTopology(t *Topology) { s.topo = t }
 
 // SetRunConfig pins the run identity (dataset name, sampling seed, batch
-// size, fanouts) in every checkpoint so restore can reject drift that
-// would silently train the wrong data or replay different batches. Must
-// be called before the first Offer.
-func (s *Saver) SetRunConfig(dataset string, seed uint64, batchSize int, fanouts []int) {
+// size, fanouts, and the feature-gather wire codec) in every checkpoint so
+// restore can reject drift that would silently train the wrong data,
+// replay different batches, or dequantize different feature bytes. Must
+// be called before the first Offer. An empty codec records the "fp32"
+// default.
+func (s *Saver) SetRunConfig(dataset string, seed uint64, batchSize int, fanouts []int, codec string) {
 	s.dataset = dataset
 	s.seed = seed
 	s.batchSize = int32(batchSize)
@@ -107,6 +110,10 @@ func (s *Saver) SetRunConfig(dataset string, seed uint64, batchSize int, fanouts
 	for i, f := range fanouts {
 		s.fanouts[i] = int32(f)
 	}
+	if codec == "" {
+		codec = "fp32"
+	}
+	s.codec = codec
 }
 
 // DueRound reports whether a checkpoint fires after roundsDone fully
@@ -162,7 +169,7 @@ func (s *Saver) Offer(rank int, step Step, fill func(*RankState)) error {
 	state := &TrainState{
 		Step: step, Rounds: s.rounds,
 		Dataset: s.dataset, Seed: s.seed, BatchSize: s.batchSize, Fanouts: s.fanouts,
-		Topo: s.topo, Ranks: s.slots,
+		Codec: s.codec, Topo: s.topo, Ranks: s.slots,
 	}
 	if err := s.write(state); err != nil {
 		s.err = err

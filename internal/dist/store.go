@@ -45,6 +45,7 @@ type Store struct {
 	cdata   *tensor.Matrix
 	gpuRows int
 	pool    *tensor.Pool
+	codec   Codec
 
 	// Reusable per-Gather scratch; a Store is used by one goroutine at a
 	// time (the pipeline's feature-collection stage).
@@ -53,7 +54,9 @@ type Store struct {
 	cntFrame []byte      // 4·K bytes backing the count frames of collective 1
 	cntRecv  []int32     // decoded per-peer request counts
 	sendPtr  [][]byte    // per-collective payload views (headers reused)
-	featBuf  [][]float32 // per-peer contiguous feature staging (collective 3)
+	featBuf  [][]float32 // per-peer contiguous feature staging (collective 3, fp32)
+	idEnc    [][]byte    // per-peer varint id encodings (collective 2, fp16/int8)
+	featEnc  [][]byte    // per-peer encoded feature payloads (collective 3, fp16/int8)
 	byPeer   []int       // RemoteByPeer scratch
 	sorter   idRowSorter
 }
@@ -124,9 +127,21 @@ func newStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cach
 		cntRecv:  make([]int32, k),
 		sendPtr:  make([][]byte, k),
 		featBuf:  make([][]float32, k),
+		idEnc:    make([][]byte, k),
+		featEnc:  make([][]byte, k),
 		byPeer:   make([]int, k),
 	}
 }
+
+// SetCodec selects the wire codec for this store's gathers. All members of
+// the comm group must agree (the decode paths reject mismatched payload
+// sizes). CodecFP32, the default, keeps the historical byte-for-byte wire
+// format. Install before the first Gather; do not call concurrently with
+// Gather. Siblings inherit the codec at Sibling time.
+func (s *Store) SetCodec(c Codec) { s.codec = c }
+
+// Codec returns the store's wire codec.
+func (s *Store) Codec() Codec { return s.codec }
 
 // Sibling returns a second store over the same read-only feature data —
 // local shard, cache index, cache rows, layout, and GPU split — but a
@@ -146,7 +161,9 @@ func (s *Store) Sibling(comm Comm) (*Store, error) {
 	}
 	// gpuRows is copied outright (not re-derived from a fraction) so access
 	// classification matches the original store exactly.
-	return newStore(comm, s.layout, s.dim, s.local, s.cache, s.cdata, s.gpuRows), nil
+	sib := newStore(comm, s.layout, s.dim, s.local, s.cache, s.cdata, s.gpuRows)
+	sib.codec = s.codec
+	return sib, nil
 }
 
 // Layout returns the store's partition layout (read-only).
@@ -247,17 +264,26 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 			return s.failGather(out, stats, fmt.Errorf("dist: rank %d sent a %d-byte count frame", p, len(cnts[p])))
 		}
 		s.cntRecv[p] = int32(binary.LittleEndian.Uint32(cnts[p]))
+		if s.cntRecv[p] < 0 {
+			return s.failGather(out, stats, fmt.Errorf("dist: rank %d announced an implausible request count", p))
+		}
 	}
 
 	// Collective 2: request ids, sorted ascending per peer so the owner
-	// answers with sequential reads of its shard. Payloads are zero-copy
-	// views of the (reused) request lists.
+	// answers with sequential reads of its shard. Under the fp32 codec the
+	// payloads are zero-copy views of the (reused) request lists; under
+	// fp16/int8 the sorted lists delta-compress into reused varint buffers.
 	for p := 0; p < k; p++ {
 		if p != rank && len(s.reqIDs[p]) > 1 {
 			s.sorter.ids, s.sorter.rows = s.reqIDs[p], s.rowOf[p]
 			sort.Sort(&s.sorter)
 		}
-		s.sendPtr[p] = i32AsBytes(s.reqIDs[p])
+		if s.codec == CodecFP32 {
+			s.sendPtr[p] = i32AsBytes(s.reqIDs[p])
+		} else {
+			s.idEnc[p] = appendIDsDelta(s.idEnc[p][:0], s.reqIDs[p])
+			s.sendPtr[p] = s.idEnc[p]
+		}
 	}
 	reqs, err := s.comm.AllToAll(s.sendPtr)
 	if err != nil {
@@ -265,15 +291,41 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 	}
 
 	// Collective 3: feature payloads answering each peer's request list.
-	// Rows are staged once into a reused contiguous float32 buffer per peer
-	// and shipped as its byte view — no per-row encode/append.
+	// fp32 stages rows once into a reused contiguous float32 buffer per
+	// peer and ships its byte view — no per-row encode/append; fp16/int8
+	// stream-decode the varint ids and encode each row straight into a
+	// reused per-peer wire buffer.
 	for p := 0; p < k; p++ {
 		s.sendPtr[p] = nil
 		if p == rank {
 			continue
 		}
+		cnt := int(s.cntRecv[p])
+		if s.codec != CodecFP32 {
+			rd := idDeltaReader{b: reqs[p]}
+			enc := s.featEnc[p][:0]
+			for j := 0; j < cnt; j++ {
+				v, err := rd.next()
+				if err != nil {
+					return s.failGather(out, stats, fmt.Errorf("dist: rank %d request list: %w", p, err))
+				}
+				// Explicit interval check (see the fp32 branch below).
+				if int64(v) < s.layout.Starts[rank] || int64(v) >= s.layout.Starts[rank+1] {
+					return s.failGather(out, stats, fmt.Errorf("dist: rank %d requested vertex %d not owned here", p, v))
+				}
+				enc = s.codec.appendFeatRow(enc, s.local.Row(int(int64(v)-s.layout.Starts[rank])))
+			}
+			if rd.remaining() != 0 {
+				return s.failGather(out, stats, fmt.Errorf("dist: rank %d announced %d requests but sent %d trailing bytes", p, cnt, rd.remaining()))
+			}
+			s.featEnc[p] = enc
+			if cnt > 0 {
+				s.sendPtr[p] = enc
+			}
+			continue
+		}
 		want := bytesAsI32(reqs[p])
-		if int32(len(want)) != s.cntRecv[p] {
+		if len(want) != cnt {
 			return s.failGather(out, stats, fmt.Errorf("dist: rank %d announced %d requests but sent %d ids", p, s.cntRecv[p], len(want)))
 		}
 		if len(want) == 0 {
@@ -304,10 +356,21 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 		return s.failGather(out, stats, err)
 	}
 
-	// Scatter the received payloads directly into the waiting output rows
-	// through a zero-copy float32 view of each payload.
+	// Scatter the received payloads directly into the waiting output rows:
+	// fp32 through a zero-copy float32 view of each payload, fp16/int8 by
+	// dequantizing each encoded row straight into its output row.
 	for p := 0; p < k; p++ {
 		if p == rank || len(s.rowOf[p]) == 0 {
+			continue
+		}
+		if s.codec != CodecFP32 {
+			rowWire := s.codec.featRowWire(s.dim)
+			if len(feats[p]) != len(s.rowOf[p])*rowWire {
+				return s.failGather(out, stats, fmt.Errorf("dist: rank %d returned %d payload bytes for %d requested rows", p, len(feats[p]), len(s.rowOf[p])))
+			}
+			for j, row := range s.rowOf[p] {
+				s.codec.decodeFeatRow(out.Row(int(row)), feats[p][j*rowWire:(j+1)*rowWire])
+			}
 			continue
 		}
 		vals := bytesAsF32(feats[p])

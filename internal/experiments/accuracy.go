@@ -26,6 +26,11 @@ type AccuracyConfig struct {
 	Epochs     int
 	LR         float64
 	Seed       uint64
+	// Codec is the feature-gather wire codec ("", "fp32", "fp16", "int8").
+	// Lossy codecs shrink communication without changing which rows move;
+	// the codec is part of the checkpoint identity, so resuming requires
+	// the same setting.
+	Codec string
 
 	// Checkpoint enables coordinated fault-tolerance checkpoints for the
 	// training runs (internal/ckpt): Dir, EveryRounds/EveryEpochs
@@ -120,7 +125,7 @@ func Accuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 		}
 		ccfg := pipeline.ClusterConfig{
 			K: cfg.K, Alpha: cfg.Alpha, GPUFraction: 1, VIPReorder: true,
-			Hidden: cfg.Hidden, Layers: len(cfg.Fanouts), Dropout: 0,
+			Hidden: cfg.Hidden, Layers: len(cfg.Fanouts), Dropout: 0, Codec: cfg.Codec,
 			Train: pipeline.Config{
 				Fanouts: cfg.Fanouts, BatchSize: cfg.Batch,
 				PipelineDepth: 10, SamplerWorkers: 2, LR: cfg.LR, Seed: cfg.Seed,

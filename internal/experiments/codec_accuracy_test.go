@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCodecAccuracyDelta pins the quality cost of the lossy wire codecs on
+// a real seeded training run: switching the gather transport from fp32 to
+// fp16 must leave the final sampled-inference test accuracy within 0.5
+// points, while fetching exactly the same remote rows. (int8 is reported
+// too but held to a looser 2-point bound — per-row 8-bit quantization is
+// opt-in precisely because its safety depends on the feature distribution;
+// see the README's communication-efficiency table.)
+func TestCodecAccuracyDelta(t *testing.T) {
+	run := func(codec string) AccuracyRow {
+		cfg := DefaultAccuracyConfig()
+		cfg.Datasets = []string{"products-sim"}
+		cfg.N = 3000
+		cfg.Epochs = 2
+		cfg.Codec = codec
+		rows, err := Accuracy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows[0]
+	}
+	fp32 := run("fp32")
+	fp16 := run("fp16")
+	i8 := run("int8")
+
+	if fp16.RemotePerEpoch != fp32.RemotePerEpoch || i8.RemotePerEpoch != fp32.RemotePerEpoch {
+		t.Fatalf("remote fetches drifted across codecs: fp32 %d, fp16 %d, int8 %d",
+			fp32.RemotePerEpoch, fp16.RemotePerEpoch, i8.RemotePerEpoch)
+	}
+	if d := math.Abs(fp16.TestAcc - fp32.TestAcc); d > 0.005 {
+		t.Errorf("fp16 test accuracy %.4f vs fp32 %.4f: delta %.4f exceeds 0.5 points",
+			fp16.TestAcc, fp32.TestAcc, d)
+	}
+	if d := math.Abs(i8.TestAcc - fp32.TestAcc); d > 0.02 {
+		t.Errorf("int8 test accuracy %.4f vs fp32 %.4f: delta %.4f exceeds 2 points",
+			i8.TestAcc, fp32.TestAcc, d)
+	}
+	// Training must have actually learned something under every codec, so
+	// the deltas above are not trivially comparing noise floors.
+	for _, r := range []AccuracyRow{fp32, fp16, i8} {
+		if r.FinalLoss >= r.FirstLoss {
+			t.Errorf("%+v: loss did not decrease", r)
+		}
+	}
+}

@@ -27,9 +27,11 @@ type Comparison struct {
 // `salientbench -compare old.json new.json -tolerance 0.25`: it detects
 // the report kind from its fields and gates the kind's headline metrics.
 //
-//   - BENCH_epoch.json: best epoch wall time (lower is better).
-//   - BENCH_serve.json: per-α serving p95 latency (lower) and closed-loop
-//     throughput (higher), matched row by row on α.
+//   - BENCH_epoch.json: best epoch wall time and mean bytes-on-wire per
+//     epoch (both lower is better).
+//   - BENCH_serve.json: per-α serving p95 latency (lower), closed-loop
+//     throughput (higher), and bytes on the wire (lower), matched row by
+//     row on α.
 //
 // Both files must be the same kind. A missing α row in the new report is
 // itself a regression (coverage must not silently shrink).
@@ -120,7 +122,22 @@ func compareEpoch(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Com
 	if err != nil {
 		return nil, err
 	}
-	return gate(nil, "best_wall_seconds", oldBest, newBest, tol, false)
+	out, err := gate(nil, "best_wall_seconds", oldBest, newBest, tol, false)
+	if err != nil {
+		return nil, err
+	}
+	// Bytes on the wire: the codec work's headline. Unlike wall time this
+	// is nearly deterministic for a seeded run, so a growth beyond the
+	// tolerance means the wire format or the caching regressed.
+	oldBytes, err := jsonFloat(oldRaw, "mean_bytes_per_epoch")
+	if err != nil {
+		return nil, err
+	}
+	newBytes, err := jsonFloat(newRaw, "mean_bytes_per_epoch")
+	if err != nil {
+		return nil, err
+	}
+	return gate(out, "mean_bytes_per_epoch", oldBytes, newBytes, tol, false)
 }
 
 // serveGateRow is the gated subset of a ServeAlphaRow.
@@ -128,6 +145,7 @@ type serveGateRow struct {
 	Alpha         float64 `json:"alpha"`
 	P95           float64 `json:"p95_latency_seconds"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+	BytesSent     float64 `json:"bytes_sent"`
 }
 
 func compareServe(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Comparison, error) {
@@ -161,6 +179,10 @@ func compareServe(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Com
 			return nil, err
 		}
 		out, err = gate(out, fmt.Sprintf("throughput_rps[alpha=%.2f]", o.Alpha), o.ThroughputRPS, n.ThroughputRPS, tol, true)
+		if err != nil {
+			return nil, err
+		}
+		out, err = gate(out, fmt.Sprintf("bytes_sent[alpha=%.2f]", o.Alpha), o.BytesSent, n.BytesSent, tol, false)
 		if err != nil {
 			return nil, err
 		}

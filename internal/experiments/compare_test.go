@@ -7,11 +7,15 @@ import (
 )
 
 func writeEpochReport(t *testing.T, dir, name string, best float64) string {
+	return writeEpochReportBytes(t, dir, name, best, 5e6)
+}
+
+func writeEpochReportBytes(t *testing.T, dir, name string, best, bytes float64) string {
 	t.Helper()
 	r := &EpochBenchResult{
-		Dataset: "papers-sim", Vertices: 1000, K: 2,
-		Epochs:          []EpochRow{{Epoch: 0, WallSeconds: best}},
-		BestWallSeconds: best, MeanWallSeconds: best,
+		Dataset: "papers-sim", Vertices: 1000, K: 2, Codec: "fp32",
+		Epochs:          []EpochRow{{Epoch: 0, WallSeconds: best, BytesSent: int64(bytes)}},
+		BestWallSeconds: best, MeanWallSeconds: best, MeanBytesPerEpoch: bytes,
 	}
 	p := filepath.Join(dir, name)
 	if err := r.WriteJSON(p); err != nil {
@@ -66,6 +70,17 @@ func TestCompareGateFailsOnInjectedEpochRegression(t *testing.T) {
 	if !strings.Contains(RenderComparisons(cs, 0.25), "best_wall_seconds") {
 		t.Fatal("rendered gate verdict lacks the metric name")
 	}
+
+	// Bytes-on-wire +60% at identical wall time (a wire-format regression
+	// the wall-clock gate could miss on fast hardware): fail.
+	fat := writeEpochReportBytes(t, dir, "fat.json", 10.0, 8e6)
+	cs, err = CompareBenchFiles(old, fat, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatalf("60%% bytes-per-epoch regression passed the gate: %+v", cs)
+	}
 }
 
 // TestCompareGateServeRows gates serving p95 and throughput per α row and
@@ -73,8 +88,8 @@ func TestCompareGateFailsOnInjectedEpochRegression(t *testing.T) {
 func TestCompareGateServeRows(t *testing.T) {
 	dir := t.TempDir()
 	oldRows := []ServeAlphaRow{
-		{Alpha: 0, P95: 0.010, ThroughputRPS: 1000},
-		{Alpha: 0.16, P95: 0.005, ThroughputRPS: 2000},
+		{Alpha: 0, P95: 0.010, ThroughputRPS: 1000, BytesSent: 4e6},
+		{Alpha: 0.16, P95: 0.005, ThroughputRPS: 2000, BytesSent: 1e6},
 	}
 	old := writeServeReport(t, dir, "old.json", oldRows)
 
@@ -87,14 +102,14 @@ func TestCompareGateServeRows(t *testing.T) {
 	if AnyRegressed(cs) {
 		t.Fatalf("identical serve reports regressed: %+v", cs)
 	}
-	if len(cs) != 4 {
-		t.Fatalf("expected 2 metrics × 2 rows, got %d comparisons", len(cs))
+	if len(cs) != 6 {
+		t.Fatalf("expected 3 metrics × 2 rows, got %d comparisons", len(cs))
 	}
 
 	// p95 +30% at one α: fail.
 	slow := []ServeAlphaRow{
-		{Alpha: 0, P95: 0.013, ThroughputRPS: 1000},
-		{Alpha: 0.16, P95: 0.005, ThroughputRPS: 2000},
+		{Alpha: 0, P95: 0.013, ThroughputRPS: 1000, BytesSent: 4e6},
+		{Alpha: 0.16, P95: 0.005, ThroughputRPS: 2000, BytesSent: 1e6},
 	}
 	cs, err = CompareBenchFiles(old, writeServeReport(t, dir, "slow.json", slow), 0.25)
 	if err != nil {
@@ -106,8 +121,8 @@ func TestCompareGateServeRows(t *testing.T) {
 
 	// Throughput -30% at one α: fail.
 	weak := []ServeAlphaRow{
-		{Alpha: 0, P95: 0.010, ThroughputRPS: 700},
-		{Alpha: 0.16, P95: 0.005, ThroughputRPS: 2000},
+		{Alpha: 0, P95: 0.010, ThroughputRPS: 700, BytesSent: 4e6},
+		{Alpha: 0.16, P95: 0.005, ThroughputRPS: 2000, BytesSent: 1e6},
 	}
 	cs, err = CompareBenchFiles(old, writeServeReport(t, dir, "weak.json", weak), 0.25)
 	if err != nil {
@@ -115,6 +130,20 @@ func TestCompareGateServeRows(t *testing.T) {
 	}
 	if !AnyRegressed(cs) {
 		t.Fatal("30% throughput regression passed the gate")
+	}
+
+	// Bytes on the wire +50% at one α (a wire-format or caching
+	// regression): fail.
+	fat := []ServeAlphaRow{
+		{Alpha: 0, P95: 0.010, ThroughputRPS: 1000, BytesSent: 6e6},
+		{Alpha: 0.16, P95: 0.005, ThroughputRPS: 2000, BytesSent: 1e6},
+	}
+	cs, err = CompareBenchFiles(old, writeServeReport(t, dir, "fat.json", fat), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatal("50% bytes-on-wire regression passed the gate")
 	}
 
 	// Dropped α row: fail.
@@ -133,7 +162,7 @@ func TestCompareGateServeRows(t *testing.T) {
 func TestCompareRejectsMismatchedKinds(t *testing.T) {
 	dir := t.TempDir()
 	e := writeEpochReport(t, dir, "epoch.json", 10)
-	s := writeServeReport(t, dir, "serve.json", []ServeAlphaRow{{Alpha: 0, P95: 1, ThroughputRPS: 1}})
+	s := writeServeReport(t, dir, "serve.json", []ServeAlphaRow{{Alpha: 0, P95: 1, ThroughputRPS: 1, BytesSent: 1}})
 	if _, err := CompareBenchFiles(e, s, 0.25); err == nil {
 		t.Fatal("mismatched report kinds accepted")
 	}
@@ -154,8 +183,8 @@ func TestCompareRejectsZeroBaseline(t *testing.T) {
 	if _, err := CompareBenchFiles(zero, good, 0.25); err == nil {
 		t.Fatal("zero epoch baseline accepted")
 	}
-	zs := writeServeReport(t, dir, "zs.json", []ServeAlphaRow{{Alpha: 0, P95: 0, ThroughputRPS: 100}})
-	gs := writeServeReport(t, dir, "gs.json", []ServeAlphaRow{{Alpha: 0, P95: 0.01, ThroughputRPS: 100}})
+	zs := writeServeReport(t, dir, "zs.json", []ServeAlphaRow{{Alpha: 0, P95: 0, ThroughputRPS: 100, BytesSent: 1e6}})
+	gs := writeServeReport(t, dir, "gs.json", []ServeAlphaRow{{Alpha: 0, P95: 0.01, ThroughputRPS: 100, BytesSent: 1e6}})
 	if _, err := CompareBenchFiles(zs, gs, 0.25); err == nil {
 		t.Fatal("zero serve p95 baseline accepted")
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"salientpp/internal/dataset"
+	"salientpp/internal/dist"
 	"salientpp/internal/metrics"
 	"salientpp/internal/pipeline"
 )
@@ -31,20 +32,27 @@ type EpochRow struct {
 // sampling, three-collective gather, blocked kernels, gradient all-reduce
 // — so the per-epoch wall-time trajectory is diffable PR over PR.
 type EpochBenchResult struct {
-	Dataset         string     `json:"dataset"`
-	Vertices        int        `json:"vertices"`
-	Edges           int64      `json:"edges"`
-	K               int        `json:"k"`
-	Alpha           float64    `json:"alpha"`
-	Fanouts         []int      `json:"fanouts"`
-	Batch           int        `json:"batch"`
-	Hidden          int        `json:"hidden"`
-	Seed            uint64     `json:"seed"`
+	Dataset  string  `json:"dataset"`
+	Vertices int     `json:"vertices"`
+	Edges    int64   `json:"edges"`
+	K        int     `json:"k"`
+	Alpha    float64 `json:"alpha"`
+	Fanouts  []int   `json:"fanouts"`
+	Batch    int     `json:"batch"`
+	Hidden   int     `json:"hidden"`
+	Seed     uint64  `json:"seed"`
+	// Codec is the feature-gather wire codec the epochs ran under; the
+	// per-epoch BytesSent column counts encoded wire bytes, so fp16/int8
+	// rows shrink it at identical remote-fetch counts.
+	Codec           string     `json:"codec"`
 	MaxProcs        int        `json:"gomaxprocs"`
 	NumCPU          int        `json:"numcpu"`
 	Epochs          []EpochRow `json:"epochs"`
 	BestWallSeconds float64    `json:"best_wall_seconds"`
 	MeanWallSeconds float64    `json:"mean_wall_seconds"`
+	// MeanBytesPerEpoch is the bytes-on-wire headline the CI bench gate
+	// tracks: mean feature-communication payload bytes per epoch.
+	MeanBytesPerEpoch float64 `json:"mean_bytes_per_epoch"`
 }
 
 // EpochBench trains a 2-machine SALIENT++ cluster on a materialized
@@ -70,9 +78,13 @@ func EpochBench(scale Scale, epochs int) (*EpochBenchResult, error) {
 	dims := PaperDims(ds.Name)
 	const k = 2
 	const alpha = 0.16
+	codec, err := dist.ParseCodec(scale.Codec)
+	if err != nil {
+		return nil, err
+	}
 	cl, err := pipeline.NewCluster(ds, pipeline.ClusterConfig{
 		K: k, Alpha: alpha, GPUFraction: 1, VIPReorder: true,
-		Hidden: dims.Hidden, Layers: len(dims.Fanouts),
+		Hidden: dims.Hidden, Layers: len(dims.Fanouts), Codec: scale.Codec,
 		Train: pipeline.Config{
 			Fanouts: dims.Fanouts, BatchSize: scale.Batch, PipelineDepth: 10,
 			SamplerWorkers: scale.Workers, Parallelism: scale.Workers,
@@ -88,7 +100,7 @@ func EpochBench(scale Scale, epochs int) (*EpochBenchResult, error) {
 	res := &EpochBenchResult{
 		Dataset: ds.Name, Vertices: ds.NumVertices(), Edges: ds.Graph.NumEdges(),
 		K: k, Alpha: alpha, Fanouts: dims.Fanouts, Batch: scale.Batch,
-		Hidden: dims.Hidden, Seed: scale.Seed,
+		Hidden: dims.Hidden, Seed: scale.Seed, Codec: codec.String(),
 		MaxProcs: procs, NumCPU: runtime.NumCPU(),
 	}
 	for e := 0; e < epochs; e++ {
@@ -119,14 +131,17 @@ func EpochBench(scale Scale, epochs int) (*EpochBenchResult, error) {
 	}
 	best := res.Epochs[0].WallSeconds
 	var sum float64
+	var bytes int64
 	for _, r := range res.Epochs {
 		if r.WallSeconds < best {
 			best = r.WallSeconds
 		}
 		sum += r.WallSeconds
+		bytes += r.BytesSent
 	}
 	res.BestWallSeconds = best
 	res.MeanWallSeconds = sum / float64(len(res.Epochs))
+	res.MeanBytesPerEpoch = float64(bytes) / float64(len(res.Epochs))
 	return res, nil
 }
 
@@ -143,8 +158,8 @@ func (r *EpochBenchResult) WriteJSON(path string) error {
 // RenderEpochBench formats the per-epoch table.
 func RenderEpochBench(r *EpochBenchResult) string {
 	t := metrics.NewTable(
-		fmt.Sprintf("End-to-end training epochs (%s, N=%d, K=%d, α=%.2f, batch=%d, GOMAXPROCS=%d/%d CPUs)",
-			r.Dataset, r.Vertices, r.K, r.Alpha, r.Batch, r.MaxProcs, r.NumCPU),
+		fmt.Sprintf("End-to-end training epochs (%s, N=%d, K=%d, α=%.2f, batch=%d, codec=%s, GOMAXPROCS=%d/%d CPUs)",
+			r.Dataset, r.Vertices, r.K, r.Alpha, r.Batch, r.Codec, r.MaxProcs, r.NumCPU),
 		"epoch", "wall (s)", "sample (s)", "gather (s)", "compute (s)", "MB sent", "remote rows", "loss")
 	for _, row := range r.Epochs {
 		t.AddRow(row.Epoch,

@@ -10,6 +10,7 @@ import (
 
 	"salientpp/internal/ckpt"
 	"salientpp/internal/dataset"
+	"salientpp/internal/dist"
 	"salientpp/internal/metrics"
 	"salientpp/internal/pipeline"
 	"salientpp/internal/rng"
@@ -48,20 +49,24 @@ type ServeAlphaRow struct {
 // client replays the same seeded vertex stream — so remote-fetch counts
 // and hit rates are directly attributable to the cache.
 type ServeBenchResult struct {
-	Dataset           string          `json:"dataset"`
-	Vertices          int             `json:"vertices"`
-	Edges             int64           `json:"edges"`
-	K                 int             `json:"k"`
-	Fanouts           []int           `json:"fanouts"`
-	Hidden            int             `json:"hidden"`
-	MaxBatch          int             `json:"max_batch"`
-	MaxWaitMicros     int64           `json:"max_wait_micros"`
-	Clients           int             `json:"clients"`
-	RequestsPerClient int             `json:"requests_per_client"`
-	Seed              uint64          `json:"seed"`
-	MaxProcs          int             `json:"gomaxprocs"`
-	NumCPU            int             `json:"numcpu"`
-	Alphas            []ServeAlphaRow `json:"alphas"`
+	Dataset           string `json:"dataset"`
+	Vertices          int    `json:"vertices"`
+	Edges             int64  `json:"edges"`
+	K                 int    `json:"k"`
+	Fanouts           []int  `json:"fanouts"`
+	Hidden            int    `json:"hidden"`
+	MaxBatch          int    `json:"max_batch"`
+	MaxWaitMicros     int64  `json:"max_wait_micros"`
+	Clients           int    `json:"clients"`
+	RequestsPerClient int    `json:"requests_per_client"`
+	Seed              uint64 `json:"seed"`
+	// Codec is the serving comm group's wire codec; each row's BytesSent
+	// counts encoded wire bytes, so fp16/int8 shrink it at identical
+	// remote-fetch counts.
+	Codec    string          `json:"codec"`
+	MaxProcs int             `json:"gomaxprocs"`
+	NumCPU   int             `json:"numcpu"`
+	Alphas   []ServeAlphaRow `json:"alphas"`
 
 	// BestP95Seconds and BestThroughputRPS summarize the sweep (the gate
 	// in cmd/salientbench -compare also checks every row individually).
@@ -84,6 +89,13 @@ type ServeConfig struct {
 	MaxWaitMicros int64
 	// UseTCP serves over loopback TCP instead of in-process channels.
 	UseTCP bool
+	// Codec selects the *serving* comm group's wire codec ("fp32", "fp16",
+	// "int8"); empty inherits the cluster's codec (Scale.Codec, or the
+	// checkpoint's recorded codec when serving from one). The training
+	// cluster's codec is fixed — a checkpoint restore validates it — but
+	// the serving group is independent, so e.g. an fp32 checkpoint can
+	// serve int8.
+	Codec string
 	// Checkpoint, when set, serves a frozen snapshot restored from this
 	// checkpoint file (the format cmd/gnntrain -checkpoint-dir writes):
 	// the cluster — dataset, partition layout, cache contents, trained
@@ -159,6 +171,7 @@ func ServeBench(scale Scale, cfg ServeConfig) (*ServeBenchResult, error) {
 		seed = state.Seed
 		scale.Batch = int(state.BatchSize)
 		scale.Seed = state.Seed
+		scale.Codec = state.Codec
 		fanouts := make([]int, len(state.Fanouts))
 		for i, f := range state.Fanouts {
 			fanouts[i] = int(f)
@@ -173,12 +186,23 @@ func ServeBench(scale Scale, cfg ServeConfig) (*ServeBenchResult, error) {
 		}
 		dims = PaperDims(ds.Name)
 	}
+	// The rows' bytes columns describe the serving comm group, so the
+	// report records the *serving* codec: the explicit override, or the
+	// cluster's codec (the checkpoint's recorded codec when restoring).
+	servingCodec := cfg.Codec
+	if servingCodec == "" {
+		servingCodec = scale.Codec
+	}
+	codec, err := dist.ParseCodec(servingCodec)
+	if err != nil {
+		return nil, err
+	}
 	res := &ServeBenchResult{
 		Dataset: ds.Name, Vertices: ds.NumVertices(), Edges: ds.Graph.NumEdges(),
 		K: k, Fanouts: dims.Fanouts, Hidden: dims.Hidden,
 		MaxBatch: cfg.MaxBatch, MaxWaitMicros: cfg.MaxWaitMicros,
 		Clients: cfg.Clients, RequestsPerClient: cfg.RequestsPerClient,
-		Seed: seed, MaxProcs: procs, NumCPU: runtime.NumCPU(),
+		Seed: seed, Codec: codec.String(), MaxProcs: procs, NumCPU: runtime.NumCPU(),
 	}
 	if state != nil {
 		// One row: the checkpoint's own cache configuration.
@@ -215,6 +239,7 @@ func serveClusterConfig(scale Scale, useTCP bool, dims ModelDims, k int, alpha f
 	return pipeline.ClusterConfig{
 		K: k, Alpha: alpha, GPUFraction: 1, VIPReorder: true,
 		Hidden: dims.Hidden, Layers: len(dims.Fanouts), UseTCP: useTCP,
+		Codec: scale.Codec,
 		Train: pipeline.Config{
 			Fanouts: dims.Fanouts, BatchSize: scale.Batch, PipelineDepth: 10,
 			SamplerWorkers: scale.Workers, Parallelism: scale.Workers,
@@ -237,6 +262,7 @@ func serveOneAlpha(ds *dataset.Dataset, scale Scale, cfg ServeConfig, dims Model
 		MaxWait:  time.Duration(cfg.MaxWaitMicros) * time.Microsecond,
 		Seed:     scale.Seed,
 		UseTCP:   cfg.UseTCP,
+		Codec:    cfg.Codec, // "" inherits the cluster's codec via Sibling
 	})
 	if err != nil {
 		return nil, err
@@ -295,8 +321,8 @@ func (r *ServeBenchResult) WriteJSON(path string) error {
 // RenderServeBench formats the α-sweep table.
 func RenderServeBench(r *ServeBenchResult) string {
 	t := metrics.NewTable(
-		fmt.Sprintf("Online inference serving (%s, N=%d, K=%d, fanouts=%v, %d clients × %d reqs, maxbatch=%d, maxwait=%dµs, GOMAXPROCS=%d/%d CPUs)",
-			r.Dataset, r.Vertices, r.K, r.Fanouts, r.Clients, r.RequestsPerClient, r.MaxBatch, r.MaxWaitMicros, r.MaxProcs, r.NumCPU),
+		fmt.Sprintf("Online inference serving (%s, N=%d, K=%d, fanouts=%v, %d clients × %d reqs, maxbatch=%d, maxwait=%dµs, codec=%s, GOMAXPROCS=%d/%d CPUs)",
+			r.Dataset, r.Vertices, r.K, r.Fanouts, r.Clients, r.RequestsPerClient, r.MaxBatch, r.MaxWaitMicros, r.Codec, r.MaxProcs, r.NumCPU),
 		"α", "req/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean batch", "hit rate", "remote rows", "MB sent")
 	for _, row := range r.Alphas {
 		t.AddRow(

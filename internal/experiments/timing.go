@@ -35,6 +35,10 @@ type Scale struct {
 	TrainBoost                  float64
 	Workers                     int
 	Seed                        uint64
+	// Codec selects the feature-gather wire codec ("", "fp32", "fp16",
+	// "int8") for the benchmarks that run the real distributed cluster
+	// (EpochBench, ServeBench). The empty string is the raw fp32 default.
+	Codec string
 }
 
 // DefaultScale is used by the CLI harness (a few minutes end to end).

@@ -104,8 +104,14 @@ func (h *Histogram) HistMean() float64 {
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
-// within the containing bucket. Samples beyond the last bound report the
-// last bound (a floor for extreme tails). Returns 0 when empty.
+// within the containing bucket. The estimate is clamped to the histogram's
+// layout at both ends: samples at or below the first bound report the
+// first bound (interpolating the first bucket down toward 0 would invent
+// values up to 100% below any real sample — the old bug the differential
+// test in hist_test.go pins), and samples beyond the last bound report the
+// last bound rather than extrapolating. Within the layout the relative
+// error is bounded by one bucket's width (ratio−1, ~15% for 16 buckets per
+// decade). A zero-count histogram returns 0 — the defined empty value.
 func (h *Histogram) Quantile(q float64) float64 {
 	n := h.count.Load()
 	if n == 0 {
@@ -125,10 +131,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		if cum+c >= target {
-			lower := 0.0
-			if i > 0 {
-				lower = h.bounds[i-1]
+			if i == 0 {
+				// Every sample here is ≤ bounds[0], the layout floor;
+				// report the floor instead of interpolating toward 0.
+				return h.bounds[0]
 			}
+			lower := h.bounds[i-1]
 			frac := (target - cum) / c
 			if frac < 0 {
 				frac = 0
@@ -137,6 +145,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += c
 	}
+	// The target falls among the overflow samples: clamp to the last
+	// bound, the overflow bucket's (only) defined edge.
 	return h.bounds[len(h.bounds)-1]
 }
 

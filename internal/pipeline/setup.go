@@ -40,6 +40,14 @@ type ClusterConfig struct {
 	// UseTCP selects the loopback TCP transport instead of in-process
 	// channels.
 	UseTCP bool
+	// Codec selects the feature-gather wire codec for the cluster's comm
+	// group: "" or "fp32" (raw, byte-identical to the historical wire
+	// format), "fp16" (half-precision rows + varint delta id lists), or
+	// "int8" (per-row-scaled int8 rows + varint delta id lists). All ranks
+	// share the setting — it is the comm group's negotiated codec. Lossy
+	// codecs change gathered remote feature values (never which rows move),
+	// so the codec is part of the run identity checkpoints pin.
+	Codec string
 	// Checkpoint enables coordinated fault-tolerance checkpoints (see
 	// internal/ckpt): barrier-consistent saves every EveryRounds retired
 	// rounds and/or every EveryEpochs epoch boundaries, written atomically
@@ -122,6 +130,10 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.CachePolicy == nil {
 		cfg.CachePolicy = cache.VIP{}
+	}
+	codec, err := dist.ParseCodec(cfg.Codec)
+	if err != nil {
+		return nil, err
 	}
 
 	// Steps 1–3 (partitioning, VIP analysis, reordering) run only for
@@ -304,6 +316,7 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		store.SetCodec(codec)
 		smp, err := sample.NewSampler(rds.Graph, cfg.Train.Fanouts)
 		if err != nil {
 			return nil, err
@@ -336,7 +349,7 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		saver.SetRunConfig(ds.Name, cfg.Train.Seed, cfg.Train.BatchSize, cfg.Train.Fanouts)
+		saver.SetRunConfig(ds.Name, cfg.Train.Seed, cfg.Train.BatchSize, cfg.Train.Fanouts, codec.String())
 		saver.SetTopology(&ckpt.Topology{
 			NumVertices: int64(ds.NumVertices()),
 			FeatureDim:  int32(rds.FeatureDim),
@@ -374,6 +387,14 @@ func validateResume(ds *dataset.Dataset, cfg ClusterConfig, st *ckpt.TrainState)
 	}
 	if st.Seed != cfg.Train.Seed {
 		return fmt.Errorf("pipeline: checkpoint was taken with seed %d, configuration says %d", st.Seed, cfg.Train.Seed)
+	}
+	// The wire codec is run identity too: a lossy codec perturbs every
+	// gathered remote feature row, so resuming an fp16 run under fp32 (or
+	// vice versa) would silently diverge from the checkpointed trajectory.
+	if codec, err := dist.ParseCodec(cfg.Codec); err != nil {
+		return err
+	} else if st.Codec != codec.String() {
+		return fmt.Errorf("pipeline: checkpoint was taken with wire codec %q, configuration says %q", st.Codec, codec.String())
 	}
 	if int(st.BatchSize) != cfg.Train.BatchSize {
 		return fmt.Errorf("pipeline: checkpoint was taken with batch size %d, configuration says %d", st.BatchSize, cfg.Train.BatchSize)

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"salientpp/internal/dist"
@@ -67,6 +68,13 @@ type Config struct {
 	// UseTCP routes the serving gathers over loopback TCP instead of
 	// in-process channels.
 	UseTCP bool
+	// Codec selects the wire codec of the serving comm group ("fp32",
+	// "fp16", "int8"); the empty string inherits the training cluster's
+	// codec. The serving group is a separate comm group, so it may
+	// legitimately run a smaller codec than training (e.g. int8 serving
+	// over fp32 training). Metrics().BytesSent counts the encoded wire
+	// bytes, not rows×dim×4.
+	Codec string
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +140,12 @@ type Server struct {
 	wg       sync.WaitGroup
 	round    uint64
 
+	// scans counts scanQueues calls — the driver-efficiency gauge the
+	// busy-loop regression test reads. A lone queued request must cost
+	// O(1) scans (one on arrival, one re-check after its round), not one
+	// per timer tick of the admission window.
+	scans atomic.Int64
+
 	met *Metrics
 }
 
@@ -181,6 +195,13 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 		st, err := cl.Ranks[r].Store().Sibling(comms[r])
 		if err != nil {
 			return fail(err)
+		}
+		if cfg.Codec != "" {
+			codec, err := dist.ParseCodec(cfg.Codec)
+			if err != nil {
+				return fail(err)
+			}
+			st.SetCodec(codec)
 		}
 		st.SetAbort(s.shutdown)
 		frozen := cl.Ranks[r].Model().Freeze()
@@ -305,6 +326,20 @@ func (s *Server) closeComms() {
 // driver owns round formation: it waits for traffic, applies the
 // MaxBatch/MaxWait admission policy, and fires lockstep rounds across all
 // engines.
+//
+// The loop is deadline-driven: each iteration either blocks idle on the
+// arrivals channel (no request queued anywhere) or knows, from the single
+// scan that discovered the queued work, the oldest request's admission
+// deadline — and arms the timer exactly once for it. Sub-MaxBatch
+// arrivals during the window cannot move that deadline earlier, so they
+// cost no wake and no re-scan; only a full batch (the full channel) fires
+// the round early. After a round, the queues are re-derived with one scan
+// whose result feeds the next admission decision directly — there is no
+// self-signal hop back through the arrivals channel, and tokens raised by
+// requests the round already served are drained rather than waking the
+// driver into an empty re-scan. Net: a lone queued request costs O(1)
+// scans (one on arrival, one settling after its round), pinned by
+// TestDriverScansO1.
 func (s *Server) driver() {
 	defer s.wg.Done()
 	timer := time.NewTimer(time.Hour)
@@ -319,21 +354,29 @@ func (s *Server) driver() {
 			}
 		}
 	}
+	var (
+		oldest time.Time
+		queued bool // a request is known queued; oldest is its arrival
+		isFull bool
+	)
 	for {
-		select {
-		case <-s.shutdown:
-			s.failPending()
-			return
-		case <-s.arrivals:
+		if !queued {
+			select {
+			case <-s.shutdown:
+				s.failPending()
+				return
+			case <-s.arrivals:
+			}
+			oldest, queued, isFull = s.scanQueues()
+			if !queued {
+				continue // raced with a round that served the arrival
+			}
 		}
-		oldest, any, isFull := s.scanQueues()
-		if !any {
-			continue // stale wake: the previous round already served it
-		}
-		// Admission window: hold the round open up to MaxWait from the
-		// oldest queued arrival unless some rank is already full.
+		// Admission window: hold the round open until the oldest queued
+		// arrival's deadline unless some rank is already full. One timer
+		// arm per deadline.
 		if !isFull && s.cfg.MaxWait > 0 {
-			if wait := s.cfg.MaxWait - time.Since(oldest); wait > 0 {
+			if wait := time.Until(oldest.Add(s.cfg.MaxWait)); wait > 0 {
 				timer.Reset(wait)
 				select {
 				case <-s.shutdown:
@@ -362,24 +405,27 @@ func (s *Server) driver() {
 		for _, e := range s.engines {
 			<-e.ended
 		}
-		// A full signal raised by requests this round already served is
-		// stale; scanQueues re-derives fullness freshly next iteration.
+		// Absorb signals raised by requests this round already served.
+		// Draining before the scan is race-free: Predict appends to a
+		// queue before signaling, so any request whose token is consumed
+		// here is either visible to the scan below (and handled next
+		// round) or signals again afterwards (and wakes the idle select).
 		select {
 		case <-s.full:
 		default:
 		}
-		if _, any, _ := s.scanQueues(); any {
-			select {
-			case s.arrivals <- struct{}{}:
-			default:
-			}
+		select {
+		case <-s.arrivals:
+		default:
 		}
+		oldest, queued, isFull = s.scanQueues()
 	}
 }
 
 // scanQueues reports the oldest queued arrival, whether any request is
 // queued, and whether any rank has a full batch waiting.
 func (s *Server) scanQueues() (oldest time.Time, any, isFull bool) {
+	s.scans.Add(1)
 	for _, e := range s.engines {
 		e.mu.Lock()
 		if n := len(e.pending); n > 0 {

@@ -61,3 +61,16 @@ func TestCachePoliciesRegistry(t *testing.T) {
 		t.Fatal("wrong default policy")
 	}
 }
+
+func TestWireCodecsListsSupportedNames(t *testing.T) {
+	got := WireCodecs()
+	want := []string{"fp32", "fp16", "int8"}
+	if len(got) != len(want) {
+		t.Fatalf("WireCodecs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WireCodecs()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
