@@ -19,6 +19,7 @@ import (
 	"log"
 	"runtime"
 
+	"salientpp"
 	"salientpp/internal/experiments"
 )
 
@@ -28,20 +29,28 @@ func main() {
 	var (
 		papers   = flag.Int("papers", 60000, "papers-sim vertices")
 		batch    = flag.Int("batch", 128, "training batch size (sets up the cluster)")
-		workers  = flag.Int("workers", 2, "sampler/analysis workers")
 		alphas   = flag.String("alphas", "0,0.08,0.16,0.32", "replication-factor sweep (comma separated)")
 		clients  = flag.Int("clients", 8, "closed-loop load-generator clients")
 		requests = flag.Int("requests", 150, "requests per client (fixed, so the workload is identical across alphas)")
 		maxBatch = flag.Int("maxbatch", 32, "coalescing: max requests per rank per round")
 		maxWait  = flag.Int64("maxwait", 1000, "coalescing: max microseconds the oldest request waits for company")
 		useTCP   = flag.Bool("tcp", false, "serve the feature collectives over loopback TCP")
-		codec    = flag.String("codec", "", "serving wire codec: fp32 (raw), fp16, int8; default inherits the cluster's codec (the checkpoint's recorded codec with -checkpoint, else fp32) — see README: communication efficiency")
-		ckptPath = flag.String("checkpoint", "", "serve a frozen snapshot restored from this checkpoint file (gnntrain -checkpoint-dir format); dataset, seed, batch, fanouts, K, and the training codec are reconstructed from the file, overriding the corresponding flags (-codec still selects the serving group's codec)")
+		ckptPath = flag.String("checkpoint", "", "serve a frozen snapshot restored from this checkpoint file (gnntrain -checkpoint-dir format); dataset, seed, batch, fanouts, K, and the training codec/precision are reconstructed from the file, overriding the corresponding flags (-codec/-precision still select the serving group's settings)")
 		seed     = flag.Uint64("seed", 7, "random seed")
 		asJSON   = flag.Bool("json", false, "also write the machine-readable report (-serveout)")
 		serveOut = flag.String("serveout", "BENCH_serve.json", "machine-readable output path")
 	)
+	// Shared run surface (-codec, -precision, -parallelism): for gnnserve,
+	// empty codec/precision inherit the cluster's settings (the
+	// checkpoint's recorded values with -checkpoint, else fp32).
+	run := salientpp.RunConfig{Parallelism: 2}
+	run.RegisterFlags(flag.CommandLine)
+	// Deprecated alias: -workers predates the unified -parallelism flag.
+	flag.CommandLine.IntVar(&run.Parallelism, "workers", run.Parallelism, "deprecated alias for -parallelism")
 	flag.Parse()
+	if err := run.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	if runtime.NumCPU() == 1 {
 		log.Printf("warning: single-CPU machine; coalesced rounds serialize with the clients")
@@ -54,13 +63,13 @@ func main() {
 	scale := experiments.DefaultScale()
 	scale.PapersN = *papers
 	scale.Batch = *batch
-	scale.Workers = *workers
+	scale.Workers = run.Parallelism
 	scale.Seed = *seed
-	scale.Codec = *codec
+	scale.Codec = run.Codec
 	res, err := experiments.ServeBench(scale, experiments.ServeConfig{
 		Alphas: alphaList, Clients: *clients, RequestsPerClient: *requests,
 		MaxBatch: *maxBatch, MaxWaitMicros: *maxWait, UseTCP: *useTCP,
-		Codec: *codec, Checkpoint: *ckptPath,
+		Codec: run.Codec, Precision: run.Precision, Checkpoint: *ckptPath,
 	})
 	if err != nil {
 		log.Fatal(err)

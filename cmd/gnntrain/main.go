@@ -22,6 +22,7 @@ import (
 	"log"
 	"strings"
 
+	"salientpp"
 	"salientpp/internal/experiments"
 )
 
@@ -38,15 +39,16 @@ func main() {
 		epochs   = flag.Int("epochs", 5, "training epochs")
 		lr       = flag.Float64("lr", 0.005, "Adam learning rate")
 		seed     = flag.Uint64("seed", 3, "random seed")
-		codec    = flag.String("codec", "fp32", "feature-gather wire codec: fp32 (raw), fp16 (half-precision rows + varint ids), int8 (per-row-scaled rows + varint ids)")
-
-		ckptDir    = flag.String("checkpoint-dir", "", "enable coordinated checkpointing into this directory")
-		ckptRounds = flag.Int("checkpoint-every-rounds", 0, "checkpoint every N pipeline rounds (0 disables mid-epoch checkpoints)")
-		ckptEpochs = flag.Int("checkpoint-every-epochs", 0, "checkpoint every N epoch boundaries (0 with no -checkpoint-every-rounds defaults to 1)")
-		ckptRetain = flag.Int("checkpoint-retain", 3, "keep the newest N checkpoint files")
-		resume     = flag.Bool("resume", false, "restore the newest valid checkpoint in -checkpoint-dir and continue (single dataset only)")
 	)
+	// The codec/precision/parallelism/checkpoint surface is the unified
+	// salientpp.RunConfig, so the three CLI harnesses spell it identically.
+	run := salientpp.RunConfig{Codec: "fp32", Checkpoint: salientpp.CheckpointConfig{Retain: 3}}
+	run.RegisterFlags(flag.CommandLine)
+	run.RegisterCheckpointFlags(flag.CommandLine)
 	flag.Parse()
+	if err := run.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := experiments.DefaultAccuracyConfig()
 	cfg.Datasets = strings.Split(*datasets, ",")
@@ -61,12 +63,11 @@ func main() {
 	cfg.Epochs = *epochs
 	cfg.LR = *lr
 	cfg.Seed = *seed
-	cfg.Codec = *codec
-	cfg.Checkpoint.Dir = *ckptDir
-	cfg.Checkpoint.EveryRounds = *ckptRounds
-	cfg.Checkpoint.EveryEpochs = *ckptEpochs
-	cfg.Checkpoint.Retain = *ckptRetain
-	cfg.Resume = *resume
+	cfg.Codec = run.Codec
+	cfg.Precision = run.Precision
+	cfg.Parallelism = run.Parallelism
+	cfg.Checkpoint = run.Checkpoint
+	cfg.Resume = run.Resume
 
 	rows, err := experiments.Accuracy(cfg)
 	if err != nil {

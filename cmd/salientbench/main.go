@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"salientpp"
 	"salientpp/internal/experiments"
 )
 
@@ -42,9 +43,7 @@ func main() {
 		mag240    = flag.Int("mag240", 100000, "mag240-sim vertices")
 		batch     = flag.Int("batch", 128, "per-machine batch size")
 		boost     = flag.Float64("trainboost", 8, "training-density boost for sparse-label datasets (see EXPERIMENTS.md)")
-		workers   = flag.Int("workers", 2, "sampler workers")
 		seed      = flag.Uint64("seed", 7, "random seed")
-		codec     = flag.String("codec", "fp32", "feature-gather wire codec for -exp epoch/serve: fp32 (raw), fp16, int8")
 		asJSON    = flag.Bool("json", false, "also write machine-readable reports (-jsonout, -epochout, -serveout)")
 		jsonOut   = flag.String("jsonout", "BENCH_sample_vip.json", "machine-readable hotpaths output path")
 		epochOut  = flag.String("epochout", "BENCH_epoch.json", "machine-readable epoch-benchmark output path")
@@ -57,7 +56,16 @@ func main() {
 		compare   = flag.String("compare", "", "gate mode: old benchmark report; the new report follows as a positional argument")
 		tolerance = flag.Float64("tolerance", 0.25, "relative regression tolerance for -compare")
 	)
+	// Shared run surface (-codec, -precision, -parallelism) via
+	// salientpp.RunConfig, identical across the three CLI harnesses.
+	runCfg := salientpp.RunConfig{Codec: "fp32", Parallelism: 2}
+	runCfg.RegisterFlags(flag.CommandLine)
+	// Deprecated alias: -workers predates the unified -parallelism flag.
+	flag.CommandLine.IntVar(&runCfg.Parallelism, "workers", runCfg.Parallelism, "deprecated alias for -parallelism")
 	flag.Parse()
+	if err := runCfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	if *compare != "" {
 		runCompare(*compare, flag.Args(), *tolerance)
@@ -91,8 +99,8 @@ func main() {
 
 	scale := experiments.Scale{
 		ProductsN: *products, PapersN: *papers, Mag240N: *mag240,
-		Batch: *batch, TrainBoost: *boost, Workers: *workers, Seed: *seed,
-		Codec: *codec,
+		Batch: *batch, TrainBoost: *boost, Workers: runCfg.Parallelism, Seed: *seed,
+		Codec: runCfg.Codec, Precision: runCfg.Precision,
 	}
 
 	run := map[string]func() (string, error){
@@ -186,6 +194,7 @@ func main() {
 			}
 			r, err := experiments.ServeBench(scale, experiments.ServeConfig{
 				Alphas: alphaList, Clients: *clients, RequestsPerClient: *requests,
+				Precision: runCfg.Precision,
 			})
 			if err != nil {
 				return "", err

@@ -1,8 +1,10 @@
 // Online inference: trains a 2-machine cluster for a few epochs, freezes
 // the model into the coalescing inference server, and serves concurrent
-// per-vertex prediction requests — once without a remote-feature cache and
-// once with the VIP cache — demonstrating that the static cache absorbs
-// most remote feature traffic at serving time while predictions stay
+// per-vertex prediction requests — once without a remote-feature cache,
+// once with the VIP cache, and once with the VIP cache plus the int8
+// serving backend — demonstrating that the static cache absorbs most
+// remote feature traffic at serving time, that the reduced-precision
+// backend cuts serve-side compute on top of it, and that predictions stay
 // deterministic for a given seed and request set.
 //
 // Run with:
@@ -48,7 +50,7 @@ func main() {
 	}
 	fmt.Printf("serving dataset %s from 2 machines over %s\n\n", ds.Name, transport)
 
-	run := func(alpha float64) serve.Snapshot {
+	run := func(alpha float64, precision string) serve.Snapshot {
 		cluster, err := salientpp.NewCluster(ds, salientpp.ClusterConfig{
 			K: 2, Alpha: alpha, GPUFraction: 1, VIPReorder: true,
 			Hidden: 32, Layers: 2, UseTCP: *useTCP,
@@ -71,8 +73,11 @@ func main() {
 		// Freeze the trained model into the serving deployment. Requests
 		// for the same vertex arriving together coalesce into one sampled
 		// micro-batch; a rank fires a round at 16 requests or after 500µs.
+		// Precision "int8" freezes quantized weights and runs the integer
+		// SIMD forward over quantized gathers; "" serves plain fp32.
 		srv, err := serve.New(cluster, serve.Config{
 			MaxBatch: 16, MaxWait: 0 /* default 500µs */, Seed: serveSeed, UseTCP: *useTCP,
+			Precision: precision,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -99,17 +104,21 @@ func main() {
 		return srv.Snapshot()
 	}
 
-	noCache := run(0)
-	vip := run(0.32)
+	noCache := run(0, "")
+	vip := run(0.32, "")
+	vipInt8 := run(0.32, "int8")
 
-	fmt.Printf("%-22s %-10s %-12s %-12s %-12s %-14s %s\n",
-		"configuration", "requests", "p50 (ms)", "p95 (ms)", "mean batch", "remote rows", "cache hit rate")
+	fmt.Printf("%-26s %-10s %-12s %-12s %-12s %-14s %-16s %s\n",
+		"configuration", "requests", "p50 (ms)", "p95 (ms)", "mean batch", "remote rows", "cache hit rate", "compute (ms)")
 	row := func(name string, s serve.Snapshot) {
-		fmt.Printf("%-22s %-10d %-12.3f %-12.3f %-12.2f %-14d %.3f\n",
-			name, s.Requests, s.P50*1e3, s.P95*1e3, s.MeanBatch, s.RemoteFetches, s.CacheHitRate)
+		fmt.Printf("%-26s %-10d %-12.3f %-12.3f %-12.2f %-14d %-16.3f %.2f\n",
+			name, s.Requests, s.P50*1e3, s.P95*1e3, s.MeanBatch, s.RemoteFetches, s.CacheHitRate, s.ComputeSeconds*1e3)
 	}
 	row("no cache (α=0)", noCache)
 	row("VIP cache (α=0.32)", vip)
+	row("VIP cache + int8 serve", vipInt8)
 	fmt.Printf("\nremote-feature reduction at serving time: %.1fx on the same-seed workload\n",
 		float64(noCache.RemoteFetches)/float64(vip.RemoteFetches))
+	fmt.Printf("int8 serving compute: %.2fms vs %.2fms fp32 (same rows fetched: %d vs %d)\n",
+		vipInt8.ComputeSeconds*1e3, vip.ComputeSeconds*1e3, vipInt8.RemoteFetches, vip.RemoteFetches)
 }

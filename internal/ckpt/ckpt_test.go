@@ -24,6 +24,7 @@ func testState() *TrainState {
 				Loss: 1.25, Accuracy: 0.5, Batches: 3,
 				LocalGPU: 10, LocalCPU: 4, CacheHit: 7, Remote: 2,
 				BytesSent: 4096, SampleNS: 11, GatherNS: 22, ComputeNS: 33,
+				AggregateNS: 5, TransformNS: 9, BackwardNS: 13,
 			},
 		}
 	}
@@ -35,6 +36,7 @@ func testState() *TrainState {
 		BatchSize: 2,
 		Fanouts:   []int32{3, 2},
 		Codec:     "fp16",
+		Precision: "int8",
 		Topo: &Topology{
 			NumVertices: 6, FeatureDim: 4, K: 2,
 			Perm:     []int32{0, 2, 4, 1, 3, 5},
@@ -46,13 +48,14 @@ func testState() *TrainState {
 	}
 }
 
-// encodeV1 serializes st in the version-1 layout (no codec string in the
-// header), byte-for-byte what the pre-codec code wrote, so the
-// backward-compatibility test decodes a genuine v1 file.
-func encodeV1(st *TrainState) []byte {
+// encodeOld serializes st in a historical layout — v1 (no codec string in
+// the header) or v2 (codec but no precision, and no per-stage compute
+// attribution in the rank sections) — byte-for-byte what the older code
+// wrote, so the backward-compatibility tests decode genuine old files.
+func encodeOld(st *TrainState, ver uint32) []byte {
 	var e enc
 	e.u32(magic)
-	e.u32(1)
+	e.u32(ver)
 	out := e.b
 	var p enc
 	p.u32(uint32(st.Topo.K))
@@ -65,6 +68,9 @@ func encodeV1(st *TrainState) []byte {
 	p.u32(uint32(st.BatchSize))
 	p.i32s(st.Fanouts)
 	p.str(st.Dataset)
+	if ver >= 2 {
+		p.str(st.Codec)
+	}
 	out = p.section(out, tagHeader)
 	p.b = p.b[:0]
 	p.i32s(st.Topo.Perm)
@@ -105,26 +111,43 @@ func encodeV1(st *TrainState) []byte {
 	return out
 }
 
-// TestDecodeAcceptsVersion1 guards restore compatibility: checkpoints
-// written before the wire-codec field (format v1) must still decode, with
-// the codec defaulting to "fp32" — the only wire format those runs could
-// have trained under.
-func TestDecodeAcceptsVersion1(t *testing.T) {
-	st := testState()
-	got, err := Decode(bytes.NewReader(encodeV1(st)))
-	if err != nil {
-		t.Fatalf("v1 checkpoint no longer decodes: %v", err)
-	}
-	if got.Codec != "fp32" {
-		t.Fatalf("v1 decode codec %q, want the fp32 default", got.Codec)
-	}
-	got.Codec = st.Codec // the only intended difference
-	if !reflect.DeepEqual(st, got) {
-		t.Fatalf("v1 decode mismatch:\nwant %+v\ngot  %+v", st, got)
+// TestDecodeAcceptsOldVersions guards restore compatibility: checkpoints
+// written before the wire-codec field (v1) or before the precision field
+// and per-stage compute attribution (v2) must still decode. Missing codec
+// and precision default to "fp32" — the only formats those runs could have
+// used — and missing stage timers decode as zero.
+func TestDecodeAcceptsOldVersions(t *testing.T) {
+	for _, ver := range []uint32{1, 2} {
+		st := testState()
+		got, err := Decode(bytes.NewReader(encodeOld(st, ver)))
+		if err != nil {
+			t.Fatalf("v%d checkpoint no longer decodes: %v", ver, err)
+		}
+		if ver == 1 {
+			if got.Codec != "fp32" {
+				t.Fatalf("v1 decode codec %q, want the fp32 default", got.Codec)
+			}
+			got.Codec = st.Codec
+		}
+		if got.Precision != "fp32" {
+			t.Fatalf("v%d decode precision %q, want the fp32 default", ver, got.Precision)
+		}
+		got.Precision = st.Precision
+		for i, rs := range got.Ranks {
+			pe := &rs.Partial
+			if pe.AggregateNS != 0 || pe.TransformNS != 0 || pe.BackwardNS != 0 {
+				t.Fatalf("v%d decode rank %d has non-zero stage timers %+v", ver, i, pe)
+			}
+			want := st.Ranks[i].Partial
+			pe.AggregateNS, pe.TransformNS, pe.BackwardNS = want.AggregateNS, want.TransformNS, want.BackwardNS
+		}
+		if !reflect.DeepEqual(st, got) {
+			t.Fatalf("v%d decode mismatch:\nwant %+v\ngot  %+v", ver, st, got)
+		}
 	}
 	// An out-of-range version is still rejected.
-	bad := encodeV1(st)
-	bad[4] = 3
+	bad := encodeOld(testState(), 1)
+	bad[4] = 4
 	if _, err := Decode(bytes.NewReader(bad)); err == nil {
 		t.Fatal("future version accepted")
 	}
@@ -197,6 +220,7 @@ func TestValidateCatchesInconsistency(t *testing.T) {
 		"bad batch":       func(s *TrainState) { s.BatchSize = 0 },
 		"no dataset":      func(s *TrainState) { s.Dataset = "" },
 		"no codec":        func(s *TrainState) { s.Codec = "" },
+		"no precision":    func(s *TrainState) { s.Precision = "" },
 		"no fanouts":      func(s *TrainState) { s.Fanouts = nil },
 		"bad fanout":      func(s *TrainState) { s.Fanouts[1] = -1 },
 		"cursor past end": func(s *TrainState) { s.Step.Round = s.Rounds },
@@ -223,7 +247,7 @@ func TestSaverBarrierWriteAndRotation(t *testing.T) {
 	}
 	base := testState()
 	s.SetTopology(base.Topo)
-	s.SetRunConfig(base.Dataset, base.Seed, int(base.BatchSize), []int{3, 2}, base.Codec)
+	s.SetRunConfig(base.Dataset, base.Seed, int(base.BatchSize), []int{3, 2}, base.Codec, base.Precision)
 	fill := func(src *RankState) func(*RankState) {
 		return func(dst *RankState) { *dst = *src }
 	}
@@ -323,7 +347,7 @@ func TestSaverRejectsBarrierViolations(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.SetTopology(testState().Topo)
-	s.SetRunConfig("toy-sim", 77, 2, []int{3, 2}, "")
+	s.SetRunConfig("toy-sim", 77, 2, []int{3, 2}, "", "")
 	fill := func(dst *RankState) { *dst = *testState().Ranks[0] }
 	if err := s.Offer(0, Step{0, 1}, fill); err != nil {
 		t.Fatal(err)
@@ -336,7 +360,7 @@ func TestSaverRejectsBarrierViolations(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2.SetTopology(testState().Topo)
-	s2.SetRunConfig("toy-sim", 77, 2, []int{3, 2}, "")
+	s2.SetRunConfig("toy-sim", 77, 2, []int{3, 2}, "", "")
 	if err := s2.Offer(0, Step{0, 1}, fill); err != nil {
 		t.Fatal(err)
 	}

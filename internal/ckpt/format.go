@@ -37,11 +37,17 @@ import (
 )
 
 const (
-	magic   uint32 = 0x4b435053 // "SPCK" little-endian
-	version uint32 = 2          // written; v2 added the wire-codec identity to the header
+	magic uint32 = 0x4b435053 // "SPCK" little-endian
+	// version is the format written. v2 added the wire-codec identity to
+	// the header; v3 added the compute-precision identity and the
+	// per-stage compute attribution (aggregate/transform/backward) to the
+	// partial-epoch statistics.
+	version uint32 = 3
 	// minVersion is the oldest format Decode still reads: v1 files lack
 	// the header codec string and decode with the "fp32" default — every
-	// v1 run trained under the only wire format that existed then.
+	// v1 run trained under the only wire format that existed then. v2
+	// files likewise lack the precision string and stage timers; they
+	// decode with precision "fp32" and zero stage attribution.
 	minVersion uint32 = 1
 
 	tagHeader   uint32 = 1
@@ -91,6 +97,13 @@ type PartialEpoch struct {
 	SampleNS  int64
 	GatherNS  int64
 	ComputeNS int64
+	// Stage attribution of ComputeNS (v3+): neighbor aggregation, dense
+	// transform (GEMMs + activations), and the backward pass. Their sum is
+	// slightly below ComputeNS — loss and the optimizer step are only in
+	// the total. Zero when decoded from v1/v2 files.
+	AggregateNS int64
+	TransformNS int64
+	BackwardNS  int64
 }
 
 // ParamState is one parameter tensor's full optimizer state: value and
@@ -145,8 +158,13 @@ type TrainState struct {
 	// row, so resuming under a different codec would silently diverge from
 	// the checkpointed trajectory; restore validates it like the seed.
 	Codec string
-	Topo  *Topology
-	Ranks []*RankState
+	// Precision names the compute backend precision ("fp32", "int8") the
+	// run executed under. Reduced-precision kernels round every GEMM, so
+	// it is run identity exactly like Codec; restore validates it. v1/v2
+	// files decode as "fp32", the only precision that existed then.
+	Precision string
+	Topo      *Topology
+	Ranks     []*RankState
 }
 
 // Validate checks the internal consistency a decoder or resume path relies
@@ -171,6 +189,9 @@ func (t *TrainState) Validate() error {
 	}
 	if t.Codec == "" || len(t.Codec) > 32 {
 		return fmt.Errorf("ckpt: missing or oversized wire codec name")
+	}
+	if t.Precision == "" || len(t.Precision) > 32 {
+		return fmt.Errorf("ckpt: missing or oversized compute precision name")
 	}
 	if len(t.Fanouts) == 0 {
 		return fmt.Errorf("ckpt: missing fanouts")
@@ -315,6 +336,7 @@ func AppendEncode(dst []byte, t *TrainState) ([]byte, error) {
 	p.i32s(t.Fanouts)
 	p.str(t.Dataset)
 	p.str(t.Codec)
+	p.str(t.Precision)
 	out = p.section(out, tagHeader)
 
 	// Topology.
@@ -354,6 +376,9 @@ func AppendEncode(dst []byte, t *TrainState) ([]byte, error) {
 		p.i64(pe.SampleNS)
 		p.i64(pe.GatherNS)
 		p.i64(pe.ComputeNS)
+		p.i64(pe.AggregateNS)
+		p.i64(pe.TransformNS)
+		p.i64(pe.BackwardNS)
 		out = p.section(out, tagRank)
 	}
 	return out, nil
@@ -610,10 +635,18 @@ func Decode(r io.Reader) (*TrainState, error) {
 				return nil, err
 			}
 			// v1 headers end at the dataset name; the codec string was
-			// appended in v2, and every v1 run trained under fp32.
+			// appended in v2, and every v1 run trained under fp32. The
+			// compute-precision string was appended in v3 with the same
+			// default for older files.
 			codec := "fp32"
 			if ver >= 2 {
 				if codec, err = c.str(); err != nil {
+					return nil, err
+				}
+			}
+			precision := "fp32"
+			if ver >= 3 {
+				if precision, err = c.str(); err != nil {
 					return nil, err
 				}
 			}
@@ -627,6 +660,7 @@ func Decode(r io.Reader) (*TrainState, error) {
 			t.Fanouts = fanouts
 			t.Dataset = dsName
 			t.Codec = codec
+			t.Precision = precision
 			t.Topo = &Topology{NumVertices: int64(n), FeatureDim: int32(dim), K: int32(k)}
 		case tagTopology:
 			if !sawHeader {
@@ -708,6 +742,15 @@ func Decode(r io.Reader) (*TrainState, error) {
 				&pe.Remote, &pe.BytesSent, &pe.SampleNS, &pe.GatherNS, &pe.ComputeNS} {
 				if *dst, err = c.i64(); err != nil {
 					return nil, err
+				}
+			}
+			// The per-stage compute attribution was appended in v3; older
+			// files carry only the ComputeNS total.
+			if ver >= 3 {
+				for _, dst := range []*int64{&pe.AggregateNS, &pe.TransformNS, &pe.BackwardNS} {
+					if *dst, err = c.i64(); err != nil {
+						return nil, err
+					}
 				}
 			}
 			t.Ranks = append(t.Ranks, rs)

@@ -61,6 +61,7 @@ type Saver struct {
 	batchSize int32
 	fanouts   []int32
 	codec     string
+	precision string
 	slots     []*RankState
 	filled    []bool
 	arrived   int
@@ -97,12 +98,13 @@ func NewSaver(cfg Config, k, rounds int) (*Saver, error) {
 func (s *Saver) SetTopology(t *Topology) { s.topo = t }
 
 // SetRunConfig pins the run identity (dataset name, sampling seed, batch
-// size, fanouts, and the feature-gather wire codec) in every checkpoint so
-// restore can reject drift that would silently train the wrong data,
-// replay different batches, or dequantize different feature bytes. Must
-// be called before the first Offer. An empty codec records the "fp32"
+// size, fanouts, the feature-gather wire codec, and the compute-backend
+// precision) in every checkpoint so restore can reject drift that would
+// silently train the wrong data, replay different batches, dequantize
+// different feature bytes, or round GEMMs differently. Must be called
+// before the first Offer. An empty codec or precision records the "fp32"
 // default.
-func (s *Saver) SetRunConfig(dataset string, seed uint64, batchSize int, fanouts []int, codec string) {
+func (s *Saver) SetRunConfig(dataset string, seed uint64, batchSize int, fanouts []int, codec, precision string) {
 	s.dataset = dataset
 	s.seed = seed
 	s.batchSize = int32(batchSize)
@@ -114,6 +116,10 @@ func (s *Saver) SetRunConfig(dataset string, seed uint64, batchSize int, fanouts
 		codec = "fp32"
 	}
 	s.codec = codec
+	if precision == "" {
+		precision = "fp32"
+	}
+	s.precision = precision
 }
 
 // DueRound reports whether a checkpoint fires after roundsDone fully
@@ -169,7 +175,7 @@ func (s *Saver) Offer(rank int, step Step, fill func(*RankState)) error {
 	state := &TrainState{
 		Step: step, Rounds: s.rounds,
 		Dataset: s.dataset, Seed: s.seed, BatchSize: s.batchSize, Fanouts: s.fanouts,
-		Codec: s.codec, Topo: s.topo, Ranks: s.slots,
+		Codec: s.codec, Precision: s.precision, Topo: s.topo, Ranks: s.slots,
 	}
 	if err := s.write(state); err != nil {
 		s.err = err

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"salientpp/internal/tensor"
 )
 
 // Codec selects the wire encoding of the two dominant Gather payloads: the
@@ -95,35 +97,17 @@ func (c Codec) appendFeatRow(dst []byte, row []float32) []byte {
 			dst = binary.LittleEndian.AppendUint16(dst, f16FromF32(v))
 		}
 	case CodecInt8:
-		// Per-row symmetric scale over the finite magnitudes. Non-finite
-		// values cannot influence the scale and quantize deterministically:
-		// ±Inf saturates to ±127 (decoding to ±maxAbs), NaN to 0. The
-		// clamping happens in float64 before the int conversion, so no
-		// platform-dependent float→int overflow is ever evaluated.
-		var maxAbs float64
-		for _, v := range row {
-			a := math.Abs(float64(v))
-			if a > maxAbs && !math.IsInf(a, 0) { // NaN fails a > maxAbs
-				maxAbs = a
-			}
-		}
-		scale := float32(maxAbs / 127)
+		// Per-row symmetric scale over the finite magnitudes, delegated to
+		// the tensor quantizers so the wire format and the int8 compute path
+		// (tensor.QuantMatrix) are the same quantization by construction —
+		// an int8 wire payload can feed an int8 GEMM without a
+		// dequantize/requantize round trip. Non-finite values quantize
+		// deterministically: ±Inf saturates to ±127 (decoding to ±maxAbs),
+		// NaN to 0.
+		scale := tensor.Int8RowScale(row)
 		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(scale))
 		for _, v := range row {
-			var q int32
-			if scale > 0 {
-				r := math.Round(float64(v) / float64(scale))
-				switch {
-				case r > 127:
-					r = 127
-				case r < -127:
-					r = -127
-				case r != r: // NaN
-					r = 0
-				}
-				q = int32(r)
-			}
-			dst = append(dst, byte(int8(q)))
+			dst = append(dst, byte(tensor.QuantizeInt8(v, scale)))
 		}
 	default:
 		for _, v := range row {
@@ -223,77 +207,12 @@ func (r *idDeltaReader) next() (int32, error) {
 func (r *idDeltaReader) remaining() int { return len(r.b) - r.off }
 
 // ---------------------------------------------------------------------------
-// IEEE-754 binary16 conversion (round-to-nearest-even), pure bit
-// manipulation so encode/decode are deterministic on every platform.
+// IEEE-754 binary16 conversion: thin aliases over the tensor package's
+// converters, which are the single source of truth shared by the wire codec
+// and the fp16 compute path (pure bit manipulation, round-to-nearest-even,
+// deterministic on every platform). The golden wire-format tests pin that
+// this delegation never changes the bytes.
 
-// f16FromF32 converts a float32 to binary16 bits with round-to-nearest-even.
-// Overflow goes to ±Inf, underflow below the smallest subnormal to ±0, and
-// NaN to a quiet NaN.
-func f16FromF32(f float32) uint16 {
-	x := math.Float32bits(f)
-	sign := uint16(x>>16) & 0x8000
-	exp := int32(x>>23) & 0xff
-	frac := x & 0x007fffff
-	if exp == 0xff { // Inf or NaN
-		if frac != 0 {
-			return sign | 0x7e00
-		}
-		return sign | 0x7c00
-	}
-	e := exp - 127 + 15
-	if e >= 0x1f {
-		return sign | 0x7c00 // overflow → Inf
-	}
-	if e <= 0 {
-		if e < -10 {
-			return sign // underflow → zero
-		}
-		// Subnormal half: shift the significand (with its implicit leading
-		// one) right and round to nearest even.
-		frac |= 0x00800000
-		shift := uint32(14 - e)
-		v := frac >> shift
-		rem := frac & (1<<shift - 1)
-		half := uint32(1) << (shift - 1)
-		if rem > half || (rem == half && v&1 == 1) {
-			v++ // may carry into the smallest normal, which encodes correctly
-		}
-		return sign | uint16(v)
-	}
-	// Normal half: drop 13 significand bits with round-to-nearest-even. A
-	// rounding carry propagates into the exponent field, correctly rounding
-	// up to the next binade (or to Inf at the top).
-	v := uint16(e)<<10 | uint16(frac>>13)
-	rem := frac & 0x1fff
-	if rem > 0x1000 || (rem == 0x1000 && v&1 == 1) {
-		v++
-	}
-	return sign | v
-}
+func f16FromF32(f float32) uint16 { return tensor.F16FromF32(f) }
 
-// f32FromF16 converts binary16 bits to float32 (exact: every half value is
-// representable as a float32).
-func f32FromF16(h uint16) float32 {
-	sign := uint32(h&0x8000) << 16
-	exp := uint32(h>>10) & 0x1f
-	frac := uint32(h & 0x3ff)
-	switch {
-	case exp == 0:
-		if frac == 0 {
-			return math.Float32frombits(sign) // ±0
-		}
-		// Subnormal half: normalize into a float32 normal.
-		e := uint32(127 - 15 + 1)
-		for frac&0x400 == 0 {
-			frac <<= 1
-			e--
-		}
-		return math.Float32frombits(sign | e<<23 | (frac&0x3ff)<<13)
-	case exp == 0x1f:
-		if frac != 0 {
-			return math.Float32frombits(sign | 0x7fc00000) // NaN
-		}
-		return math.Float32frombits(sign | 0x7f800000) // ±Inf
-	}
-	return math.Float32frombits(sign | (exp+112)<<23 | frac<<13)
-}
+func f32FromF16(h uint16) float32 { return tensor.F32FromF16(h) }

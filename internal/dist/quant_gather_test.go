@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"testing"
+
+	"salientpp/internal/cache"
+	"salientpp/internal/rng"
+	"salientpp/internal/tensor"
+)
+
+// buildQuantStores assembles a 2-rank deployment over a 16-vertex feature
+// matrix, with rank 0 caching two of rank 1's rows so the quantized gather
+// exercises the cache-shadow path alongside local and remote rows.
+func buildQuantStores(t *testing.T, codec Codec) ([]*Store, *tensor.Matrix, []Comm) {
+	t.Helper()
+	const n, dim = 16, 6
+	layout, err := NewLayout([]int64{0, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms, err := NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tensor.New(n, dim)
+	r := rng.New(29)
+	for i := range full.Data {
+		full.Data[i] = float32((r.Float64()*2 - 1) * 10)
+	}
+	stores := make([]*Store, 2)
+	for rank := 0; rank < 2; rank++ {
+		local := tensor.New(8, dim)
+		for i := 0; i < 8; i++ {
+			copy(local.Row(i), full.Row(rank*8+i))
+		}
+		var cc *cache.Cache
+		var cdata *tensor.Matrix
+		if rank == 0 {
+			if cc, err = cache.Build([]int32{10, 13}, n); err != nil {
+				t.Fatal(err)
+			}
+			cdata = tensor.New(2, dim)
+			for i, v := range cc.IDs() {
+				copy(cdata.Row(i), full.Row(int(v)))
+			}
+		}
+		st, err := NewStore(comms[rank], layout, dim, local, cc, cdata, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.SetCodec(codec)
+		stores[rank] = st
+	}
+	return stores, full, comms
+}
+
+// quantRowEqual asserts row i of got is the exact quantized image of src.
+func quantRowEqual(t *testing.T, got *tensor.QuantMatrix, i int, src []float32) {
+	t.Helper()
+	dim := got.Cols
+	switch got.Prec {
+	case tensor.PrecisionInt8:
+		q := make([]int8, dim)
+		scale := tensor.QuantizeRowInt8(q, src)
+		if got.Scale[i] != scale {
+			t.Fatalf("row %d scale %v, want %v", i, got.Scale[i], scale)
+		}
+		for j, v := range q {
+			if got.I8[i*dim+j] != v {
+				t.Fatalf("row %d col %d: got %d want %d", i, j, got.I8[i*dim+j], v)
+			}
+		}
+	case tensor.PrecisionFP16:
+		for j, v := range src {
+			if got.H[i*dim+j] != tensor.F16FromF32(v) {
+				t.Fatalf("row %d col %d: got %04x want %04x", i, j, got.H[i*dim+j], tensor.F16FromF32(v))
+			}
+		}
+	}
+}
+
+// TestGatherQuantMatchesQuantizedReference runs quantized gathers under
+// every codec × precision combination against a rank running plain fp32
+// Gather — the collectives must stay matched regardless of output form —
+// and pins each output row bitwise:
+//
+//   - local, GPU, and cache rows are always the direct quantization of the
+//     owner's fp32 row (served from the pre-quantized shadows);
+//   - remote rows under a codec matching the precision are ALSO the direct
+//     quantization of the owner's fp32 row — the wire payload passes
+//     through without a dequantize/requantize round trip, so no second
+//     lossy step ever happens;
+//   - remote rows under a mismatched lossy codec are the quantization of
+//     the codec's round-trip image (decode, then requantize).
+func TestGatherQuantMatchesQuantizedReference(t *testing.T) {
+	for _, codec := range []Codec{CodecFP32, CodecFP16, CodecInt8} {
+		for _, prec := range []tensor.Precision{tensor.PrecisionInt8, tensor.PrecisionFP16} {
+			t.Run(codec.String()+"_"+prec.String(), func(t *testing.T) {
+				stores, full, comms := buildQuantStores(t, codec)
+				defer comms[0].Close()
+				stores[0].SetPrecision(prec)
+				// 2, 0: local; 10, 13: cache hits; 9, 12, 15 (+dup 9): remote.
+				ids := []int32{15, 9, 12, 9, 2, 13, 0, 10}
+				done := make(chan error, 1)
+				go func() {
+					_, _, err := stores[1].Gather(nil)
+					done <- err
+				}()
+				qout, stats, err := stores[0].GatherQuant(ids)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := <-done; err != nil {
+					t.Fatal(err)
+				}
+				if stats.RemoteFetch != 4 || stats.CacheHits != 2 {
+					t.Fatalf("stats %+v, want 4 remote and 2 cache hits (precision must not change which rows move)", stats)
+				}
+				codecMatches := (codec == CodecInt8 && prec == tensor.PrecisionInt8) ||
+					(codec == CodecFP16 && prec == tensor.PrecisionFP16)
+				ref := make([]float32, full.Cols)
+				for i, v := range ids {
+					src := full.Row(int(v))
+					if v >= 8 && stores[0].layout.Owner(v) != 0 {
+						if _, cached := stores[0].cache.Slot(v); !cached && codec != CodecFP32 && !codecMatches {
+							codec.roundTripRow(ref, src)
+							src = ref
+						}
+					}
+					quantRowEqual(t, qout, i, src)
+				}
+			})
+		}
+	}
+}
+
+// TestGatherQuantRequiresPrecision pins the fp32 error path: a store that
+// was never given a reduced precision refuses GatherQuant instead of
+// handing out an empty scratch.
+func TestGatherQuantRequiresPrecision(t *testing.T) {
+	stores, _, comms := buildQuantStores(t, CodecFP32)
+	defer comms[0].Close()
+	if _, _, err := stores[0].GatherQuant([]int32{1}); err == nil {
+		t.Fatal("GatherQuant succeeded on an fp32 store")
+	}
+}
+
+// TestGatherQuantAllocationFree extends the warm-loop allocation guard to
+// the quantized path: the store-owned scratch and pre-quantized shadows
+// make repeat GatherQuant calls allocation-free. A single-rank group
+// isolates the store from the transport's documented allocations.
+func TestGatherQuantAllocationFree(t *testing.T) {
+	layout, err := NewLayout([]int64{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms, err := NewLocalGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms[0].Close()
+	local := tensor.New(8, 6)
+	r := rng.New(31)
+	for i := range local.Data {
+		local.Data[i] = float32(r.NormFloat64())
+	}
+	st, err := NewStore(comms[0], layout, 6, local, nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetPrecision(tensor.PrecisionInt8)
+	ids := []int32{0, 3, 7, 3, 1}
+	if _, _, err := st.GatherQuant(ids); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := st.GatherQuant(ids); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm GatherQuant allocates %.1f objects per call, want 0", allocs)
+	}
+}

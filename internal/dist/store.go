@@ -3,6 +3,7 @@ package dist
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 
 	"salientpp/internal/cache"
@@ -46,6 +47,15 @@ type Store struct {
 	gpuRows int
 	pool    *tensor.Pool
 	codec   Codec
+
+	// Reduced-precision gather state (SetPrecision): quantized shadows of
+	// the local shard and cache, shared read-only with siblings, plus the
+	// store-owned output scratch GatherQuant hands out.
+	prec       tensor.Precision
+	qlocal     *tensor.QuantMatrix
+	qcache     *tensor.QuantMatrix
+	qscratch   tensor.QuantMatrix
+	rowScratch []float32
 
 	// Reusable per-Gather scratch; a Store is used by one goroutine at a
 	// time (the pipeline's feature-collection stage).
@@ -130,6 +140,8 @@ func newStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cach
 		idEnc:    make([][]byte, k),
 		featEnc:  make([][]byte, k),
 		byPeer:   make([]int, k),
+
+		rowScratch: make([]float32, dim),
 	}
 }
 
@@ -142,6 +154,29 @@ func (s *Store) SetCodec(c Codec) { s.codec = c }
 
 // Codec returns the store's wire codec.
 func (s *Store) Codec() Codec { return s.codec }
+
+// SetPrecision selects the compute precision GatherQuant assembles feature
+// matrices in and eagerly quantizes read-only shadows of the local shard
+// and cache (one-time cost; per-gather local and cache rows then move as
+// byte copies). PrecisionFP32 clears the shadows and disables GatherQuant.
+// Install before the first GatherQuant; do not call concurrently with
+// gathers. Siblings taken afterwards share the shadows (they are never
+// written again).
+func (s *Store) SetPrecision(p tensor.Precision) {
+	s.prec, s.qlocal, s.qcache = p, nil, nil
+	if p == tensor.PrecisionFP32 {
+		return
+	}
+	s.qlocal = new(tensor.QuantMatrix)
+	s.qlocal.Quantize(p, s.local)
+	if s.cdata != nil {
+		s.qcache = new(tensor.QuantMatrix)
+		s.qcache.Quantize(p, s.cdata)
+	}
+}
+
+// Precision returns the store's compute precision.
+func (s *Store) Precision() tensor.Precision { return s.prec }
 
 // Sibling returns a second store over the same read-only feature data —
 // local shard, cache index, cache rows, layout, and GPU split — but a
@@ -163,6 +198,9 @@ func (s *Store) Sibling(comm Comm) (*Store, error) {
 	// classification matches the original store exactly.
 	sib := newStore(comm, s.layout, s.dim, s.local, s.cache, s.cdata, s.gpuRows)
 	sib.codec = s.codec
+	// The quantized shadows are read-only after SetPrecision, so siblings
+	// share them rather than re-quantizing the shard.
+	sib.prec, sib.qlocal, sib.qcache = s.prec, s.qlocal, s.qcache
 	return sib, nil
 }
 
@@ -178,12 +216,6 @@ func (s *Store) Dim() int { return s.dim }
 // here so a Gather blocked on a peer unwinds instead of deadlocking.
 // Install before the first Gather; do not call concurrently with Gather.
 func (s *Store) SetAbort(abort <-chan struct{}) { s.comm.SetAbort(abort) }
-
-// failGather returns a Gather error after handing the pooled output back.
-func (s *Store) failGather(out *tensor.Matrix, stats GatherStats, err error) (*tensor.Matrix, GatherStats, error) {
-	s.pool.Put(out)
-	return nil, stats, err
-}
 
 // Live returns the number of matrices handed out by Gather and not yet
 // returned with Release — the store-pool leak gauge the shutdown/abort
@@ -203,15 +235,50 @@ func (s *Store) Release(m *tensor.Matrix) { s.pool.Put(m) }
 // matrix belongs to the store's pool; hand it back with Release when the
 // batch retires.
 func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
+	out := s.pool.Get(len(ids), s.dim)
+	stats, err := s.gatherInto(ids, out, nil)
+	if err != nil {
+		// Every error path hands the pooled output back, so an aborted or
+		// failed gather leaks nothing from the store's pool.
+		s.pool.Put(out)
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// GatherQuant is Gather with the output assembled directly in the store's
+// reduced precision (SetPrecision): local and cache rows are byte copies of
+// the pre-quantized shadows, and when the wire codec matches the precision,
+// remote payloads scatter into the output without a dequantize/requantize
+// round trip — the wire format is the compute format. The wire protocol is
+// identical to Gather's, so quantized and full-precision gathers stay
+// collective-matched across a group.
+//
+// The returned matrix is store-owned scratch, valid until the next
+// GatherQuant on this store; there is nothing to Release.
+func (s *Store) GatherQuant(ids []int32) (*tensor.QuantMatrix, GatherStats, error) {
+	if s.prec == tensor.PrecisionFP32 {
+		return nil, GatherStats{}, fmt.Errorf("dist: GatherQuant needs a reduced precision (SetPrecision); store is fp32")
+	}
+	s.qscratch.Resize(s.prec, len(ids), s.dim)
+	stats, err := s.gatherInto(ids, nil, &s.qscratch)
+	if err != nil {
+		return nil, stats, err
+	}
+	return &s.qscratch, stats, nil
+}
+
+// gatherInto runs the three matched collectives and scatters every feature
+// row into exactly one of out (fp32) or qout (reduced precision) — the four
+// row sinks (local shard, cache hit, codec payload, raw fp32 payload) are
+// the only places the two modes differ.
+func (s *Store) gatherInto(ids []int32, out *tensor.Matrix, qout *tensor.QuantMatrix) (GatherStats, error) {
 	k := s.layout.K()
 	rank := s.comm.Rank()
 	for p := range s.byPeer {
 		s.byPeer[p] = 0
 	}
 	stats := GatherStats{RemoteByPeer: s.byPeer[:k]}
-	out := s.pool.Get(len(ids), s.dim)
-	// Every error path below hands the pooled output back via failGather,
-	// so an aborted or failed gather leaks nothing from the store's pool.
 
 	// Classify accesses, satisfy local/cached rows immediately, and build
 	// per-peer request lists for the rest.
@@ -228,13 +295,21 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 			} else {
 				stats.LocalCPU++
 			}
-			copy(out.Row(i), s.local.Row(row))
+			if qout != nil {
+				qout.CopyRow(i, s.qlocal, row)
+			} else {
+				copy(out.Row(i), s.local.Row(row))
+			}
 			continue
 		}
 		if s.cache != nil {
 			if slot, ok := s.cache.Slot(v); ok {
 				stats.CacheHits++
-				copy(out.Row(i), s.cdata.Row(int(slot)))
+				if qout != nil {
+					qout.CopyRow(i, s.qcache, int(slot))
+				} else {
+					copy(out.Row(i), s.cdata.Row(int(slot)))
+				}
 				continue
 			}
 		}
@@ -252,7 +327,7 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 	}
 	cnts, err := s.comm.AllToAll(s.sendPtr)
 	if err != nil {
-		return s.failGather(out, stats, err)
+		return stats, err
 	}
 	// Decode before the next collective recycles the receive buffers.
 	for p := 0; p < k; p++ {
@@ -261,11 +336,11 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 			continue
 		}
 		if len(cnts[p]) != 4 {
-			return s.failGather(out, stats, fmt.Errorf("dist: rank %d sent a %d-byte count frame", p, len(cnts[p])))
+			return stats, fmt.Errorf("dist: rank %d sent a %d-byte count frame", p, len(cnts[p]))
 		}
 		s.cntRecv[p] = int32(binary.LittleEndian.Uint32(cnts[p]))
 		if s.cntRecv[p] < 0 {
-			return s.failGather(out, stats, fmt.Errorf("dist: rank %d announced an implausible request count", p))
+			return stats, fmt.Errorf("dist: rank %d announced an implausible request count", p)
 		}
 	}
 
@@ -287,7 +362,7 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 	}
 	reqs, err := s.comm.AllToAll(s.sendPtr)
 	if err != nil {
-		return s.failGather(out, stats, err)
+		return stats, err
 	}
 
 	// Collective 3: feature payloads answering each peer's request list.
@@ -307,16 +382,16 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 			for j := 0; j < cnt; j++ {
 				v, err := rd.next()
 				if err != nil {
-					return s.failGather(out, stats, fmt.Errorf("dist: rank %d request list: %w", p, err))
+					return stats, fmt.Errorf("dist: rank %d request list: %w", p, err)
 				}
 				// Explicit interval check (see the fp32 branch below).
 				if int64(v) < s.layout.Starts[rank] || int64(v) >= s.layout.Starts[rank+1] {
-					return s.failGather(out, stats, fmt.Errorf("dist: rank %d requested vertex %d not owned here", p, v))
+					return stats, fmt.Errorf("dist: rank %d requested vertex %d not owned here", p, v)
 				}
 				enc = s.codec.appendFeatRow(enc, s.local.Row(int(int64(v)-s.layout.Starts[rank])))
 			}
 			if rd.remaining() != 0 {
-				return s.failGather(out, stats, fmt.Errorf("dist: rank %d announced %d requests but sent %d trailing bytes", p, cnt, rd.remaining()))
+				return stats, fmt.Errorf("dist: rank %d announced %d requests but sent %d trailing bytes", p, cnt, rd.remaining())
 			}
 			s.featEnc[p] = enc
 			if cnt > 0 {
@@ -326,7 +401,7 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 		}
 		want := bytesAsI32(reqs[p])
 		if len(want) != cnt {
-			return s.failGather(out, stats, fmt.Errorf("dist: rank %d announced %d requests but sent %d ids", p, s.cntRecv[p], len(want)))
+			return stats, fmt.Errorf("dist: rank %d announced %d requests but sent %d ids", p, s.cntRecv[p], len(want))
 		}
 		if len(want) == 0 {
 			continue
@@ -343,7 +418,7 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 			// Starts[1] — including negatives — to rank 0, which would turn
 			// the row subtraction below into an out-of-bounds panic.
 			if int64(v) < s.layout.Starts[rank] || int64(v) >= s.layout.Starts[rank+1] {
-				return s.failGather(out, stats, fmt.Errorf("dist: rank %d requested vertex %d not owned here", p, v))
+				return stats, fmt.Errorf("dist: rank %d requested vertex %d not owned here", p, v)
 			}
 			row := int(int64(v) - s.layout.Starts[rank])
 			copy(buf[j*s.dim:(j+1)*s.dim], s.local.Row(row))
@@ -353,12 +428,15 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 	}
 	feats, err := s.comm.AllToAll(s.sendPtr)
 	if err != nil {
-		return s.failGather(out, stats, err)
+		return stats, err
 	}
 
 	// Scatter the received payloads directly into the waiting output rows:
 	// fp32 through a zero-copy float32 view of each payload, fp16/int8 by
-	// dequantizing each encoded row straight into its output row.
+	// dequantizing each encoded row straight into its output row. Quantized
+	// outputs whose precision matches the wire codec take the passthrough:
+	// the payload's scale bits and quantized values are copied verbatim —
+	// the wire format is the compute format, no numeric op at all.
 	for p := 0; p < k; p++ {
 		if p == rank || len(s.rowOf[p]) == 0 {
 			continue
@@ -366,20 +444,44 @@ func (s *Store) Gather(ids []int32) (*tensor.Matrix, GatherStats, error) {
 		if s.codec != CodecFP32 {
 			rowWire := s.codec.featRowWire(s.dim)
 			if len(feats[p]) != len(s.rowOf[p])*rowWire {
-				return s.failGather(out, stats, fmt.Errorf("dist: rank %d returned %d payload bytes for %d requested rows", p, len(feats[p]), len(s.rowOf[p])))
+				return stats, fmt.Errorf("dist: rank %d returned %d payload bytes for %d requested rows", p, len(feats[p]), len(s.rowOf[p]))
 			}
 			for j, row := range s.rowOf[p] {
-				s.codec.decodeFeatRow(out.Row(int(row)), feats[p][j*rowWire:(j+1)*rowWire])
+				src := feats[p][j*rowWire : (j+1)*rowWire]
+				switch {
+				case qout == nil:
+					s.codec.decodeFeatRow(out.Row(int(row)), src)
+				case s.codec == CodecInt8 && qout.Prec == tensor.PrecisionInt8:
+					qout.Scale[row] = math.Float32frombits(binary.LittleEndian.Uint32(src))
+					qrow := qout.I8[int(row)*s.dim : (int(row)+1)*s.dim]
+					for t := range qrow {
+						qrow[t] = int8(src[4+t])
+					}
+				case s.codec == CodecFP16 && qout.Prec == tensor.PrecisionFP16:
+					hrow := qout.H[int(row)*s.dim : (int(row)+1)*s.dim]
+					for t := range hrow {
+						hrow[t] = binary.LittleEndian.Uint16(src[2*t:])
+					}
+				default:
+					// Codec and precision disagree (e.g. fp16 wire feeding an
+					// int8 forward): decode, then requantize.
+					s.codec.decodeFeatRow(s.rowScratch, src)
+					qout.SetRow(int(row), s.rowScratch)
+				}
 			}
 			continue
 		}
 		vals := bytesAsF32(feats[p])
 		if len(vals) != len(s.rowOf[p])*s.dim {
-			return s.failGather(out, stats, fmt.Errorf("dist: rank %d returned %d values for %d requested rows", p, len(vals), len(s.rowOf[p])))
+			return stats, fmt.Errorf("dist: rank %d returned %d values for %d requested rows", p, len(vals), len(s.rowOf[p]))
 		}
 		for j, row := range s.rowOf[p] {
-			copy(out.Row(int(row)), vals[j*s.dim:(j+1)*s.dim])
+			if qout != nil {
+				qout.SetRow(int(row), vals[j*s.dim:(j+1)*s.dim])
+			} else {
+				copy(out.Row(int(row)), vals[j*s.dim:(j+1)*s.dim])
+			}
 		}
 	}
-	return out, stats, nil
+	return stats, nil
 }

@@ -31,6 +31,13 @@ type AccuracyConfig struct {
 	// the codec is part of the checkpoint identity, so resuming requires
 	// the same setting.
 	Codec string
+	// Precision is the cluster's configured serving/freeze compute
+	// precision ("", "fp32", "fp16", "int8"). Training compute is always
+	// fp32; like Codec it is part of the checkpoint identity.
+	Precision string
+	// Parallelism bounds sampler workers and setup-time analysis threads
+	// (0 keeps the default of 2).
+	Parallelism int
 
 	// Checkpoint enables coordinated fault-tolerance checkpoints for the
 	// training runs (internal/ckpt): Dir, EveryRounds/EveryEpochs
@@ -123,12 +130,18 @@ func Accuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		workers := cfg.Parallelism
+		if workers <= 0 {
+			workers = 2
+		}
 		ccfg := pipeline.ClusterConfig{
 			K: cfg.K, Alpha: cfg.Alpha, GPUFraction: 1, VIPReorder: true,
-			Hidden: cfg.Hidden, Layers: len(cfg.Fanouts), Dropout: 0, Codec: cfg.Codec,
+			Hidden: cfg.Hidden, Layers: len(cfg.Fanouts), Dropout: 0,
+			Codec: cfg.Codec, Precision: cfg.Precision,
 			Train: pipeline.Config{
 				Fanouts: cfg.Fanouts, BatchSize: cfg.Batch,
-				PipelineDepth: 10, SamplerWorkers: 2, LR: cfg.LR, Seed: cfg.Seed,
+				PipelineDepth: 10, SamplerWorkers: workers, Parallelism: workers,
+				LR: cfg.LR, Seed: cfg.Seed,
 			},
 			ModelSeed:  cfg.Seed + 1,
 			Checkpoint: cfg.Checkpoint,

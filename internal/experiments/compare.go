@@ -137,15 +137,70 @@ func compareEpoch(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Com
 	if err != nil {
 		return nil, err
 	}
-	return gate(out, "mean_bytes_per_epoch", oldBytes, newBytes, tol, false)
+	out, err = gate(out, "mean_bytes_per_epoch", oldBytes, newBytes, tol, false)
+	if err != nil {
+		return nil, err
+	}
+	// Per-stage compute columns (aggregate/transform/backward), gated on
+	// their per-epoch means so a kernel regression is pinned to a stage.
+	// Baselines written before the split lack the columns — those skip the
+	// stage gates instead of failing, so old BENCH files stay comparable.
+	oldStages, err := epochStageMeans(oldRaw)
+	if err != nil {
+		return nil, err
+	}
+	newStages, err := epochStageMeans(newRaw)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range [...]string{"mean_aggregate_seconds", "mean_transform_seconds", "mean_backward_seconds"} {
+		if oldStages[i] <= 0 {
+			continue // pre-split baseline: column absent, nothing to gate against
+		}
+		out, err = gate(out, name, oldStages[i], newStages[i], tol, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// epochStageMeans extracts the mean per-epoch stage seconds from a report's
+// epochs array. Reports from before the compute split decode as zeros.
+func epochStageMeans(raw map[string]json.RawMessage) ([3]float64, error) {
+	var means [3]float64
+	if raw["epochs"] == nil {
+		return means, fmt.Errorf("compare: epoch report lacks \"epochs\"")
+	}
+	var rows []struct {
+		Aggregate float64 `json:"aggregate_seconds"`
+		Transform float64 `json:"transform_seconds"`
+		Backward  float64 `json:"backward_seconds"`
+	}
+	if err := json.Unmarshal(raw["epochs"], &rows); err != nil {
+		return means, fmt.Errorf("compare: bad \"epochs\": %w", err)
+	}
+	if len(rows) == 0 {
+		return means, fmt.Errorf("compare: epoch report has no epoch rows")
+	}
+	for _, r := range rows {
+		means[0] += r.Aggregate
+		means[1] += r.Transform
+		means[2] += r.Backward
+	}
+	for i := range means {
+		means[i] /= float64(len(rows))
+	}
+	return means, nil
 }
 
 // serveGateRow is the gated subset of a ServeAlphaRow.
 type serveGateRow struct {
-	Alpha         float64 `json:"alpha"`
-	P95           float64 `json:"p95_latency_seconds"`
-	ThroughputRPS float64 `json:"throughput_rps"`
-	BytesSent     float64 `json:"bytes_sent"`
+	Alpha          float64 `json:"alpha"`
+	P95            float64 `json:"p95_latency_seconds"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	BytesSent      float64 `json:"bytes_sent"`
+	ComputeSeconds float64 `json:"compute_seconds"`
 }
 
 func compareServe(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Comparison, error) {
@@ -185,6 +240,15 @@ func compareServe(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Com
 		out, err = gate(out, fmt.Sprintf("bytes_sent[alpha=%.2f]", o.Alpha), o.BytesSent, n.BytesSent, tol, false)
 		if err != nil {
 			return nil, err
+		}
+		// Serve-side compute: the reduced-precision backend's headline.
+		// Baselines from before the column existed decode as zero and skip
+		// the gate (same backward-compat rule as the epoch stage columns).
+		if o.ComputeSeconds > 0 {
+			out, err = gate(out, fmt.Sprintf("compute_seconds[alpha=%.2f]", o.Alpha), o.ComputeSeconds, n.ComputeSeconds, tol, false)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil

@@ -17,14 +17,21 @@ import (
 // Stage seconds are rank-0's cumulative stage timers (stages overlap under
 // the deep pipeline, so they need not sum to the wall time).
 type EpochRow struct {
-	Epoch          int     `json:"epoch"`
-	WallSeconds    float64 `json:"wall_seconds"`
-	SampleSeconds  float64 `json:"sample_seconds"`
-	GatherSeconds  float64 `json:"gather_seconds"`
-	ComputeSeconds float64 `json:"compute_seconds"`
-	BytesSent      int64   `json:"bytes_sent"`
-	RemoteFetches  int64   `json:"remote_fetches"`
-	Loss           float64 `json:"loss"`
+	Epoch         int     `json:"epoch"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	SampleSeconds float64 `json:"sample_seconds"`
+	GatherSeconds float64 `json:"gather_seconds"`
+	// ComputeSeconds is total model compute; the three stage columns below
+	// split it (aggregate + transform + backward ≈ compute — the remainder
+	// is loss/optimizer glue) so kernel regressions are attributable to a
+	// stage, not just "compute got slower".
+	ComputeSeconds   float64 `json:"compute_seconds"`
+	AggregateSeconds float64 `json:"aggregate_seconds"`
+	TransformSeconds float64 `json:"transform_seconds"`
+	BackwardSeconds  float64 `json:"backward_seconds"`
+	BytesSent        int64   `json:"bytes_sent"`
+	RemoteFetches    int64   `json:"remote_fetches"`
+	Loss             float64 `json:"loss"`
 }
 
 // EpochBenchResult is the machine-readable end-to-end epoch report
@@ -127,6 +134,9 @@ func EpochBench(scale Scale, epochs int) (*EpochBenchResult, error) {
 		row.SampleSeconds = stats[0].SampleTime.Seconds()
 		row.GatherSeconds = stats[0].GatherTime.Seconds()
 		row.ComputeSeconds = stats[0].ComputeTime.Seconds()
+		row.AggregateSeconds = stats[0].AggregateTime.Seconds()
+		row.TransformSeconds = stats[0].TransformTime.Seconds()
+		row.BackwardSeconds = stats[0].BackwardTime.Seconds()
 		res.Epochs = append(res.Epochs, row)
 	}
 	best := res.Epochs[0].WallSeconds
@@ -160,11 +170,13 @@ func RenderEpochBench(r *EpochBenchResult) string {
 	t := metrics.NewTable(
 		fmt.Sprintf("End-to-end training epochs (%s, N=%d, K=%d, α=%.2f, batch=%d, codec=%s, GOMAXPROCS=%d/%d CPUs)",
 			r.Dataset, r.Vertices, r.K, r.Alpha, r.Batch, r.Codec, r.MaxProcs, r.NumCPU),
-		"epoch", "wall (s)", "sample (s)", "gather (s)", "compute (s)", "MB sent", "remote rows", "loss")
+		"epoch", "wall (s)", "sample (s)", "gather (s)", "compute (s)", "agg (s)", "xform (s)", "bwd (s)", "MB sent", "remote rows", "loss")
 	for _, row := range r.Epochs {
 		t.AddRow(row.Epoch,
 			fmt.Sprintf("%.4f", row.WallSeconds), fmt.Sprintf("%.4f", row.SampleSeconds),
 			fmt.Sprintf("%.4f", row.GatherSeconds), fmt.Sprintf("%.4f", row.ComputeSeconds),
+			fmt.Sprintf("%.4f", row.AggregateSeconds), fmt.Sprintf("%.4f", row.TransformSeconds),
+			fmt.Sprintf("%.4f", row.BackwardSeconds),
 			fmt.Sprintf("%.2f", float64(row.BytesSent)/1e6), row.RemoteFetches,
 			fmt.Sprintf("%.4f", row.Loss))
 	}

@@ -15,6 +15,7 @@ import (
 	"salientpp/internal/pipeline"
 	"salientpp/internal/rng"
 	"salientpp/internal/serve"
+	"salientpp/internal/tensor"
 )
 
 // ServeAlphaRow is one measured serving run at a fixed replication factor
@@ -39,6 +40,15 @@ type ServeAlphaRow struct {
 	RemoteFetches int64   `json:"remote_fetches"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
 	BytesSent     int64   `json:"bytes_sent"`
+	// ComputeSeconds is cumulative forward-pass time across rounds — the
+	// column the reduced-precision serving backend is meant to shrink.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	// FP32ComputeSeconds is the same-workload fp32 control, measured only
+	// when the row itself served a reduced precision: a second deployment
+	// over the same cluster replays the identical client streams at fp32,
+	// so ComputeSeconds/FP32ComputeSeconds is the precision's compute cut
+	// with everything else held fixed.
+	FP32ComputeSeconds float64 `json:"fp32_compute_seconds,omitempty"`
 }
 
 // ServeBenchResult is the machine-readable online-inference report
@@ -63,10 +73,14 @@ type ServeBenchResult struct {
 	// Codec is the serving comm group's wire codec; each row's BytesSent
 	// counts encoded wire bytes, so fp16/int8 shrink it at identical
 	// remote-fetch counts.
-	Codec    string          `json:"codec"`
-	MaxProcs int             `json:"gomaxprocs"`
-	NumCPU   int             `json:"numcpu"`
-	Alphas   []ServeAlphaRow `json:"alphas"`
+	Codec string `json:"codec"`
+	// Precision is the serving compute precision; reduced values cut the
+	// rows' compute_seconds while argmax accuracy holds (gated by
+	// TestInt8ForwardAccuracyDelta).
+	Precision string          `json:"precision"`
+	MaxProcs  int             `json:"gomaxprocs"`
+	NumCPU    int             `json:"numcpu"`
+	Alphas    []ServeAlphaRow `json:"alphas"`
 
 	// BestP95Seconds and BestThroughputRPS summarize the sweep (the gate
 	// in cmd/salientbench -compare also checks every row individually).
@@ -96,6 +110,12 @@ type ServeConfig struct {
 	// the serving group is independent, so e.g. an fp32 checkpoint can
 	// serve int8.
 	Codec string
+	// Precision selects the serving compute precision ("fp32", "fp16",
+	// "int8"); empty inherits the cluster's configured precision
+	// (Scale.Precision, or the checkpoint's recorded precision when serving
+	// from one). Like Codec, it is a serving-side choice: an fp32-trained
+	// cluster may serve int8.
+	Precision string
 	// Checkpoint, when set, serves a frozen snapshot restored from this
 	// checkpoint file (the format cmd/gnntrain -checkpoint-dir writes):
 	// the cluster — dataset, partition layout, cache contents, trained
@@ -172,6 +192,7 @@ func ServeBench(scale Scale, cfg ServeConfig) (*ServeBenchResult, error) {
 		scale.Batch = int(state.BatchSize)
 		scale.Seed = state.Seed
 		scale.Codec = state.Codec
+		scale.Precision = state.Precision
 		fanouts := make([]int, len(state.Fanouts))
 		for i, f := range state.Fanouts {
 			fanouts[i] = int(f)
@@ -197,12 +218,21 @@ func ServeBench(scale Scale, cfg ServeConfig) (*ServeBenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	servingPrecision := cfg.Precision
+	if servingPrecision == "" {
+		servingPrecision = scale.Precision
+	}
+	prec, err := tensor.ParsePrecision(servingPrecision)
+	if err != nil {
+		return nil, err
+	}
 	res := &ServeBenchResult{
 		Dataset: ds.Name, Vertices: ds.NumVertices(), Edges: ds.Graph.NumEdges(),
 		K: k, Fanouts: dims.Fanouts, Hidden: dims.Hidden,
 		MaxBatch: cfg.MaxBatch, MaxWaitMicros: cfg.MaxWaitMicros,
 		Clients: cfg.Clients, RequestsPerClient: cfg.RequestsPerClient,
-		Seed: seed, Codec: codec.String(), MaxProcs: procs, NumCPU: runtime.NumCPU(),
+		Seed: seed, Codec: codec.String(), Precision: prec.String(),
+		MaxProcs: procs, NumCPU: runtime.NumCPU(),
 	}
 	if state != nil {
 		// One row: the checkpoint's own cache configuration.
@@ -239,7 +269,7 @@ func serveClusterConfig(scale Scale, useTCP bool, dims ModelDims, k int, alpha f
 	return pipeline.ClusterConfig{
 		K: k, Alpha: alpha, GPUFraction: 1, VIPReorder: true,
 		Hidden: dims.Hidden, Layers: len(dims.Fanouts), UseTCP: useTCP,
-		Codec: scale.Codec,
+		Codec: scale.Codec, Precision: scale.Precision,
 		Train: pipeline.Config{
 			Fanouts: dims.Fanouts, BatchSize: scale.Batch, PipelineDepth: 10,
 			SamplerWorkers: scale.Workers, Parallelism: scale.Workers,
@@ -257,45 +287,77 @@ func serveOneAlpha(ds *dataset.Dataset, scale Scale, cfg ServeConfig, dims Model
 		return nil, err
 	}
 	defer cl.Close()
-	srv, err := serve.New(cl, serve.Config{
-		MaxBatch: cfg.MaxBatch,
-		MaxWait:  time.Duration(cfg.MaxWaitMicros) * time.Microsecond,
-		Seed:     scale.Seed,
-		UseTCP:   cfg.UseTCP,
-		Codec:    cfg.Codec, // "" inherits the cluster's codec via Sibling
-	})
+
+	// drive freezes the cluster into a deployment at the given precision and
+	// replays the seeded closed-loop workload, so two drives over the same
+	// cluster differ only in the serving compute precision.
+	drive := func(precision string) (serve.Snapshot, float64, error) {
+		srv, err := serve.New(cl, serve.Config{
+			MaxBatch:  cfg.MaxBatch,
+			MaxWait:   time.Duration(cfg.MaxWaitMicros) * time.Microsecond,
+			Seed:      scale.Seed,
+			UseTCP:    cfg.UseTCP,
+			Codec:     cfg.Codec, // "" inherits the cluster's codec via Sibling
+			Precision: precision, // "" inherits the cluster's precision
+		})
+		if err != nil {
+			return serve.Snapshot{}, 0, err
+		}
+		defer srv.Close()
+
+		n := ds.NumVertices()
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, cfg.Clients)
+		for c := 0; c < cfg.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				// Same-seed vertex stream for every α row.
+				r := rng.New(scale.Seed ^ 0x5eed).Split(uint64(c))
+				out := make([]float32, srv.Classes())
+				for i := 0; i < cfg.RequestsPerClient; i++ {
+					if _, err := srv.Predict(int32(r.Intn(n)), out); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(start).Seconds()
+		select {
+		case err := <-errCh:
+			return serve.Snapshot{}, 0, err
+		default:
+		}
+		return srv.Snapshot(), wall, nil
+	}
+
+	// When the row serves a reduced precision, measure the fp32 control
+	// first: serve.New only switches the shared stores' gather path for
+	// reduced precisions, so the control must precede the reduced run.
+	servingPrecision := cfg.Precision
+	if servingPrecision == "" {
+		servingPrecision = scale.Precision
+	}
+	prec, err := tensor.ParsePrecision(servingPrecision)
 	if err != nil {
 		return nil, err
 	}
-	defer srv.Close()
+	var fp32Compute float64
+	if prec != tensor.PrecisionFP32 {
+		ctl, _, err := drive("fp32")
+		if err != nil {
+			return nil, err
+		}
+		fp32Compute = ctl.ComputeSeconds
+	}
 
-	n := ds.NumVertices()
-	start := time.Now()
-	var wg sync.WaitGroup
-	errCh := make(chan error, cfg.Clients)
-	for c := 0; c < cfg.Clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			// Same-seed vertex stream for every α row.
-			r := rng.New(scale.Seed ^ 0x5eed).Split(uint64(c))
-			out := make([]float32, srv.Classes())
-			for i := 0; i < cfg.RequestsPerClient; i++ {
-				if _, err := srv.Predict(int32(r.Intn(n)), out); err != nil {
-					errCh <- err
-					return
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	wall := time.Since(start).Seconds()
-	select {
-	case err := <-errCh:
+	snap, wall, err := drive(cfg.Precision)
+	if err != nil {
 		return nil, err
-	default:
 	}
-	snap := srv.Snapshot()
 	row := &ServeAlphaRow{
 		Alpha: alpha, WallSeconds: wall, Requests: snap.Requests,
 		ThroughputRPS: float64(snap.Requests) / wall,
@@ -304,6 +366,7 @@ func serveOneAlpha(ds *dataset.Dataset, scale Scale, cfg ServeConfig, dims Model
 		LocalRows: snap.LocalGPU + snap.LocalCPU,
 		CacheHits: snap.CacheHits, RemoteFetches: snap.RemoteFetches,
 		CacheHitRate: snap.CacheHitRate, BytesSent: snap.BytesSent,
+		ComputeSeconds: snap.ComputeSeconds, FP32ComputeSeconds: fp32Compute,
 	}
 	return row, nil
 }
@@ -321,9 +384,9 @@ func (r *ServeBenchResult) WriteJSON(path string) error {
 // RenderServeBench formats the α-sweep table.
 func RenderServeBench(r *ServeBenchResult) string {
 	t := metrics.NewTable(
-		fmt.Sprintf("Online inference serving (%s, N=%d, K=%d, fanouts=%v, %d clients × %d reqs, maxbatch=%d, maxwait=%dµs, codec=%s, GOMAXPROCS=%d/%d CPUs)",
-			r.Dataset, r.Vertices, r.K, r.Fanouts, r.Clients, r.RequestsPerClient, r.MaxBatch, r.MaxWaitMicros, r.Codec, r.MaxProcs, r.NumCPU),
-		"α", "req/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean batch", "hit rate", "remote rows", "MB sent")
+		fmt.Sprintf("Online inference serving (%s, N=%d, K=%d, fanouts=%v, %d clients × %d reqs, maxbatch=%d, maxwait=%dµs, codec=%s, precision=%s, GOMAXPROCS=%d/%d CPUs)",
+			r.Dataset, r.Vertices, r.K, r.Fanouts, r.Clients, r.RequestsPerClient, r.MaxBatch, r.MaxWaitMicros, r.Codec, r.Precision, r.MaxProcs, r.NumCPU),
+		"α", "req/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean batch", "hit rate", "remote rows", "MB sent", "compute (s)")
 	for _, row := range r.Alphas {
 		t.AddRow(
 			fmt.Sprintf("%.2f", row.Alpha),
@@ -334,7 +397,20 @@ func RenderServeBench(r *ServeBenchResult) string {
 			fmt.Sprintf("%.2f", row.MeanBatch),
 			fmt.Sprintf("%.3f", row.CacheHitRate),
 			row.RemoteFetches,
-			fmt.Sprintf("%.2f", float64(row.BytesSent)/1e6))
+			fmt.Sprintf("%.2f", float64(row.BytesSent)/1e6),
+			fmt.Sprintf("%.4f", row.ComputeSeconds))
 	}
-	return t.String()
+	out := t.String()
+	var reduced, control float64
+	for _, row := range r.Alphas {
+		if row.FP32ComputeSeconds > 0 {
+			reduced += row.ComputeSeconds
+			control += row.FP32ComputeSeconds
+		}
+	}
+	if control > 0 {
+		out += fmt.Sprintf("\n%s compute across sweep: %.4fs vs %.4fs fp32 control (%.1f%% less)",
+			r.Precision, reduced, control, 100*(1-reduced/control))
+	}
+	return out
 }

@@ -23,8 +23,17 @@ type Frozen struct {
 	layers  []*SAGEConv // gradient-free: only Param.W is populated
 	caches  []sageCache
 	arena   *tensor.Arena
+	backend tensor.Backend
+	timers  StageTimers
 	inDim   int
 	classes int
+
+	// Reduced-precision state (FreezePrecision): quantized transposed
+	// weights per layer and the persistent requantization scratch for
+	// hidden activations. Empty on an fp32 snapshot.
+	prec      tensor.Precision
+	qlayers   []frozenQuantLayer
+	hqScratch []tensor.QuantMatrix
 }
 
 // Freeze snapshots the model's current weights into a Frozen. The copy is
@@ -33,6 +42,7 @@ func (m *Model) Freeze() *Frozen {
 	f := &Frozen{
 		arena:   tensor.NewArena(tensor.NewPool()),
 		caches:  make([]sageCache, len(m.Layers)),
+		backend: m.Backend,
 		inDim:   m.Layers[0].InDim,
 		classes: m.Layers[len(m.Layers)-1].OutDim,
 	}
@@ -71,15 +81,25 @@ func (f *Frozen) Forward(mfg *sample.MFG, x *tensor.Matrix) (*tensor.Matrix, err
 		return nil, fmt.Errorf("nn: feature rows %d != MFG inputs %d", x.Rows, len(mfg.InputIDs()))
 	}
 	f.arena.Release() // recycle the previous batch's working set
+	env := layerEnv{be: f.backend, timers: &f.timers}
 	h := x
 	for li, layer := range f.layers {
-		out := layer.Forward(mfg.Blocks[li], h, f.arena, &f.caches[li])
+		out := layer.Forward(mfg.Blocks[li], h, f.arena, &f.caches[li], &env)
 		if li < len(f.layers)-1 {
 			out.ReLU()
 		}
 		h = out
 	}
 	return h, nil
+}
+
+// TakeStageTimers returns the aggregate/transform time accumulated by
+// Forward calls since the last call, and resets the counters (BackwardNS is
+// always zero for a Frozen).
+func (f *Frozen) TakeStageTimers() StageTimers {
+	t := f.timers
+	f.timers = StageTimers{}
+	return t
 }
 
 // ReleaseBatch returns the current batch's intermediates (including the

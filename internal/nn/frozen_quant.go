@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"time"
+
+	"salientpp/internal/sample"
+	"salientpp/internal/tensor"
+)
+
+// frozenQuantLayer holds one layer's reduced-precision state: the two
+// weight matrices packed transposed (OutDim × InDim, quantized per output
+// row so each output channel gets its own scale) plus the persistent
+// aggregation-strip scratch. Bias stays fp32 — it is added after the
+// integer GEMMs produce float32 outputs.
+type frozenQuantLayer struct {
+	wselfT  tensor.QuantMatrix
+	wneighT tensor.QuantMatrix
+	aggQ    tensor.QuantMatrix // quantized image of the current aggregation strip
+}
+
+// FreezePrecision snapshots the model like Freeze and, for a reduced
+// precision, additionally packs every layer's weights into quantized
+// transposed form so ForwardQuant can run GEMMs directly over quantized
+// operands. PrecisionFP32 returns a plain fp32 snapshot (identical to
+// Freeze).
+func (m *Model) FreezePrecision(p tensor.Precision) *Frozen {
+	f := m.Freeze()
+	f.prec = p
+	if p == tensor.PrecisionFP32 {
+		return f
+	}
+	f.qlayers = make([]frozenQuantLayer, len(f.layers))
+	f.hqScratch = make([]tensor.QuantMatrix, len(f.layers))
+	var wt *tensor.Matrix
+	for li, l := range f.layers {
+		if wt == nil || wt.Rows != l.OutDim || wt.Cols != l.InDim {
+			wt = tensor.New(l.OutDim, l.InDim)
+		}
+		for _, pack := range []struct {
+			w   *tensor.Matrix
+			dst *tensor.QuantMatrix
+		}{{l.WSelf.W, &f.qlayers[li].wselfT}, {l.WNeigh.W, &f.qlayers[li].wneighT}} {
+			for i := 0; i < pack.w.Rows; i++ {
+				row := pack.w.Row(i)
+				for j, v := range row {
+					wt.Set(j, i, v)
+				}
+			}
+			pack.dst.Quantize(p, wt)
+		}
+	}
+	return f
+}
+
+// Precision returns the snapshot's compute precision (PrecisionFP32 for a
+// plain Freeze).
+func (f *Frozen) Precision() tensor.Precision { return f.prec }
+
+// ForwardQuant runs inference over one micro-batch entirely in the
+// snapshot's reduced precision: xq holds the quantized features of
+// mfg.InputIDs() (a Store.GatherQuant result feeds it directly), weight
+// GEMMs run over quantized operands (the int8 path through the integer
+// SIMD kernel), and hidden activations are requantized between layers.
+// Aggregation follows the fused strip discipline of the fp32 path:
+// neighbor means dequantize-accumulate into one reused fp32 strip, which
+// is quantized and streamed into the WNeigh GEMM while cache-hot — the
+// full fp32 feature matrix is never materialized at any layer.
+//
+// The returned logits are fp32 (the final layer is never requantized) and
+// stay valid until the next Forward/ForwardQuant recycles the arena.
+func (f *Frozen) ForwardQuant(mfg *sample.MFG, xq *tensor.QuantMatrix) (*tensor.Matrix, error) {
+	if f.prec == tensor.PrecisionFP32 {
+		return nil, fmt.Errorf("nn: ForwardQuant needs a FreezePrecision snapshot with a reduced precision")
+	}
+	if len(mfg.Blocks) != len(f.layers) {
+		return nil, fmt.Errorf("nn: MFG has %d blocks for %d frozen layers", len(mfg.Blocks), len(f.layers))
+	}
+	if xq.Rows != len(mfg.InputIDs()) {
+		return nil, fmt.Errorf("nn: quantized feature rows %d != MFG inputs %d", xq.Rows, len(mfg.InputIDs()))
+	}
+	if xq.Prec != f.prec {
+		return nil, fmt.Errorf("nn: features quantized as %v, snapshot expects %v", xq.Prec, f.prec)
+	}
+	f.arena.Release()
+	hq := xq
+	var out *tensor.Matrix
+	for li, layer := range f.layers {
+		b := mfg.Blocks[li]
+		if hq.Rows != b.NumInputs() || hq.Cols != layer.InDim {
+			return nil, fmt.Errorf("nn: layer %d input is %dx%d, block wants %dx%d", li, hq.Rows, hq.Cols, b.NumInputs(), layer.InDim)
+		}
+		ql := &f.qlayers[li]
+		nd := b.NumDst
+		out = f.arena.Get(nd, layer.OutDim)
+
+		t0 := time.Now()
+		hSelfQ := hq.RowSlice(nd)
+		tensor.MatMulQuant(out, &hSelfQ, &ql.wselfT, false)
+		f.timers.TransformNS += int64(time.Since(t0))
+
+		stripRows := fusedStripRows
+		if nd < stripRows {
+			stripRows = nd
+		}
+		aggStrip := f.arena.Get(stripRows, layer.InDim)
+		for lo := 0; lo < nd; lo += fusedStripRows {
+			hi := lo + fusedStripRows
+			if hi > nd {
+				hi = nd
+			}
+			t0 = time.Now()
+			for i := lo; i < hi; i++ {
+				dst := aggStrip.Row(i - lo)
+				eLo, eHi := b.RowPtr[i], b.RowPtr[i+1]
+				if eLo == eHi {
+					for j := range dst {
+						dst[j] = 0
+					}
+					continue
+				}
+				hq.DequantizeRow(dst, int(b.Col[eLo]))
+				for _, c := range b.Col[eLo+1 : eHi] {
+					hq.AccumulateRow(dst, int(c))
+				}
+				inv := float32(1) / float32(eHi-eLo)
+				for j := range dst {
+					dst[j] *= inv
+				}
+			}
+			t1 := time.Now()
+			f.timers.AggregateNS += int64(t1.Sub(t0))
+
+			ql.aggQ.Resize(f.prec, hi-lo, layer.InDim)
+			for i := 0; i < hi-lo; i++ {
+				ql.aggQ.SetRow(i, aggStrip.Row(i))
+			}
+			outStrip := tensor.Matrix{Rows: hi - lo, Cols: layer.OutDim, Data: out.Data[lo*layer.OutDim : hi*layer.OutDim]}
+			tensor.MatMulQuant(&outStrip, &ql.aggQ, &ql.wneighT, true)
+			f.timers.TransformNS += int64(time.Since(t1))
+		}
+
+		t0 = time.Now()
+		out.AddBias(layer.Bias.W.Data)
+		if li < len(f.layers)-1 {
+			out.ReLU()
+			// Requantize the hidden activations for the next layer's GEMMs;
+			// the scratch grows once to its high-water mark.
+			f.hqScratch[li].Quantize(f.prec, out)
+			hq = &f.hqScratch[li]
+		}
+		f.timers.TransformNS += int64(time.Since(t0))
+	}
+	return out, nil
+}

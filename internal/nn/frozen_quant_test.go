@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"salientpp/internal/tensor"
+)
+
+// TestForwardQuantCloseToFP32 runs the reduced-precision frozen forward
+// next to the fp32 one on the same MFG and bounds the logit error. The
+// int8 bound is loose (three quantized operands per layer — features,
+// aggregation, weights — each contributing ~1/254 relative error); fp16
+// is much tighter. What matters for serving is argmax stability, checked
+// by TestInt8ForwardAccuracyDelta in the serve package at scale.
+func TestForwardQuantCloseToFP32(t *testing.T) {
+	mfg, x, _ := buildTinyMFG(t)
+	m, err := NewModel(5, 4, 3, 2, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.Freeze().Forward(mfg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refClone := ref.Clone()
+
+	for _, tc := range []struct {
+		prec tensor.Precision
+		tol  float64
+	}{{tensor.PrecisionInt8, 0.08}, {tensor.PrecisionFP16, 0.005}} {
+		fq := m.FreezePrecision(tc.prec)
+		var xq tensor.QuantMatrix
+		xq.Quantize(tc.prec, x)
+		got, err := fq.ForwardQuant(mfg, &xq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rows != refClone.Rows || got.Cols != refClone.Cols {
+			t.Fatalf("%v: logits %dx%d, want %dx%d", tc.prec, got.Rows, got.Cols, refClone.Rows, refClone.Cols)
+		}
+		for i := range got.Data {
+			if d := math.Abs(float64(got.Data[i] - refClone.Data[i])); d > tc.tol {
+				t.Fatalf("%v: logit %d differs from fp32 by %g (%g vs %g, tol %g)",
+					tc.prec, i, d, got.Data[i], refClone.Data[i], tc.tol)
+			}
+		}
+		// Stage timers must attribute the quantized pass, not leak it.
+		st := fq.TakeStageTimers()
+		if st.AggregateNS <= 0 || st.TransformNS <= 0 || st.BackwardNS != 0 {
+			t.Fatalf("%v: stage timers %+v, want positive aggregate/transform and zero backward", tc.prec, st)
+		}
+	}
+}
+
+// TestForwardQuantValidation covers the error surface: fp32 snapshots,
+// mismatched precisions, and wrong shapes are all refused.
+func TestForwardQuantValidation(t *testing.T) {
+	mfg, x, _ := buildTinyMFG(t)
+	m, err := NewModel(5, 4, 3, 2, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xq tensor.QuantMatrix
+	xq.Quantize(tensor.PrecisionInt8, x)
+
+	if _, err := m.Freeze().ForwardQuant(mfg, &xq); err == nil {
+		t.Fatal("fp32 snapshot accepted ForwardQuant")
+	}
+	fq := m.FreezePrecision(tensor.PrecisionFP16)
+	if _, err := fq.ForwardQuant(mfg, &xq); err == nil {
+		t.Fatal("fp16 snapshot accepted int8 features")
+	}
+	if got := fq.Precision(); got != tensor.PrecisionFP16 {
+		t.Fatalf("Precision() = %v", got)
+	}
+	short := xq.RowSlice(xq.Rows - 1)
+	fq8 := m.FreezePrecision(tensor.PrecisionInt8)
+	if _, err := fq8.ForwardQuant(mfg, &short); err == nil {
+		t.Fatal("short feature matrix accepted")
+	}
+}
+
+// TestForwardQuantAllocationFree pins the steady-state claim: after the
+// first batch grows the scratch high-water marks, repeat quantized
+// forwards on same-shaped batches allocate nothing.
+func TestForwardQuantAllocationFree(t *testing.T) {
+	mfg, x, _ := buildTinyMFG(t)
+	m, err := NewModel(5, 4, 3, 2, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := m.FreezePrecision(tensor.PrecisionInt8)
+	var xq tensor.QuantMatrix
+	xq.Quantize(tensor.PrecisionInt8, x)
+	if _, err := fq.ForwardQuant(mfg, &xq); err != nil { // warm the arena and scratch
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := fq.ForwardQuant(mfg, &xq); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm ForwardQuant allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"time"
 
 	"salientpp/internal/rng"
 	"salientpp/internal/sample"
@@ -21,8 +22,15 @@ type Model struct {
 	Layers  []*SAGEConv
 	Dropout float64
 
+	// Backend runs the dense kernels (GEMMs) of every layer. NewModel sets
+	// it to tensor.DefaultBackend(); swap it before the first Forward to
+	// route compute through a different implementation.
+	Backend tensor.Backend
+
 	pool  *tensor.Pool
 	arena *tensor.Arena
+
+	timers StageTimers
 
 	// forward caches (valid between Forward and Backward)
 	caches   []sageCache      // one persistent slot per layer
@@ -44,7 +52,7 @@ func NewModel(inDim, hidden, classes, layers int, dropout float64, seed uint64) 
 	}
 	r := rng.New(seed)
 	pool := tensor.NewPool()
-	m := &Model{Dropout: dropout, dropRNG: r.Split(999), pool: pool, arena: tensor.NewArena(pool)}
+	m := &Model{Dropout: dropout, Backend: tensor.DefaultBackend(), dropRNG: r.Split(999), pool: pool, arena: tensor.NewArena(pool)}
 	for l := 0; l < layers; l++ {
 		in := hidden
 		if l == 0 {
@@ -85,10 +93,12 @@ func (m *Model) Forward(mfg *sample.MFG, x *tensor.Matrix, training bool) (*tens
 	m.masks = m.masks[:0]
 	m.training = training
 
+	env := layerEnv{be: m.Backend, timers: &m.timers, training: training}
 	h := x
 	for li, layer := range m.Layers {
-		out := layer.Forward(mfg.Blocks[li], h, m.arena, &m.caches[li])
+		out := layer.Forward(mfg.Blocks[li], h, m.arena, &m.caches[li], &env)
 		if li < len(m.Layers)-1 {
+			t0 := time.Now()
 			out.ReLU()
 			if training {
 				act := m.arena.Get(out.Rows, out.Cols)
@@ -100,10 +110,20 @@ func (m *Model) Forward(mfg *sample.MFG, x *tensor.Matrix, training bool) (*tens
 					m.masks = append(m.masks, mask)
 				}
 			}
+			m.timers.TransformNS += int64(time.Since(t0))
 		}
 		h = out
 	}
 	return h, nil
+}
+
+// TakeStageTimers returns the aggregate/transform/backward wall time
+// accumulated since the last call, and resets the counters. The pipeline
+// drains it once per round to attribute the compute stage.
+func (m *Model) TakeStageTimers() StageTimers {
+	t := m.timers
+	m.timers = StageTimers{}
+	return t
 }
 
 // Backward propagates dLogits through the cached forward pass,
@@ -114,9 +134,11 @@ func (m *Model) Backward(dLogits *tensor.Matrix) {
 	if !m.training {
 		panic("nn: Backward requires a training-mode Forward")
 	}
+	t0 := time.Now()
+	env := layerEnv{be: m.Backend, timers: &m.timers, training: true}
 	grad := dLogits
 	for li := len(m.Layers) - 1; li >= 0; li-- {
-		grad = m.Layers[li].Backward(&m.caches[li], grad, m.arena)
+		grad = m.Layers[li].Backward(&m.caches[li], grad, m.arena, &env)
 		if li > 0 {
 			// Undo dropout and ReLU of the previous hidden activation.
 			if m.Dropout > 0 {
@@ -125,6 +147,7 @@ func (m *Model) Backward(dLogits *tensor.Matrix) {
 			tensor.ReLUBackward(grad, m.acts[li-1])
 		}
 	}
+	m.timers.BackwardNS += int64(time.Since(t0))
 }
 
 // ReleaseBatch returns the current batch's intermediates (including the

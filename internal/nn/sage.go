@@ -1,9 +1,41 @@
 package nn
 
 import (
+	"runtime"
+	"time"
+
 	"salientpp/internal/sample"
 	"salientpp/internal/tensor"
 )
+
+// StageTimers accumulates compute-stage wall time in nanoseconds, split the
+// way the epoch benchmark reports it: neighbor aggregation, dense transforms
+// (weight GEMMs, bias, activations), and the backward pass. Model and Frozen
+// each own one; TakeStageTimers drains it.
+type StageTimers struct {
+	AggregateNS int64
+	TransformNS int64
+	BackwardNS  int64
+}
+
+// layerEnv is the execution context a Model or Frozen threads through its
+// layers: which compute backend runs the GEMMs, where stage time is
+// attributed, and whether forward intermediates must be retained for a
+// backward pass.
+type layerEnv struct {
+	be       tensor.Backend
+	timers   *StageTimers
+	training bool
+}
+
+// fusedStripRows is the destination-row granularity of the fused
+// aggregate+transform pass: neighbor means for one strip are streamed into
+// the weight GEMM while still cache-hot, instead of materializing the whole
+// aggregation before the first GEMM row is touched. 256 rows of a
+// 128..256-wide fp32 aggregate is 128–256 KiB — L2-resident on the machines
+// this targets. Strip boundaries depend only on the destination count, so
+// results stay deterministic across worker counts.
+const fusedStripRows = 256
 
 // SAGEConv is a GraphSAGE layer with mean aggregation:
 //
@@ -45,6 +77,14 @@ type sageCache struct {
 	hSelf  tensor.Matrix
 	dhSelf tensor.Matrix
 
+	// aggStrip and outStrip are the fused pass's per-strip views. They live
+	// in the cache (heap-resident) rather than on the Forward stack because
+	// they are passed through the Backend interface, which escape analysis
+	// cannot see through — stack-local headers would be forced to the heap
+	// on every call.
+	aggStrip tensor.Matrix
+	outStrip tensor.Matrix
+
 	// Reverse CSR of the block (input vertex -> incoming destination rows),
 	// built per batch for the parallel backward scatter.
 	revPtr []int32
@@ -52,20 +92,32 @@ type sageCache struct {
 	revIdx []int32
 }
 
-// Forward computes layer outputs for the block's destination vertices.
+// Forward computes layer outputs for the block's destination vertices with
+// the fused aggregate+transform pass: after the self GEMM fills the output,
+// neighbor means are computed one strip of destination rows at a time and
+// streamed straight into the WNeigh GEMM via MatMulAdd while the strip is
+// cache-hot. In training mode the strips are views of a full arena-owned
+// aggregation matrix (Backward consumes it); in inference mode one reused
+// strip of scratch is the only aggregation storage — the full intermediate
+// is never materialized.
+//
 // h holds representations of all block inputs (block.NumInputs() rows).
 // Intermediates live in ar (released by the model before the next batch);
 // cache is the layer's persistent scratch slot.
-func (l *SAGEConv) Forward(b *sample.Block, h *tensor.Matrix, ar *tensor.Arena, cache *sageCache) *tensor.Matrix {
+func (l *SAGEConv) Forward(b *sample.Block, h *tensor.Matrix, ar *tensor.Arena, cache *sageCache, env *layerEnv) *tensor.Matrix {
 	if h.Rows != b.NumInputs() || h.Cols != l.InDim {
 		panic("nn: SAGEConv input shape mismatch")
 	}
 	nd := b.NumDst
-	agg := ar.Get(nd, l.InDim)
-	if nd < tensor.MinParallelRows {
-		aggForwardRange(agg, b, h, 0, nd)
+	var agg *tensor.Matrix
+	if env.training {
+		agg = ar.Get(nd, l.InDim)
 	} else {
-		tensor.ParallelRows(nd, func(lo, hi int) { aggForwardRange(agg, b, h, lo, hi) })
+		rows := fusedStripRows
+		if nd < rows {
+			rows = nd
+		}
+		agg = ar.Get(rows, l.InDim)
 	}
 
 	cache.block = b
@@ -74,20 +126,50 @@ func (l *SAGEConv) Forward(b *sample.Block, h *tensor.Matrix, ar *tensor.Arena, 
 	cache.hSelf = tensor.Matrix{Rows: nd, Cols: l.InDim, Data: h.Data[:nd*l.InDim]}
 
 	out := ar.Get(nd, l.OutDim)
-	tensor.MatMul(out, &cache.hSelf, l.WSelf.W)
-	tmp := ar.Get(nd, l.OutDim)
-	tensor.MatMul(tmp, agg, l.WNeigh.W)
-	out.Add(tmp)
+	t0 := time.Now()
+	env.be.MatMul(out, &cache.hSelf, l.WSelf.W)
+	env.timers.TransformNS += int64(time.Since(t0))
+
+	for lo := 0; lo < nd; lo += fusedStripRows {
+		hi := lo + fusedStripRows
+		if hi > nd {
+			hi = nd
+		}
+		viewLo := lo
+		if !env.training {
+			viewLo = 0 // inference strips reuse the scratch from row 0
+		}
+		cache.aggStrip = tensor.Matrix{Rows: hi - lo, Cols: l.InDim, Data: agg.Data[viewLo*l.InDim : (viewLo+hi-lo)*l.InDim]}
+		strip := &cache.aggStrip
+
+		t0 = time.Now()
+		if hi-lo < tensor.MinParallelRows || runtime.GOMAXPROCS(0) == 1 {
+			aggForwardRange(strip, b, h, lo, lo, hi)
+		} else {
+			tensor.ParallelRows(hi-lo, func(flo, fhi int) { aggForwardRange(strip, b, h, lo, lo+flo, lo+fhi) })
+		}
+		t1 := time.Now()
+		env.timers.AggregateNS += int64(t1.Sub(t0))
+
+		cache.outStrip = tensor.Matrix{Rows: hi - lo, Cols: l.OutDim, Data: out.Data[lo*l.OutDim : hi*l.OutDim]}
+		env.be.MatMulAdd(&cache.outStrip, strip, l.WNeigh.W)
+		env.timers.TransformNS += int64(time.Since(t1))
+	}
+
+	t0 = time.Now()
 	out.AddBias(l.Bias.W.Data)
+	env.timers.TransformNS += int64(time.Since(t0))
 	return out
 }
 
 // aggForwardRange mean-aggregates sampled neighbors for destination rows
-// [lo, hi). Each worker owns disjoint destination rows and sums neighbors
-// in column order, so results are identical at every worker count.
-func aggForwardRange(agg *tensor.Matrix, b *sample.Block, h *tensor.Matrix, lo, hi int) {
+// [lo, hi), writing destination row i to agg row i-base (the fused pass
+// hands it strip views). Each worker owns disjoint destination rows and
+// sums neighbors in column order, so results are identical at every worker
+// count.
+func aggForwardRange(agg *tensor.Matrix, b *sample.Block, h *tensor.Matrix, base, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		out := agg.Row(i)
+		out := agg.Row(i - base)
 		eLo, eHi := b.RowPtr[i], b.RowPtr[i+1]
 		if eLo == eHi {
 			for j := range out {
@@ -112,7 +194,7 @@ func aggForwardRange(agg *tensor.Matrix, b *sample.Block, h *tensor.Matrix, lo, 
 // Backward accumulates parameter gradients from dOut (numDst × OutDim) and
 // returns the gradient with respect to the layer input h
 // (numInputs × InDim), owned by ar.
-func (l *SAGEConv) Backward(c *sageCache, dOut *tensor.Matrix, ar *tensor.Arena) *tensor.Matrix {
+func (l *SAGEConv) Backward(c *sageCache, dOut *tensor.Matrix, ar *tensor.Arena, env *layerEnv) *tensor.Matrix {
 	b := c.block
 	nd := b.NumDst
 	if dOut.Rows != nd || dOut.Cols != l.OutDim {
@@ -121,9 +203,9 @@ func (l *SAGEConv) Backward(c *sageCache, dOut *tensor.Matrix, ar *tensor.Arena)
 
 	// Parameter gradients (accumulate).
 	gw := ar.Get(l.InDim, l.OutDim)
-	tensor.MatMulATB(gw, &c.hSelf, dOut)
+	env.be.MatMulATB(gw, &c.hSelf, dOut)
 	l.WSelf.G.Add(gw)
-	tensor.MatMulATB(gw, c.agg, dOut)
+	env.be.MatMulATB(gw, c.agg, dOut)
 	l.WNeigh.G.Add(gw)
 	for i := 0; i < nd; i++ {
 		row := dOut.Row(i)
@@ -137,7 +219,7 @@ func (l *SAGEConv) Backward(c *sageCache, dOut *tensor.Matrix, ar *tensor.Arena)
 	// Self path: the destination prefix of dh gets dOut·WSelfᵀ, written in
 	// place through a header view (MatMulABT overwrites, no zeroing needed).
 	c.dhSelf = tensor.Matrix{Rows: nd, Cols: l.InDim, Data: dh.Data[:nd*l.InDim]}
-	tensor.MatMulABT(&c.dhSelf, dOut, l.WSelf.W)
+	env.be.MatMulABT(&c.dhSelf, dOut, l.WSelf.W)
 	// Neighbor path: dAgg = dOut·WNeighᵀ, split evenly among sampled
 	// neighbors (mean backward). The scatter runs input-major over a reverse
 	// CSR of the block so that workers own disjoint dh rows; contributions
@@ -145,7 +227,7 @@ func (l *SAGEConv) Backward(c *sageCache, dOut *tensor.Matrix, ar *tensor.Arena)
 	// independent of the worker count (and bitwise equal to the serial
 	// destination-major scatter).
 	dAgg := ar.Get(nd, l.InDim)
-	tensor.MatMulABT(dAgg, dOut, l.WNeigh.W)
+	env.be.MatMulABT(dAgg, dOut, l.WNeigh.W)
 	// Pre-scale each dAgg row by its mean reciprocal once (one division per
 	// destination instead of one per edge; the per-edge v·inv products are
 	// unchanged, so the scatter stays bitwise identical).

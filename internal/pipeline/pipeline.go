@@ -96,6 +96,14 @@ type EpochStats struct {
 	SampleTime  time.Duration // cumulative sampling stage time
 	GatherTime  time.Duration // cumulative feature-collection stage time
 	ComputeTime time.Duration // cumulative model fwd/bwd/optimizer time
+
+	// Compute attribution, as reported by the model's stage timers:
+	// neighbor aggregation, dense transforms (GEMMs/bias/activations), and
+	// the backward pass. Their sum is slightly below ComputeTime (loss and
+	// the optimizer step are counted only in the total).
+	AggregateTime time.Duration
+	TransformTime time.Duration
+	BackwardTime  time.Duration
 }
 
 // NewRank wires one machine. labels must cover all global vertices
@@ -217,6 +225,10 @@ func partialFrom(stats *EpochStats, doneReal int, liveBytes int64) ckpt.PartialE
 		SampleNS:  stats.SampleTime.Nanoseconds(),
 		GatherNS:  stats.GatherTime.Nanoseconds(),
 		ComputeNS: stats.ComputeTime.Nanoseconds(),
+
+		AggregateNS: stats.AggregateTime.Nanoseconds(),
+		TransformNS: stats.TransformTime.Nanoseconds(),
+		BackwardNS:  stats.BackwardTime.Nanoseconds(),
 	}
 }
 
@@ -280,9 +292,16 @@ func (r *Rank) trainEpochFrom(epoch, startRound int, partial *ckpt.PartialEpoch)
 		stats.SampleTime = time.Duration(partial.SampleNS)
 		stats.GatherTime = time.Duration(partial.GatherNS)
 		stats.ComputeTime = time.Duration(partial.ComputeNS)
+		stats.AggregateTime = time.Duration(partial.AggregateNS)
+		stats.TransformTime = time.Duration(partial.TransformNS)
+		stats.BackwardTime = time.Duration(partial.BackwardNS)
 		doneReal = int(partial.Batches)
 		resumedBytes = partial.BytesSent
 	}
+	// Discard stage time accrued outside training (e.g. an evaluation pass
+	// between epochs) so the per-round harvest below attributes only this
+	// epoch's compute.
+	r.model.TakeStageTimers()
 
 	// abort wakes every pipeline stage when the epoch exits early (gather
 	// or compute failure): sampling workers blocked on a pipeline slot, the
@@ -401,6 +420,10 @@ func (r *Rank) trainEpochFrom(epoch, startRound int, partial *ckpt.PartialEpoch)
 		}
 		r.opt.Step(grads)
 		stats.ComputeTime += time.Since(t0)
+		st := r.model.TakeStageTimers()
+		stats.AggregateTime += time.Duration(st.AggregateNS)
+		stats.TransformTime += time.Duration(st.TransformNS)
+		stats.BackwardTime += time.Duration(st.BackwardNS)
 		r.store.Release(pb.feats) // recycle the batch's feature matrix
 		pb.mfg.Release()          // recycle the batch's sampling buffers
 		<-inflight                // retire the batch: frees one pipeline slot

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync/atomic"
+	"time"
 
 	"salientpp/internal/dist"
 	"salientpp/internal/metrics"
@@ -24,6 +25,7 @@ type Metrics struct {
 	localCPU    atomic.Int64
 	cacheHits   atomic.Int64
 	remote      atomic.Int64
+	computeNS   atomic.Int64
 }
 
 func newMetrics(maxBatch int) *Metrics {
@@ -41,13 +43,14 @@ func (m *Metrics) observeRequest(st *Stats) {
 	m.Latency.Observe(st.Total.Seconds())
 }
 
-func (m *Metrics) observeRound(batch int, g dist.GatherStats) {
+func (m *Metrics) observeRound(batch int, g dist.GatherStats, compute time.Duration) {
 	m.rounds.Add(1)
 	if batch == 0 {
 		m.emptyRounds.Add(1)
 		return
 	}
 	m.BatchOccupancy.Observe(float64(batch))
+	m.computeNS.Add(int64(compute))
 	m.localGPU.Add(int64(g.LocalGPU))
 	m.localCPU.Add(int64(g.LocalCPU))
 	m.cacheHits.Add(int64(g.CacheHits))
@@ -79,6 +82,10 @@ type Snapshot struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// BytesSent is the cumulative feature-collective payload volume.
 	BytesSent int64 `json:"bytes_sent"`
+	// ComputeSeconds is the cumulative forward-pass time across non-empty
+	// rounds — the serve-side compute cost a reduced precision is meant to
+	// cut.
+	ComputeSeconds float64 `json:"compute_seconds"`
 }
 
 func (m *Metrics) snapshot(bytes int64) Snapshot {
@@ -89,19 +96,20 @@ func (m *Metrics) snapshot(bytes int64) Snapshot {
 		hitRate = float64(hits) / float64(hits+remote)
 	}
 	return Snapshot{
-		Requests:      m.requests.Load(),
-		Rounds:        m.rounds.Load(),
-		EmptyRounds:   m.emptyRounds.Load(),
-		P50:           m.Latency.Quantile(0.50),
-		P95:           m.Latency.Quantile(0.95),
-		P99:           m.Latency.Quantile(0.99),
-		Mean:          m.Latency.HistMean(),
-		MeanBatch:     m.BatchOccupancy.HistMean(),
-		LocalGPU:      m.localGPU.Load(),
-		LocalCPU:      m.localCPU.Load(),
-		CacheHits:     hits,
-		RemoteFetches: remote,
-		CacheHitRate:  hitRate,
-		BytesSent:     bytes,
+		Requests:       m.requests.Load(),
+		Rounds:         m.rounds.Load(),
+		EmptyRounds:    m.emptyRounds.Load(),
+		P50:            m.Latency.Quantile(0.50),
+		P95:            m.Latency.Quantile(0.95),
+		P99:            m.Latency.Quantile(0.99),
+		Mean:           m.Latency.HistMean(),
+		MeanBatch:      m.BatchOccupancy.HistMean(),
+		LocalGPU:       m.localGPU.Load(),
+		LocalCPU:       m.localCPU.Load(),
+		CacheHits:      hits,
+		RemoteFetches:  remote,
+		CacheHitRate:   hitRate,
+		BytesSent:      bytes,
+		ComputeSeconds: float64(m.computeNS.Load()) / 1e9,
 	}
 }

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"salientpp/internal/pipeline"
+	"salientpp/internal/tensor"
+)
+
+// servedAccuracy runs one serving deployment at the given precision over
+// every test-split vertex of the cluster's (reordered) dataset, with
+// sequential Predicts so round numbers — and therefore sampling streams —
+// are identical across runs. Returns argmax accuracy plus the metrics
+// snapshot.
+func servedAccuracy(t *testing.T, cl *pipeline.Cluster, precision string) (float64, Snapshot) {
+	t.Helper()
+	srv, err := New(cl, Config{
+		MaxBatch: 1, MaxWait: time.Second, Seed: 99, Precision: precision,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	d := cl.Data
+	ids := d.TestIDs()
+	out := make([]float32, srv.Classes())
+	correct := 0
+	for _, v := range ids {
+		if _, err := srv.Predict(v, out); err != nil {
+			t.Fatal(err)
+		}
+		best := 0
+		for j := 1; j < len(out); j++ {
+			if out[j] > out[best] {
+				best = j
+			}
+		}
+		if int32(best) == d.Labels[v] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(ids)), srv.Snapshot()
+}
+
+// TestInt8ForwardAccuracyDelta is the acceptance gate for reduced-precision
+// serving: over the full test split of a trained cluster, int8 end-to-end
+// serving (quantized gather + integer-kernel forward) must hold argmax
+// accuracy within 0.5 points of fp32 serving. Sequential single-request
+// rounds with a shared seed make the two runs sample identical MFGs, so
+// the only difference between them is the compute precision.
+func TestInt8ForwardAccuracyDelta(t *testing.T) {
+	cl := serveCluster(t, 2, 0.2, false)
+	defer cl.Close()
+	for e := 0; e < 3; e++ {
+		if _, err := cl.TrainEpochAll(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accFP32, snapFP32 := servedAccuracy(t, cl, "fp32")
+	accInt8, snapInt8 := servedAccuracy(t, cl, "int8")
+
+	if accFP32 < 0.5 {
+		t.Fatalf("fp32 serving accuracy %.3f too low for the delta to mean anything", accFP32)
+	}
+	delta := accInt8 - accFP32
+	if delta < 0 {
+		delta = -delta
+	}
+	if delta > 0.005 {
+		t.Fatalf("int8 serving accuracy %.4f vs fp32 %.4f: |delta| %.4f > 0.005 (0.5 points)",
+			accInt8, accFP32, delta)
+	}
+	if snapFP32.ComputeSeconds <= 0 || snapInt8.ComputeSeconds <= 0 {
+		t.Fatalf("compute_seconds not recorded: fp32 %v int8 %v",
+			snapFP32.ComputeSeconds, snapInt8.ComputeSeconds)
+	}
+	t.Logf("accuracy fp32 %.4f int8 %.4f; compute fp32 %.3fs int8 %.3fs",
+		accFP32, accInt8, snapFP32.ComputeSeconds, snapInt8.ComputeSeconds)
+}
+
+// TestServePrecisionInheritsCluster pins Config.Precision's inheritance
+// contract: empty inherits the cluster's configured precision, an explicit
+// value overrides it, and garbage is refused.
+func TestServePrecisionInheritsCluster(t *testing.T) {
+	d := serveDataset(t)
+	cl, err := pipeline.NewCluster(d, pipeline.ClusterConfig{
+		K: 2, Alpha: 0.2, GPUFraction: 1, Hidden: 16, Layers: 2,
+		Precision: "fp16",
+		Train: pipeline.Config{
+			Fanouts: []int{5, 5}, BatchSize: 64,
+			PipelineDepth: 2, SamplerWorkers: 1, LR: 0.01, Seed: 5,
+		},
+		ModelSeed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Precision != tensor.PrecisionFP16 {
+		t.Fatalf("cluster precision %v, want fp16", cl.Precision)
+	}
+
+	if _, err := New(cl, Config{Precision: "float64"}); err == nil {
+		t.Fatal("bogus precision accepted")
+	}
+
+	srv, err := New(cl, Config{MaxBatch: 1, Seed: 7}) // "" inherits fp16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.engines[0].store.Precision(); got != tensor.PrecisionFP16 {
+		t.Fatalf("inherited store precision %v, want fp16", got)
+	}
+	if got := srv.engines[0].model.Precision(); got != tensor.PrecisionFP16 {
+		t.Fatalf("inherited snapshot precision %v, want fp16", got)
+	}
+	srv.Close()
+
+	srv, err = New(cl, Config{MaxBatch: 1, Seed: 7, Precision: "fp32"}) // override back down
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.engines[0].store.Precision(); got != tensor.PrecisionFP32 {
+		t.Fatalf("override store precision %v, want fp32", got)
+	}
+}

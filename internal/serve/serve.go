@@ -75,6 +75,15 @@ type Config struct {
 	// over fp32 training). Metrics().BytesSent counts the encoded wire
 	// bytes, not rows×dim×4.
 	Codec string
+	// Precision selects the serving compute precision ("fp32", "fp16",
+	// "int8"); the empty string inherits the training cluster's configured
+	// precision. A reduced precision keeps the frozen weights and the
+	// gathered features quantized end to end: the store serves quantized
+	// rows (remote rows pass through from a matching wire codec without a
+	// dequantize/requantize round trip) and the forward runs the integer
+	// SIMD kernels. Training always computes in fp32, so int8 serving over
+	// an fp32-trained cluster is the expected deployment shape.
+	Precision string
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +173,13 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 	if len(fanouts) == 0 {
 		fanouts = cl.Ranks[0].Sampler().Fanouts()
 	}
+	prec := cl.Precision
+	if cfg.Precision != "" {
+		var err error
+		if prec, err = tensor.ParsePrecision(cfg.Precision); err != nil {
+			return nil, err
+		}
+	}
 	var comms []dist.Comm
 	var err error
 	if cfg.UseTCP {
@@ -203,8 +219,11 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 			}
 			st.SetCodec(codec)
 		}
+		if prec != tensor.PrecisionFP32 {
+			st.SetPrecision(prec)
+		}
 		st.SetAbort(s.shutdown)
-		frozen := cl.Ranks[r].Model().Freeze()
+		frozen := cl.Ranks[r].Model().FreezePrecision(prec)
 		if frozen.NumLayers() != len(fanouts) {
 			return fail(fmt.Errorf("serve: %d fanouts for a %d-layer model", len(fanouts), frozen.NumLayers()))
 		}
@@ -547,8 +566,20 @@ func (e *engine) run(round uint64) {
 	mfg := e.worker.Sample(e.seeds)
 	tSample := time.Since(t0)
 
+	// A reduced-precision store gathers straight into quantized form (the
+	// scratch is store-owned — nothing to release); fp32 takes the pooled
+	// path. Both run the same collectives, so mixed deployments stay
+	// matched.
 	t0 = time.Now()
-	feats, gstats, err := e.store.Gather(mfg.InputIDs())
+	var feats *tensor.Matrix
+	var qfeats *tensor.QuantMatrix
+	var gstats dist.GatherStats
+	var err error
+	if e.store.Precision() != tensor.PrecisionFP32 {
+		qfeats, gstats, err = e.store.GatherQuant(mfg.InputIDs())
+	} else {
+		feats, gstats, err = e.store.Gather(mfg.InputIDs())
+	}
 	tGather := time.Since(t0)
 	// RemoteByPeer aliases store scratch; only scalars may outlive the round.
 	gstats.RemoteByPeer = nil
@@ -557,7 +588,11 @@ func (e *engine) run(round uint64) {
 	var logits *tensor.Matrix
 	if err == nil && len(e.seeds) > 0 {
 		t0 = time.Now()
-		logits, err = e.model.Forward(mfg, feats)
+		if qfeats != nil {
+			logits, err = e.model.ForwardQuant(mfg, qfeats)
+		} else {
+			logits, err = e.model.Forward(mfg, feats)
+		}
 		tCompute = time.Since(t0)
 	}
 
@@ -581,7 +616,7 @@ func (e *engine) run(round uint64) {
 	}
 	e.batch = e.batch[:0]
 	if err == nil {
-		s.met.observeRound(n, gstats)
+		s.met.observeRound(n, gstats, tCompute)
 	}
 	if feats != nil {
 		e.store.Release(feats)

@@ -1,0 +1,32 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func x86HasAVX2() bool
+//
+// Standard AVX2 availability probe: CPUID.1:ECX must report OSXSAVE and
+// AVX, XGETBV(0) must show the OS saves XMM and YMM state, and
+// CPUID.(7,0):EBX bit 5 must report AVX2.
+TEXT ·x86HasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x18000000, CX // OSXSAVE | AVX
+	CMPL CX, $0x18000000
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX          // XMM | YMM state enabled
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $0x20, BX      // AVX2
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,27 @@
+//go:build amd64
+
+package tensor
+
+// dotBlock2x4 computes the eight full-depth dot products of two A rows
+// against four B rows (both operands k-contiguous) into out:
+//
+//	out = [a0·b0, a0·b1, a0·b2, a0·b3, a1·b0, a1·b1, a1·b2, a1·b3]
+//
+// The amd64 implementation is 4-lane SSE2 (the architecture baseline, so no
+// feature detection is needed): lane L accumulates the k ≡ L (mod 4) terms
+// in ascending order, the four lanes reduce as (l0+l2)+(l1+l3), and the
+// k%4 tail accumulates scalar onto that sum. The association is fixed and
+// input-independent, so results remain bitwise identical at every
+// GOMAXPROCS and across every tiling boundary; they differ from the scalar
+// kernels' single-chain association by ordinary fp32 rounding noise
+// (~1 ulp per accumulation step), which the differential tests bound
+// against the float64 naive reference.
+//
+// depth must be ≥ 1; callers special-case depth == 0.
+//
+//go:noescape
+func dotBlock2x4(a0, a1, b0, b1, b2, b3 *float32, depth int, out *[8]float32)
+
+// dotKernelName identifies the micro-kernel implementation in benchmarks
+// and the README.
+const dotKernelName = "sse2"

@@ -1,0 +1,188 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotBlock2x4(a0, a1, b0, b1, b2, b3 *float32, depth int, out *[8]float32)
+//
+// Eight dot products (2 A rows × 4 B rows) over a shared depth, 4 floats per
+// step with SSE2 (the amd64 baseline — no CPUID dispatch). Accumulator
+// registers: X0..X3 = a0·{b0..b3}, X4..X7 = a1·{b0..b3}. Each vector lane
+// accumulates every fourth k term in order; the reduction and the scalar
+// tail are described in dot_amd64.go.
+TEXT ·dotBlock2x4(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ depth+48(FP), CX
+	MOVQ out+56(FP), DX
+
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+	MOVQ CX, BX
+	SHRQ $2, BX
+	JZ   reduce
+
+vecloop:
+	MOVUPS (SI), X8
+	MOVUPS (DI), X9
+	MOVUPS (R8), X10
+	MOVUPS (R9), X11
+	MOVUPS (R10), X12
+	MOVUPS (R11), X13
+
+	MOVAPS X10, X14
+	MULPS  X8, X14
+	ADDPS  X14, X0
+	MOVAPS X11, X14
+	MULPS  X8, X14
+	ADDPS  X14, X1
+	MOVAPS X12, X14
+	MULPS  X8, X14
+	ADDPS  X14, X2
+	MOVAPS X13, X14
+	MULPS  X8, X14
+	ADDPS  X14, X3
+
+	MULPS X9, X10
+	ADDPS X10, X4
+	MULPS X9, X11
+	ADDPS X11, X5
+	MULPS X9, X12
+	ADDPS X12, X6
+	MULPS X9, X13
+	ADDPS X13, X7
+
+	ADDQ $16, SI
+	ADDQ $16, DI
+	ADDQ $16, R8
+	ADDQ $16, R9
+	ADDQ $16, R10
+	ADDQ $16, R11
+	DECQ BX
+	JNZ  vecloop
+
+reduce:
+	// Horizontal reduction of each accumulator to its low lane:
+	// low2 += high2 (giving l0+l2, l1+l3), then lane0 += lane1.
+	MOVAPS  X0, X14
+	MOVHLPS X0, X14
+	ADDPS   X14, X0
+	MOVAPS  X0, X14
+	SHUFPS  $0x1, X14, X14
+	ADDSS   X14, X0
+
+	MOVAPS  X1, X14
+	MOVHLPS X1, X14
+	ADDPS   X14, X1
+	MOVAPS  X1, X14
+	SHUFPS  $0x1, X14, X14
+	ADDSS   X14, X1
+
+	MOVAPS  X2, X14
+	MOVHLPS X2, X14
+	ADDPS   X14, X2
+	MOVAPS  X2, X14
+	SHUFPS  $0x1, X14, X14
+	ADDSS   X14, X2
+
+	MOVAPS  X3, X14
+	MOVHLPS X3, X14
+	ADDPS   X14, X3
+	MOVAPS  X3, X14
+	SHUFPS  $0x1, X14, X14
+	ADDSS   X14, X3
+
+	MOVAPS  X4, X14
+	MOVHLPS X4, X14
+	ADDPS   X14, X4
+	MOVAPS  X4, X14
+	SHUFPS  $0x1, X14, X14
+	ADDSS   X14, X4
+
+	MOVAPS  X5, X14
+	MOVHLPS X5, X14
+	ADDPS   X14, X5
+	MOVAPS  X5, X14
+	SHUFPS  $0x1, X14, X14
+	ADDSS   X14, X5
+
+	MOVAPS  X6, X14
+	MOVHLPS X6, X14
+	ADDPS   X14, X6
+	MOVAPS  X6, X14
+	SHUFPS  $0x1, X14, X14
+	ADDSS   X14, X6
+
+	MOVAPS  X7, X14
+	MOVHLPS X7, X14
+	ADDPS   X14, X7
+	MOVAPS  X7, X14
+	SHUFPS  $0x1, X14, X14
+	ADDSS   X14, X7
+
+	// Scalar tail: depth % 4 trailing terms accumulate onto the reduced
+	// sums in ascending k order.
+	ANDQ $3, CX
+	JZ   store
+
+tailloop:
+	MOVSS (SI), X8
+	MOVSS (DI), X9
+
+	MOVSS (R8), X10
+	MOVSS X10, X11
+	MULSS X8, X10
+	ADDSS X10, X0
+	MULSS X9, X11
+	ADDSS X11, X4
+
+	MOVSS (R9), X10
+	MOVSS X10, X11
+	MULSS X8, X10
+	ADDSS X10, X1
+	MULSS X9, X11
+	ADDSS X11, X5
+
+	MOVSS (R10), X10
+	MOVSS X10, X11
+	MULSS X8, X10
+	ADDSS X10, X2
+	MULSS X9, X11
+	ADDSS X11, X6
+
+	MOVSS (R11), X10
+	MOVSS X10, X11
+	MULSS X8, X10
+	ADDSS X10, X3
+	MULSS X9, X11
+	ADDSS X11, X7
+
+	ADDQ $4, SI
+	ADDQ $4, DI
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ CX
+	JNZ  tailloop
+
+store:
+	MOVSS X0, (DX)
+	MOVSS X1, 4(DX)
+	MOVSS X2, 8(DX)
+	MOVSS X3, 12(DX)
+	MOVSS X4, 16(DX)
+	MOVSS X5, 20(DX)
+	MOVSS X6, 24(DX)
+	MOVSS X7, 28(DX)
+	RET

@@ -1,0 +1,118 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotInt8Kernel2x4AVX2(a0, a1, b0, b1, b2, b3 *int8, depth16 int, out *[8]int32)
+//
+// AVX2 variant of the integer dot block over depth16 int8 values (depth16 >
+// 0, a multiple of 16): VPMOVSXBW sign-extends 16 bytes straight from
+// memory, VPMADDWD retires 16 int16 multiplies per instruction, and the
+// three-operand VEX forms need no copies — roughly 4× the per-instruction
+// MAC rate of the SSE2 path. Accumulators: Y0..Y3 = a0·{b0..b3}, Y4..Y7 =
+// a1·{b0..b3}. Integer accumulation is exact, so this kernel is bitwise
+// identical to the SSE2 and scalar paths.
+TEXT ·dotInt8Kernel2x4AVX2(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ depth16+48(FP), CX
+	MOVQ out+56(FP), DX
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+	SHRQ $4, CX
+
+vecloop:
+	VPMOVSXBW (SI), Y8
+	VPMOVSXBW (DI), Y9
+	VPMOVSXBW (R8), Y10
+	VPMOVSXBW (R9), Y11
+	VPMOVSXBW (R10), Y12
+	VPMOVSXBW (R11), Y13
+
+	VPMADDWD Y8, Y10, Y14
+	VPADDD   Y14, Y0, Y0
+	VPMADDWD Y8, Y11, Y14
+	VPADDD   Y14, Y1, Y1
+	VPMADDWD Y8, Y12, Y14
+	VPADDD   Y14, Y2, Y2
+	VPMADDWD Y8, Y13, Y14
+	VPADDD   Y14, Y3, Y3
+
+	VPMADDWD Y9, Y10, Y10
+	VPADDD   Y10, Y4, Y4
+	VPMADDWD Y9, Y11, Y11
+	VPADDD   Y11, Y5, Y5
+	VPMADDWD Y9, Y12, Y12
+	VPADDD   Y12, Y6, Y6
+	VPMADDWD Y9, Y13, Y13
+	VPADDD   Y13, Y7, Y7
+
+	ADDQ $16, SI
+	ADDQ $16, DI
+	ADDQ $16, R8
+	ADDQ $16, R9
+	ADDQ $16, R10
+	ADDQ $16, R11
+	DECQ CX
+	JNZ  vecloop
+
+	// Reduce all eight accumulators with three horizontal-add levels per
+	// group of four: VPHADDD interleaves pair sums of two registers, so
+	// two levels leave [r0 r1 r2 r3] per 128-bit lane and one cross-lane
+	// fold finishes four results at once — 6 instructions per group where
+	// a per-register shuffle cascade needs 28.
+	VPHADDD      Y1, Y0, Y14
+	VPHADDD      Y3, Y2, Y15
+	VPHADDD      Y15, Y14, Y14
+	VEXTRACTI128 $1, Y14, X15
+	VPADDD       X15, X14, X14
+	VMOVDQU      X14, (DX)
+
+	VPHADDD      Y5, Y4, Y14
+	VPHADDD      Y7, Y6, Y15
+	VPHADDD      Y15, Y14, Y14
+	VEXTRACTI128 $1, Y14, X15
+	VPADDD       X15, X14, X14
+	VMOVDQU      X14, 16(DX)
+
+	VZEROUPPER
+	RET
+
+// func accumInt8KernelAVX2(dst *float32, src *int8, scale float32, n8 int)
+//
+// dst[j] += float32(src[j]) * scale over n8 elements (n8 > 0, a multiple
+// of 8) — the dequantize-accumulate inner loop of quantized neighbor
+// aggregation. Strictly elementwise (sign-extend, convert, one multiply
+// rounding, one add rounding per lane), so it is bitwise identical to the
+// scalar loop; no FMA, which would skip the product rounding.
+TEXT ·accumInt8KernelAVX2(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	VBROADCASTSS scale+16(FP), Y0
+	MOVQ         n8+24(FP), CX
+	SHRQ         $3, CX
+
+accloop:
+	VPMOVSXBD (SI), Y1
+	VCVTDQ2PS Y1, Y1
+	VMULPS    Y0, Y1, Y1
+	VADDPS    (DI), Y1, Y1
+	VMOVUPS   Y1, (DI)
+	ADDQ      $8, SI
+	ADDQ      $32, DI
+	DECQ      CX
+	JNZ       accloop
+
+	VZEROUPPER
+	RET

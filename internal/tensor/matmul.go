@@ -10,26 +10,59 @@ import (
 // goroutine. The serial paths are plain function calls — no goroutines, no
 // escaping closures — so warm calls on small operands perform zero heap
 // allocations, which the allocation-regression tests rely on.
+//
+// The threshold is exclusive on the inline side: exactly MinParallelRows
+// rows take the spawning path (which may still run inline when GOMAXPROCS
+// is 1), MinParallelRows-1 rows are guaranteed inline. Pinned by
+// TestMinParallelRowsThreshold. Below the threshold the register-blocked
+// kernels run untiled; at and above it the tiled dispatch engages.
 const MinParallelRows = 64
 
 // MatMul computes C = A·B. Shapes: A is m×k, B is k×n, C is m×n.
 // C must not alias A or B; C's prior contents are ignored.
 //
-// The kernel processes four rows of A per pass over B (register blocking on
-// the A values, with the four C rows held in L1), so B is streamed from
-// memory a quarter as often as the naive ikj ordering. Row blocks are
-// distributed across GOMAXPROCS goroutines; each output element is computed
-// by exactly one worker in a fixed k-order, so results are bitwise
-// identical at every worker count.
+// This is the tiled backend's dispatch (see Backend): operands below
+// MinParallelRows run the serial 4-row register-blocked kernel; larger
+// operands pack Bᵀ once into reused scratch and run the 2×4 SIMD dot
+// micro-kernel over L1-resident column panels and L2-resident row slabs.
+// Row ranges are distributed across GOMAXPROCS goroutines (with a direct
+// closure-free call when GOMAXPROCS is 1); each output element is computed
+// by exactly one worker with a shape-determined association, so results are
+// bitwise identical at every worker count.
 func MatMul(c, a, b *Matrix) {
-	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
-		panic("tensor: MatMul shape mismatch")
-	}
+	checkMatMul(c, a, b)
 	if a.Rows < MinParallelRows {
 		matMulRange(c, a, b, 0, a.Rows)
 		return
 	}
-	parallelRows(a.Rows, func(lo, hi int) { matMulRange(c, a, b, lo, hi) })
+	bt := packTranspose(b)
+	if runtime.GOMAXPROCS(0) == 1 {
+		matMulPackedSerial(c, a, bt, false)
+	} else {
+		matMulPackedParallel(c, a, bt, false)
+	}
+	putPackBuf(bt.Data)
+}
+
+// MatMulAdd computes C += A·B with the same shapes and dispatch thresholds
+// as MatMul. Each element's dot product accumulates to full depth in
+// registers through the same kernel MatMul uses at that operand size, and
+// is added to C exactly once — so the result is bitwise identical to MatMul
+// into a scratch matrix followed by Add, which lets the fused
+// aggregate+transform pass stream partial results into C without changing
+// training numerics.
+func MatMulAdd(c, a, b *Matrix) {
+	checkMatMul(c, a, b)
+	bt := packTranspose(b)
+	switch {
+	case a.Rows < MinParallelRows:
+		matMulAddScalarSerial(c, a, bt)
+	case runtime.GOMAXPROCS(0) == 1:
+		matMulPackedSerial(c, a, bt, true)
+	default:
+		matMulPackedParallel(c, a, bt, true)
+	}
+	putPackBuf(bt.Data)
 }
 
 func matMulRange(c, a, b *Matrix, lo, hi int) {
@@ -77,19 +110,28 @@ func matMulRange(c, a, b *Matrix, lo, hi int) {
 
 // MatMulATB computes C = Aᵀ·B. Shapes: A is k×m, B is k×n, C is m×n.
 // Used for weight gradients (W.grad = Xᵀ·dY). C's prior contents are
-// ignored. The micro-kernel is 4×4 register-blocked: four C rows
-// (columns of A) accumulate four k-steps per pass, reading each B row once
-// per four outputs. Workers own disjoint C rows; per-element k-order is
-// fixed, so results are identical at every worker count.
+// ignored. Below MinParallelRows output rows it runs the serial 4×4
+// k-grouped register kernel; above, both operands are packed transposed
+// (two streaming passes, reused scratch) so every dot product runs
+// k-contiguous through the SIMD micro-kernel — the layout change more than
+// pays for itself because the shared depth (the MFG destination count) is
+// the large dimension. Workers own disjoint C rows; per-element association
+// is shape-determined, so results are identical at every worker count.
 func MatMulATB(c, a, b *Matrix) {
-	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
-		panic("tensor: MatMulATB shape mismatch")
-	}
+	checkMatMulATB(c, a, b)
 	if a.Cols < MinParallelRows {
 		matMulATBRange(c, a, b, 0, a.Cols)
 		return
 	}
-	parallelRows(a.Cols, func(lo, hi int) { matMulATBRange(c, a, b, lo, hi) })
+	at := packTranspose(a)
+	bt := packTranspose(b)
+	if runtime.GOMAXPROCS(0) == 1 {
+		matMulATBPackedSerial(c, at, bt)
+	} else {
+		matMulATBPackedParallel(c, at, bt)
+	}
+	putPackBuf(bt.Data)
+	putPackBuf(at.Data)
 }
 
 func matMulATBRange(c, a, b *Matrix, lo, hi int) {
@@ -162,19 +204,23 @@ func matMulATBRange(c, a, b *Matrix, lo, hi int) {
 }
 
 // MatMulABT computes C = A·Bᵀ. Shapes: A is m×k, B is n×k, C is m×n.
-// Used for input gradients (X.grad = dY·Wᵀ). The micro-kernel computes a
-// 2×4 block of dot products per pass (eight accumulators in registers), so
-// each A row is read once per four B rows and each B row once per two A
-// rows. Workers own disjoint C rows; per-element k-order is fixed.
+// Used for input gradients (X.grad = dY·Wᵀ). B already is the transposed
+// layout the SIMD micro-kernel wants, so no packing is needed. Below
+// MinParallelRows it runs the serial scalar kernel; above, B is walked in
+// L1-resident panels swept across an L2-resident slab of A rows, each 2×4
+// block of dot products going through dotBlock2x4. Workers own disjoint C
+// rows; per-element association is shape-determined.
 func MatMulABT(c, a, b *Matrix) {
-	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
-		panic("tensor: MatMulABT shape mismatch")
-	}
+	checkMatMulABT(c, a, b)
 	if a.Rows < MinParallelRows {
 		matMulABTRange(c, a, b, 0, a.Rows)
 		return
 	}
-	parallelRows(a.Rows, func(lo, hi int) { matMulABTRange(c, a, b, lo, hi) })
+	if runtime.GOMAXPROCS(0) == 1 {
+		matMulTransposedTiledRange(c, a, b, 0, a.Rows, false)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulTransposedTiledRange(c, a, b, lo, hi, false) })
 }
 
 func matMulABTRange(c, a, b *Matrix, lo, hi int) {

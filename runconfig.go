@@ -1,0 +1,116 @@
+package salientpp
+
+import (
+	"flag"
+	"fmt"
+
+	"salientpp/internal/dist"
+	"salientpp/internal/tensor"
+)
+
+// RunConfig is the unified run-configuration surface shared by the CLI
+// harnesses (cmd/gnntrain, cmd/gnnserve, cmd/salientbench) and available to
+// embedders. It folds the knobs that used to be ad-hoc per-command flags —
+// wire codec, compute precision, worker parallelism, and coordinated
+// checkpointing — into one struct with a single flag-registration and
+// validation path, so every harness spells them identically and a setting
+// means the same thing everywhere.
+//
+// The zero value is a valid fp32, fp32-serving, auto-parallelism,
+// no-checkpoint run.
+type RunConfig struct {
+	// Codec is the feature-gather wire codec ("fp32", "fp16", "int8"; ""
+	// means fp32). Lossy codecs shrink communication without changing
+	// which rows move. Part of checkpoint run identity.
+	Codec string
+	// Precision is the serving/freeze compute precision ("fp32", "fp16",
+	// "int8"; "" means fp32). Training compute is always fp32; a reduced
+	// precision makes frozen snapshots and serving run quantized end to
+	// end. Part of checkpoint run identity.
+	Precision string
+	// Parallelism bounds sampler workers and setup-time analysis threads;
+	// 0 keeps each harness's own default.
+	Parallelism int
+	// Checkpoint configures coordinated fault-tolerance checkpoints
+	// (directory, cadence triggers, retain-K rotation). An empty Dir
+	// disables checkpointing.
+	Checkpoint CheckpointConfig
+	// Resume restores the newest valid checkpoint in Checkpoint.Dir and
+	// continues bitwise identically to an uninterrupted run.
+	Resume bool
+}
+
+// RegisterFlags installs the shared -codec/-precision/-parallelism flags on
+// fs, with the receiver's current values as defaults. Call before
+// fs.Parse.
+func (c *RunConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Codec, "codec", c.Codec,
+		"feature-gather wire codec: fp32 (raw), fp16 (half-precision rows + varint ids), int8 (per-row-scaled rows + varint ids)")
+	fs.StringVar(&c.Precision, "precision", c.Precision,
+		"serving/freeze compute precision: fp32, fp16, int8 (training always computes fp32); int8 runs the integer SIMD forward over quantized gathers")
+	fs.IntVar(&c.Parallelism, "parallelism", c.Parallelism,
+		"sampler/analysis worker count (0 = harness default)")
+}
+
+// RegisterCheckpointFlags installs the coordinated-checkpointing flags
+// (-checkpoint-dir, cadence, rotation, -resume) on fs.
+func (c *RunConfig) RegisterCheckpointFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Checkpoint.Dir, "checkpoint-dir", c.Checkpoint.Dir,
+		"enable coordinated checkpointing into this directory")
+	fs.IntVar(&c.Checkpoint.EveryRounds, "checkpoint-every-rounds", c.Checkpoint.EveryRounds,
+		"checkpoint every N pipeline rounds (0 disables mid-epoch checkpoints)")
+	fs.IntVar(&c.Checkpoint.EveryEpochs, "checkpoint-every-epochs", c.Checkpoint.EveryEpochs,
+		"checkpoint every N epoch boundaries (0 with no -checkpoint-every-rounds defaults to 1)")
+	fs.IntVar(&c.Checkpoint.Retain, "checkpoint-retain", c.Checkpoint.Retain,
+		"keep the newest N checkpoint files")
+	fs.BoolVar(&c.Resume, "resume", c.Resume,
+		"restore the newest valid checkpoint in -checkpoint-dir and continue")
+}
+
+// Validate rejects unknown codec or precision names and negative
+// parallelism early, before any cluster assembly.
+func (c RunConfig) Validate() error {
+	if _, err := dist.ParseCodec(c.Codec); err != nil {
+		return fmt.Errorf("-codec: %w", err)
+	}
+	if _, err := tensor.ParsePrecision(c.Precision); err != nil {
+		return fmt.Errorf("-precision: %w", err)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("-parallelism: negative worker count %d", c.Parallelism)
+	}
+	if c.Resume && c.Checkpoint.Dir == "" {
+		return fmt.Errorf("-resume needs -checkpoint-dir")
+	}
+	return nil
+}
+
+// ApplyCluster copies the run configuration onto a ClusterConfig: codec,
+// precision, checkpointing, and (when non-zero) the parallelism knobs.
+func (c RunConfig) ApplyCluster(cc *ClusterConfig) {
+	cc.Codec = c.Codec
+	cc.Precision = c.Precision
+	cc.Checkpoint = c.Checkpoint
+	if c.Parallelism > 0 {
+		cc.Train.SamplerWorkers = c.Parallelism
+		cc.Train.Parallelism = c.Parallelism
+	}
+}
+
+// ApplyServe copies the serving-side run configuration onto a ServeConfig.
+// Empty Codec/Precision inherit the cluster's settings (the same
+// negotiation ClusterConfig uses), so a RunConfig shared between cluster
+// and server keeps both consistent by construction.
+func (c RunConfig) ApplyServe(sc *ServeConfig) {
+	sc.Codec = c.Codec
+	sc.Precision = c.Precision
+}
+
+// Precisions lists the supported compute precisions in order of decreasing
+// width: "fp32" (the default; training always uses it), "fp16"
+// (half-precision storage, fp32 arithmetic), and "int8" (per-row-scaled
+// 8-bit storage, integer SIMD GEMMs). Set RunConfig.Precision,
+// ClusterConfig.Precision, or ServeConfig.Precision to one of these; see
+// the README's "Compute architecture" section for when int8 serving is
+// safe.
+func Precisions() []string { return []string{"fp32", "fp16", "int8"} }

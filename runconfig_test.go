@@ -1,0 +1,101 @@
+package salientpp
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// TestRunConfigFlagRoundTrip pins the unified flag surface: registered
+// flags parse into the struct, checkpoint flags are separate, and defaults
+// survive an empty parse.
+func TestRunConfigFlagRoundTrip(t *testing.T) {
+	run := RunConfig{Codec: "fp32"}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	run.RegisterFlags(fs)
+	run.RegisterCheckpointFlags(fs)
+	if err := fs.Parse([]string{
+		"-codec", "int8", "-precision", "fp16", "-parallelism", "4",
+		"-checkpoint-dir", "ckpts", "-checkpoint-every-rounds", "50",
+		"-checkpoint-retain", "5", "-resume",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if run.Codec != "int8" || run.Precision != "fp16" || run.Parallelism != 4 {
+		t.Fatalf("parsed %+v", run)
+	}
+	if run.Checkpoint.Dir != "ckpts" || run.Checkpoint.EveryRounds != 50 || run.Checkpoint.Retain != 5 || !run.Resume {
+		t.Fatalf("checkpoint flags parsed %+v resume=%v", run.Checkpoint, run.Resume)
+	}
+	if err := run.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var dflt RunConfig
+	fs2 := flag.NewFlagSet("dflt", flag.ContinueOnError)
+	dflt.RegisterFlags(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dflt.Validate(); err != nil {
+		t.Fatalf("zero-value RunConfig must validate: %v", err)
+	}
+}
+
+// TestRunConfigValidate pins the early error surface.
+func TestRunConfigValidate(t *testing.T) {
+	for name, rc := range map[string]RunConfig{
+		"bad codec":          {Codec: "fp8"},
+		"bad precision":      {Precision: "bf16"},
+		"negative workers":   {Parallelism: -1},
+		"resume without dir": {Resume: true},
+	} {
+		if err := rc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, rc)
+		}
+	}
+}
+
+// TestRunConfigApply pins the fan-out onto cluster and serve configs,
+// including the "0 keeps the harness default" parallelism rule.
+func TestRunConfigApply(t *testing.T) {
+	run := RunConfig{Codec: "int8", Precision: "int8", Parallelism: 3,
+		Checkpoint: CheckpointConfig{Dir: "d", EveryEpochs: 1}}
+	var cc ClusterConfig
+	cc.Train.SamplerWorkers = 2
+	run.ApplyCluster(&cc)
+	if cc.Codec != "int8" || cc.Precision != "int8" || cc.Checkpoint.Dir != "d" {
+		t.Fatalf("ApplyCluster: %+v", cc)
+	}
+	if cc.Train.SamplerWorkers != 3 || cc.Train.Parallelism != 3 {
+		t.Fatalf("ApplyCluster parallelism: %+v", cc.Train)
+	}
+
+	run.Parallelism = 0
+	cc.Train.SamplerWorkers, cc.Train.Parallelism = 2, 2
+	run.ApplyCluster(&cc)
+	if cc.Train.SamplerWorkers != 2 || cc.Train.Parallelism != 2 {
+		t.Fatalf("Parallelism=0 must keep existing workers: %+v", cc.Train)
+	}
+
+	var sc ServeConfig
+	run.ApplyServe(&sc)
+	if sc.Codec != "int8" || sc.Precision != "int8" {
+		t.Fatalf("ApplyServe: %+v", sc)
+	}
+}
+
+// TestPrecisionsListsSupportedNames mirrors TestWireCodecsListsSupportedNames.
+func TestPrecisionsListsSupportedNames(t *testing.T) {
+	got := Precisions()
+	want := []string{"fp32", "fp16", "int8"}
+	if len(got) != len(want) {
+		t.Fatalf("Precisions() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Precisions()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
