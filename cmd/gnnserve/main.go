@@ -35,6 +35,12 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 32, "coalescing: max requests per rank per round")
 		maxWait  = flag.Int64("maxwait", 1000, "coalescing: max microseconds the oldest request waits for company")
 		useTCP   = flag.Bool("tcp", false, "serve the feature collectives over loopback TCP")
+		load     = flag.String("load", "closed", "workload: closed, or open (adds the open-loop overload curve — Poisson arrivals over a zipf popularity with deadline-based shedding)")
+		zipf     = flag.Float64("zipf", 1.1, "zipf popularity exponent for -load open")
+		offered  = flag.String("offered", "250,500,1000,2000", "comma-separated offered req/s rates for -load open")
+		loadsec  = flag.Float64("loadsec", 2, "seconds per offered-rate point for -load open")
+		flashF   = flag.Float64("flash", 0, "flash-crowd factor for -load open: mid-run the offered rate is multiplied by this (0 disables)")
+		deadline = flag.Int64("deadline", 25000, "per-request admission budget in µs for -load open")
 		ckptPath = flag.String("checkpoint", "", "serve a frozen snapshot restored from this checkpoint file (gnntrain -checkpoint-dir format); dataset, seed, batch, fanouts, K, and the training codec/precision are reconstructed from the file, overriding the corresponding flags (-codec/-precision still select the serving group's settings)")
 		seed     = flag.Uint64("seed", 7, "random seed")
 		asJSON   = flag.Bool("json", false, "also write the machine-readable report (-serveout)")
@@ -59,6 +65,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("-alphas: %v", err)
 	}
+	if *load != "closed" && *load != "open" {
+		log.Fatalf("-load: want closed or open, got %q", *load)
+	}
+	rates, err := experiments.ParseFloatList(*offered, "offered rate")
+	if err != nil {
+		log.Fatalf("-offered: %v", err)
+	}
 
 	scale := experiments.DefaultScale()
 	scale.PapersN = *papers
@@ -70,6 +83,8 @@ func main() {
 		Alphas: alphaList, Clients: *clients, RequestsPerClient: *requests,
 		MaxBatch: *maxBatch, MaxWaitMicros: *maxWait, UseTCP: *useTCP,
 		Codec: run.Codec, Precision: run.Precision, Checkpoint: *ckptPath,
+		Load: *load, ZipfS: *zipf, OfferedRPS: rates,
+		LoadSeconds: *loadsec, FlashFactor: *flashF, DeadlineMicros: *deadline,
 	})
 	if err != nil {
 		log.Fatal(err)

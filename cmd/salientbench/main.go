@@ -53,6 +53,12 @@ func main() {
 		alphas    = flag.String("alphas", "0,0.08,0.16,0.32", "comma-separated replication factors for -exp serve")
 		clients   = flag.Int("clients", 8, "closed-loop serving clients for -exp serve")
 		requests  = flag.Int("requests", 150, "requests per serving client for -exp serve")
+		load      = flag.String("load", "closed", "serving workload for -exp serve: closed, or open (adds the open-loop overload curve)")
+		zipf      = flag.Float64("zipf", 1.1, "zipf popularity exponent for -load open")
+		offered   = flag.String("offered", "250,500,1000,2000", "comma-separated offered req/s rates for -load open")
+		loadsec   = flag.Float64("loadsec", 2, "seconds per offered-rate point for -load open")
+		flashF    = flag.Float64("flash", 0, "flash-crowd factor for -load open: mid-run the offered rate is multiplied by this (0 disables)")
+		deadline  = flag.Int64("deadline", 25000, "per-request admission budget in µs for -load open")
 		compare   = flag.String("compare", "", "gate mode: old benchmark report; the new report follows as a positional argument")
 		tolerance = flag.Float64("tolerance", 0.25, "relative regression tolerance for -compare")
 	)
@@ -192,9 +198,18 @@ func main() {
 			if err != nil {
 				return "", fmt.Errorf("-alphas: %w", err)
 			}
+			if *load != "closed" && *load != "open" {
+				return "", fmt.Errorf("-load: want closed or open, got %q", *load)
+			}
+			rates, err := experiments.ParseFloatList(*offered, "offered rate")
+			if err != nil {
+				return "", fmt.Errorf("-offered: %w", err)
+			}
 			r, err := experiments.ServeBench(scale, experiments.ServeConfig{
 				Alphas: alphaList, Clients: *clients, RequestsPerClient: *requests,
 				Precision: runCfg.Precision,
+				Load:      *load, ZipfS: *zipf, OfferedRPS: rates,
+				LoadSeconds: *loadsec, FlashFactor: *flashF, DeadlineMicros: *deadline,
 			})
 			if err != nil {
 				return "", err

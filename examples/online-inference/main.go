@@ -7,6 +7,13 @@
 // backend cuts serve-side compute on top of it, and that predictions stay
 // deterministic for a given seed and request set.
 //
+// The final act demonstrates degraded mode: one rank's transport is
+// stalled mid-service (seeded fault injection via dist.Chaos), the gather
+// deadline fires, and the server keeps answering every request from the
+// VIP cache plus the local shard — responses are flagged Degraded rather
+// than hanging or erroring — until the stall clears and a background
+// regroup restores full-fidelity serving.
+//
 // Run with:
 //
 //	go run ./examples/online-inference [-tcp]
@@ -17,8 +24,10 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"salientpp"
+	"salientpp/internal/dist"
 	"salientpp/internal/rng"
 	"salientpp/internal/serve"
 )
@@ -121,4 +130,97 @@ func main() {
 		float64(noCache.RemoteFetches)/float64(vip.RemoteFetches))
 	fmt.Printf("int8 serving compute: %.2fms vs %.2fms fp32 (same rows fetched: %d vs %d)\n",
 		vipInt8.ComputeSeconds*1e3, vip.ComputeSeconds*1e3, vipInt8.RemoteFetches, vip.RemoteFetches)
+
+	fmt.Println()
+	degradedDemo(ds, *useTCP)
+}
+
+// degradedDemo stalls rank 1's transport mid-service and shows the server
+// staying available: gathers time out, responses degrade to cache + local
+// shard (flagged, never silently wrong, never hung), and once the stall
+// clears a background regroup restores normal serving.
+func degradedDemo(ds *salientpp.Dataset, useTCP bool) {
+	cluster, err := salientpp.NewCluster(ds, salientpp.ClusterConfig{
+		K: 2, Alpha: 0.32, GPUFraction: 1, VIPReorder: true,
+		Hidden: 32, Layers: 2, UseTCP: useTCP,
+		Train: salientpp.TrainConfig{
+			Fanouts: []int{10, 5}, BatchSize: 64,
+			PipelineDepth: 10, SamplerWorkers: 2, LR: 0.01, Seed: trainSeed,
+		},
+		ModelSeed: modelSeed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	for epoch := 0; epoch < 2; epoch++ {
+		if _, err := cluster.TrainEpochAll(epoch); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A seeded chaos schedule wraps rank 1's transport; Stall() freezes its
+	// collectives until Clear(). The gather deadline bounds how long a
+	// round can wait on the frozen peer before degrading.
+	chaos := dist.NewChaos(dist.ChaosConfig{Seed: 11})
+	srv, err := serve.New(cluster, serve.Config{
+		MaxBatch: 16, Seed: serveSeed, UseTCP: useTCP,
+		Deadline:      20 * time.Millisecond,
+		GatherTimeout: 5 * time.Millisecond,
+		ProbeInterval: 2 * time.Millisecond,
+		WrapComm: func(rank int, c dist.Comm) dist.Comm {
+			if rank == 1 {
+				return chaos.Wrap(c)
+			}
+			return c
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	r := rng.New(clientSeed)
+	out := make([]float32, srv.Classes())
+	serveSome := func(n int) (answered, degraded, shed int) {
+		for i := 0; i < n; i++ {
+			v := int32(r.Intn(ds.NumVertices()))
+			stats, err := srv.Predict(v, out)
+			switch {
+			case err == salientpp.ErrShed:
+				shed++ // explicit overload rejection, never a silent drop
+			case err != nil:
+				log.Fatal(err)
+			default:
+				answered++
+				if stats.Degraded {
+					degraded++
+				}
+			}
+		}
+		return
+	}
+
+	a, d, _ := serveSome(40)
+	fmt.Printf("overload & degraded mode (gather deadline 5ms, admission budget 20ms):\n")
+	fmt.Printf("  healthy:   %d/%d answered, %d degraded\n", a, a, d)
+
+	chaos.Stall() // rank 1's collectives now hang
+	a, d, s := serveSome(40)
+	fmt.Printf("  stalled:   %d answered (%d degraded from cache + local shard), %d shed — zero hangs\n", a, d, s)
+
+	chaos.Clear() // stall over; the background regroup restores fidelity
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, err := srv.Predict(int32(r.Intn(ds.NumVertices())), out)
+		if err == nil && !stats.Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("serving did not recover after the stall cleared")
+		}
+	}
+	snap := srv.Snapshot()
+	fmt.Printf("  recovered: full-fidelity serving restored (%d gather timeouts, %d degraded rounds, %d regroups)\n",
+		snap.GatherTimeouts, snap.DegradedRounds, snap.Regroups)
 }

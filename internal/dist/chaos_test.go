@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"salientpp/internal/simnet"
+)
+
+// TestChaosStallHonorsTimeout: a stalled wrapper blocks, then fails with
+// ErrTimeout when its member deadline fires, and the inner group is
+// poisoned (the wedged-NIC contract the serving regroup relies on).
+func TestChaosStallHonorsTimeout(t *testing.T) {
+	comms, err := NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := NewChaos(ChaosConfig{})
+	wrapped := ch.Wrap(comms[0])
+	defer wrapped.Close()
+	defer comms[1].Close()
+	wrapped.SetTimeout(50 * time.Millisecond)
+
+	ch.Stall()
+	done := make(chan error, 1)
+	go func() {
+		_, err := wrapped.AllToAll([][]byte{nil, nil})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("stalled collective returned %v, want ErrTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled collective ignored its deadline")
+	}
+	// Clearing afterwards must not resurrect the poisoned group.
+	ch.Clear()
+	if _, err := comms[0].AllToAll([][]byte{nil, nil}); err == nil {
+		t.Fatal("inner group survived a timed-out stall")
+	}
+}
+
+// TestChaosStallClearProceeds: a stall cleared before the deadline lets
+// the collective through to the real transport, delivering normally.
+func TestChaosStallClearProceeds(t *testing.T) {
+	comms, err := NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := NewChaos(ChaosConfig{})
+	wrapped := ch.Wrap(comms[0])
+	defer wrapped.Close()
+	defer comms[1].Close()
+	wrapped.SetTimeout(5 * time.Second)
+
+	ch.Stall()
+	done := make(chan error, 1)
+	go func() {
+		recv, err := wrapped.AllToAll([][]byte{nil, []byte("hi")})
+		if err == nil && string(recv[1]) != "yo" {
+			err = errors.New("wrong payload after stall clear")
+		}
+		done <- err
+	}()
+	go func() {
+		_, err := comms[1].AllToAll([][]byte{[]byte("yo"), nil})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	ch.Clear()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("collective still blocked after Clear")
+	}
+}
+
+// TestChaosDropKillsPermanently: from DropAtCall on, every collective on
+// the wrapped rank fails fast and the group is closed — a rank death, not
+// a stall, and it persists across fresh wraps of new groups (the shared
+// schedule is the point of the harness).
+func TestChaosDropKillsPermanently(t *testing.T) {
+	ch := NewChaos(ChaosConfig{DropAtCall: 2})
+	for attempt := 0; attempt < 2; attempt++ {
+		comms, err := NewLocalGroup(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrapped := ch.Wrap(comms[0])
+		if attempt == 0 {
+			// Call 1 is below the schedule: it must pass through. Peer
+			// matches it, and is joined before comms[1] is reused below.
+			peerDone := make(chan error, 1)
+			go func() {
+				_, err := comms[1].AllToAll([][]byte{nil, nil})
+				peerDone <- err
+			}()
+			if _, err := wrapped.AllToAll([][]byte{nil, nil}); err != nil {
+				t.Fatalf("pre-drop collective failed: %v", err)
+			}
+			if err := <-peerDone; err != nil {
+				t.Fatalf("peer's matched collective failed: %v", err)
+			}
+		}
+		// At or past DropAtCall: immediate failure, no timeout needed.
+		if _, err := wrapped.AllToAll([][]byte{nil, nil}); err == nil || errors.Is(err, ErrTimeout) {
+			t.Fatalf("dropped rank returned %v, want a non-timeout death", err)
+		}
+		// The inner group died with it.
+		if _, err := comms[1].AllToAll([][]byte{nil, nil}); err == nil {
+			t.Fatal("peer's group survived the injected death")
+		}
+		wrapped.Close()
+		comms[1].Close()
+	}
+	if calls := ch.Calls(); calls != 3 {
+		t.Fatalf("shared schedule counted %d collectives, want 3", calls)
+	}
+}
+
+// TestChaosSlowAndLink: the seeded slow-peer delay and the simnet link
+// shaping both stretch a collective without failing it.
+func TestChaosSlowAndLink(t *testing.T) {
+	// 1 kB over a link that needs ~20ms for it: 0.0004 Gbps ≈ 50 kB/s.
+	link := simnet.NewLink(0.0004, 0)
+	ch := NewChaos(ChaosConfig{
+		Seed: 1, SlowEveryN: 1, SlowDelay: 10 * time.Millisecond, Link: link,
+	})
+	comms, err := NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ch.Wrap(comms[0]), ch.Wrap(comms[1])
+	defer a.Close()
+	defer b.Close()
+	payload := make([]byte, 1000)
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.AllToAll([][]byte{payload, nil})
+		done <- err
+	}()
+	if _, err := a.AllToAll([][]byte{nil, payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < 10*time.Millisecond {
+		t.Fatalf("chaos slow+link finished in %v; the schedule did not bite", e)
+	}
+}
+
+// TestChaosAbortUnblocksStall: the abort channel installed via SetAbort
+// must unwind a collective waiting out a stall with no timeout set — the
+// serving shutdown path when a rank is wedged.
+func TestChaosAbortUnblocksStall(t *testing.T) {
+	comms, err := NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms[1].Close()
+	ch := NewChaos(ChaosConfig{})
+	wrapped := ch.Wrap(comms[0])
+	abort := make(chan struct{})
+	wrapped.SetAbort(abort)
+	ch.Stall()
+	done := make(chan error, 1)
+	go func() {
+		_, err := wrapped.AllToAll([][]byte{nil, nil})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(abort)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("aborted stall returned no error")
+		}
+		if !strings.Contains(err.Error(), "stall") {
+			t.Fatalf("aborted stall failed with %v, want the stall-wait error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled collective survived the abort: SetAbort does not reach the stall gate")
+	}
+}

@@ -2,8 +2,22 @@ package dist
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
+	"time"
 )
+
+// ErrTimeout marks a collective that exceeded the deadline installed with
+// SetTimeout. Callers distinguish it from hard transport failures with
+// errors.Is: a timed-out member may still be alive (a stalled NIC, a slow
+// peer), so a serving loop treats it as "degrade and regroup" rather than
+// "rank dead". A timeout nonetheless poisons the group on both transports
+// — a TCP deadline can strike mid-frame, leaving the stream unframeable,
+// and a timed-out channel exchange leaves mailboxes half-full — so the
+// member tears its group down and the caller must build a fresh one; the
+// sentinel only identifies why.
+var ErrTimeout = errors.New("dist: collective deadline exceeded")
 
 // Comm is one rank's handle on a communicator group. Collectives are
 // matched by call order: every rank must issue the same sequence of
@@ -48,6 +62,15 @@ type Comm interface {
 	// SetAbort must not race with collectives on the same member (install
 	// it before the serving/training loop starts).
 	SetAbort(abort <-chan struct{})
+	// SetTimeout bounds every subsequent collective on this member: a call
+	// that cannot complete within d fails with an error satisfying
+	// errors.Is(err, ErrTimeout) instead of blocking on a stalled or dead
+	// peer. Zero (the default) restores unbounded collectives. Like
+	// SetAbort, it must not race with collectives on the same member.
+	// Training pipelines leave it unset; the serving path installs its
+	// gather budget here so one stalled rank costs a bounded round, not a
+	// hang.
+	SetTimeout(d time.Duration)
 }
 
 // watchAbort spawns the watcher goroutine backing SetAbort: when abort
@@ -63,6 +86,37 @@ func watchAbort(abort <-chan struct{}, stop <-chan struct{}, closeGroup func()) 
 		case <-stop:
 		}
 	}()
+}
+
+// HealthFrameLen is the wire size of a health-probe frame: a 4-byte magic
+// plus a little-endian uint32 group generation.
+const HealthFrameLen = 8
+
+// healthMagic distinguishes a health probe from a stray collective payload
+// ("SPHB": SALIENT++ health beat).
+var healthMagic = [4]byte{'S', 'P', 'H', 'B'}
+
+// AppendHealthFrame appends the health-probe frame for group generation
+// gen. Health probes are the first (and only) collective a candidate
+// serving comm group runs before being installed: every rank sends its
+// generation to every peer, and a group is healthy only when all frames
+// decode to the sender's generation within the probe deadline.
+func AppendHealthFrame(buf []byte, gen uint32) []byte {
+	buf = append(buf, healthMagic[:]...)
+	return binary.LittleEndian.AppendUint32(buf, gen)
+}
+
+// DecodeHealthFrame validates a health-probe frame and returns its group
+// generation. Like every wire decoder it must error, never panic, on
+// corrupt bytes (fuzzed by FuzzHealthFrame).
+func DecodeHealthFrame(b []byte) (uint32, error) {
+	if len(b) != HealthFrameLen {
+		return 0, fmt.Errorf("dist: health frame is %d bytes, want %d", len(b), HealthFrameLen)
+	}
+	if [4]byte(b[:4]) != healthMagic {
+		return 0, fmt.Errorf("dist: health frame magic %q, want %q", b[:4], healthMagic[:])
+	}
+	return binary.LittleEndian.Uint32(b[4:]), nil
 }
 
 // i32ToBytes appends the little-endian encoding of ids to buf and returns

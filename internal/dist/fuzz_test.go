@@ -43,6 +43,27 @@ func FuzzFrameDecode(f *testing.F) {
 	})
 }
 
+// FuzzHealthFrame drives the serving health-probe decoder with arbitrary
+// bytes: DecodeHealthFrame must error — never panic — on anything but a
+// well-formed frame, and every frame AppendHealthFrame emits must round-trip
+// to its generation.
+func FuzzHealthFrame(f *testing.F) {
+	f.Add(AppendHealthFrame(nil, 0))
+	f.Add(AppendHealthFrame(nil, 0xdeadbeef))
+	f.Add([]byte("SPHB"))                 // truncated: magic without a generation
+	f.Add([]byte("XPHB\x01\x00\x00\x00")) // wrong magic
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gen, err := DecodeHealthFrame(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(AppendHealthFrame(nil, gen), data) {
+			t.Fatalf("accepted frame %x does not re-encode to itself", data)
+		}
+	})
+}
+
 // FuzzWireViews checks the zero-copy int32/float32 reinterpretations
 // tolerate every length (they truncate partial trailing elements rather
 // than reading out of bounds).

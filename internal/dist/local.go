@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // localGroup is the in-process transport: a K×K mesh of buffered channels.
@@ -54,6 +55,11 @@ type localComm struct {
 	recvBuf   [][]byte
 	sendBuf   [][]byte
 	stopWatch chan struct{} // cancels the SetAbort watcher
+
+	// timeout bounds each collective (SetTimeout); timer is reused across
+	// calls so a deadline-bounded warm gather still allocates nothing.
+	timeout time.Duration
+	timer   *time.Timer
 }
 
 func (c *localComm) Rank() int { return c.rank }
@@ -77,11 +83,43 @@ func (c *localComm) SetAbort(abort <-chan struct{}) {
 	watchAbort(abort, c.stopWatch, c.Close)
 }
 
+func (c *localComm) SetTimeout(d time.Duration) { c.timeout = d }
+
+// armTimeout returns the deadline channel for one collective, arming the
+// reused timer; nil when no timeout is installed (a nil channel never
+// fires, so the selects below degrade to the historical two-way form).
+func (c *localComm) armTimeout() <-chan time.Time {
+	if c.timeout <= 0 {
+		return nil
+	}
+	if c.timer == nil {
+		c.timer = time.NewTimer(c.timeout)
+	} else {
+		c.timer.Reset(c.timeout)
+	}
+	return c.timer.C
+}
+
+// disarmTimeout stops the reused timer and drains a concurrently fired
+// tick so the next Reset starts clean.
+func (c *localComm) disarmTimeout() {
+	if c.timer != nil && !c.timer.Stop() {
+		select {
+		case <-c.timer.C:
+		default:
+		}
+	}
+}
+
 func (c *localComm) AllToAll(send [][]byte) ([][]byte, error) {
 	g := c.g
 	if len(send) != g.k {
 		return nil, fmt.Errorf("dist: AllToAll with %d payloads for %d ranks", len(send), g.k)
 	}
+	// One deadline covers the whole collective, matching the TCP
+	// transport's SetDeadline-per-call semantics.
+	deadline := c.armTimeout()
+	defer c.disarmTimeout()
 	for dst := 0; dst < g.k; dst++ {
 		if dst == c.rank {
 			continue
@@ -95,6 +133,12 @@ func (c *localComm) AllToAll(send [][]byte) ([][]byte, error) {
 			g.bytes[c.rank].Add(int64(len(msg)))
 		case <-g.done:
 			return nil, fmt.Errorf("dist: group closed during AllToAll send (rank %d)", c.rank)
+		case <-deadline:
+			// A timed-out collective leaves mailboxes half-exchanged, so the
+			// group can never match another collective: tear it down, exactly
+			// as a TCP deadline mid-frame poisons that transport's stream.
+			c.Close()
+			return nil, fmt.Errorf("%w: AllToAll send after %v (rank %d)", ErrTimeout, c.timeout, c.rank)
 		}
 	}
 	if c.recvBuf == nil {
@@ -110,6 +154,9 @@ func (c *localComm) AllToAll(send [][]byte) ([][]byte, error) {
 		case recv[src] = <-g.box[src][c.rank]:
 		case <-g.done:
 			return nil, fmt.Errorf("dist: group closed during AllToAll recv (rank %d)", c.rank)
+		case <-deadline:
+			c.Close() // see the send-side timeout: a partial exchange is unmatchable
+			return nil, fmt.Errorf("%w: AllToAll recv from rank %d after %v (rank %d)", ErrTimeout, src, c.timeout, c.rank)
 		}
 	}
 	return recv, nil

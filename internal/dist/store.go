@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"salientpp/internal/cache"
 	"salientpp/internal/tensor"
@@ -20,6 +21,11 @@ type GatherStats struct {
 	LocalCPU    int
 	CacheHits   int
 	RemoteFetch int
+	// Missing counts rows GatherLocal could not satisfy from the local
+	// shard or cache and zero-filled instead (always 0 for Gather, which
+	// fetches them remotely). A degraded serving round reports its
+	// accuracy cost here.
+	Missing int
 	// RemoteByPeer[p] counts rows fetched from rank p this call. It aliases
 	// the store's reusable scratch and is valid only until the next Gather
 	// on the same store; copy it to retain it.
@@ -266,6 +272,93 @@ func (s *Store) GatherQuant(ids []int32) (*tensor.QuantMatrix, GatherStats, erro
 		return nil, stats, err
 	}
 	return &s.qscratch, stats, nil
+}
+
+// SetGatherTimeout bounds each Gather's collectives on this store's
+// communicator: a gather blocked on a stalled or dead peer fails with an
+// error satisfying errors.Is(err, dist.ErrTimeout) instead of hanging
+// (and, per the Comm contract, poisons the group — pair it with
+// GatherLocal and a fresh sibling group to serve through the failure).
+// Like SetAbort, install before the first Gather; do not call concurrently
+// with gathers.
+func (s *Store) SetGatherTimeout(d time.Duration) { s.comm.SetTimeout(d) }
+
+// GatherLocal is the degraded-mode Gather: it assembles the output from
+// the local shard and the cache only, runs no collectives, and zero-fills
+// the rows a healthy gather would have fetched remotely, reporting their
+// count in stats.Missing. Because it never touches the communicator it
+// cannot block, cannot fail, and needs no peer coordination — the serving
+// path falls back to it when the comm group is poisoned, trading accuracy
+// on the missing rows for availability on all of them. The returned matrix
+// belongs to the store's pool; hand it back with Release.
+func (s *Store) GatherLocal(ids []int32) (*tensor.Matrix, GatherStats) {
+	out := s.pool.Get(len(ids), s.dim)
+	stats := s.gatherLocalInto(ids, out, nil)
+	return out, stats
+}
+
+// GatherLocalQuant is GatherLocal with the output assembled in the store's
+// reduced precision (SetPrecision), mirroring GatherQuant: the result is
+// store-owned scratch, valid until the next quantized gather, with nothing
+// to Release.
+func (s *Store) GatherLocalQuant(ids []int32) (*tensor.QuantMatrix, GatherStats, error) {
+	if s.prec == tensor.PrecisionFP32 {
+		return nil, GatherStats{}, fmt.Errorf("dist: GatherLocalQuant needs a reduced precision (SetPrecision); store is fp32")
+	}
+	s.qscratch.Resize(s.prec, len(ids), s.dim)
+	stats := s.gatherLocalInto(ids, nil, &s.qscratch)
+	return &s.qscratch, stats, nil
+}
+
+// gatherLocalInto classifies ids exactly as gatherInto does, but resolves
+// every row locally: shard rows and cache hits copy as usual, and rows
+// owned by unreachable peers zero-fill explicitly — pool memory is reused,
+// so a skipped write would leak a previous batch's features into the
+// prediction.
+func (s *Store) gatherLocalInto(ids []int32, out *tensor.Matrix, qout *tensor.QuantMatrix) GatherStats {
+	rank := s.comm.Rank()
+	var stats GatherStats
+	for i, v := range ids {
+		owner := s.layout.Owner(v)
+		if owner == rank {
+			row := int(int64(v) - s.layout.Starts[rank])
+			if row < s.gpuRows {
+				stats.LocalGPU++
+			} else {
+				stats.LocalCPU++
+			}
+			if qout != nil {
+				qout.CopyRow(i, s.qlocal, row)
+			} else {
+				copy(out.Row(i), s.local.Row(row))
+			}
+			continue
+		}
+		if s.cache != nil {
+			if slot, ok := s.cache.Slot(v); ok {
+				stats.CacheHits++
+				if qout != nil {
+					qout.CopyRow(i, s.qcache, int(slot))
+				} else {
+					copy(out.Row(i), s.cdata.Row(int(slot)))
+				}
+				continue
+			}
+		}
+		stats.Missing++
+		if qout != nil {
+			for j := range s.rowScratch {
+				s.rowScratch[j] = 0
+			}
+			qout.SetRow(i, s.rowScratch)
+		} else {
+			row := out.Row(i)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	return stats
 }
 
 // gatherInto runs the three matched collectives and scatters every feature

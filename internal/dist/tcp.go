@@ -2,12 +2,22 @@ package dist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// tcpSetupTimeout bounds every step of the NewTCPGroup handshake: dialing
+// a listener, writing the one-byte hello, and reading it on the accept
+// side. Without it a SYN-blackholed address or a half-open peer (connected
+// but never identifying itself) hangs group construction forever — the
+// regression the setup-timeout tests pin. A package variable so tests can
+// shrink it.
+var tcpSetupTimeout = 10 * time.Second
 
 // tcpComm is one rank of a loopback TCP mesh. Every pair of ranks shares
 // one TCP connection; messages are length-prefixed frames. Because each
@@ -29,6 +39,12 @@ type tcpComm struct {
 	recvBuf   [][]byte
 	sendBuf   [][]byte
 	stopWatch chan struct{} // cancels the SetAbort watcher
+
+	// timeout bounds each collective (SetTimeout); hadDeadline tracks
+	// whether connection deadlines are currently armed so clearing them
+	// costs syscalls only once after a SetTimeout(0).
+	timeout     time.Duration
+	hadDeadline bool
 }
 
 // NewTCPGroup builds a fully connected loopback TCP group of size k. It
@@ -85,13 +101,13 @@ func NewTCPGroup(k int) ([]Comm, error) {
 					errCh <- err
 					return
 				}
-				var hello [1]byte
-				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				rank, err := readHello(conn)
+				if err != nil {
 					conn.Close()
 					errCh <- err
 					return
 				}
-				comms[i].conns[int(hello[0])] = conn
+				comms[i].conns[int(rank)] = conn
 			}
 		}(i)
 	}
@@ -109,14 +125,18 @@ func NewTCPGroup(k int) ([]Comm, error) {
 	}
 	for j := 1; j < k; j++ {
 		for i := 0; i < j; i++ {
-			conn, err := net.Dial("tcp", listeners[i].Addr().String())
+			// DialTimeout, not Dial: a SYN-blackholed listener address must
+			// fail setup within the bound, not hang it on kernel retries.
+			conn, err := net.DialTimeout("tcp", listeners[i].Addr().String(), tcpSetupTimeout)
 			if err != nil {
 				return dialErr(fmt.Errorf("dist: dial: %w", err))
 			}
+			conn.SetWriteDeadline(time.Now().Add(tcpSetupTimeout))
 			if _, err := conn.Write([]byte{byte(j)}); err != nil {
 				conn.Close()
 				return dialErr(fmt.Errorf("dist: hello: %w", err))
 			}
+			conn.SetWriteDeadline(time.Time{})
 			comms[j].conns[i] = conn
 		}
 	}
@@ -135,6 +155,19 @@ func NewTCPGroup(k int) ([]Comm, error) {
 		out[r] = comms[r]
 	}
 	return out, nil
+}
+
+// readHello reads a dialer's one-byte rank identification under the setup
+// deadline, so a half-open peer — connected but silent — fails the
+// handshake within the bound instead of wedging the accept goroutine.
+func readHello(conn net.Conn) (byte, error) {
+	conn.SetReadDeadline(time.Now().Add(tcpSetupTimeout))
+	var hello [1]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return 0, fmt.Errorf("dist: hello read: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	return hello[0], nil
 }
 
 func (c *tcpComm) Rank() int        { return c.rank }
@@ -179,6 +212,41 @@ func (c *tcpComm) failed() error {
 	return c.state
 }
 
+func (c *tcpComm) SetTimeout(d time.Duration) { c.timeout = d }
+
+// armDeadlines installs (or, after SetTimeout(0), clears) one absolute
+// deadline across every connection, covering all of the collective's
+// concurrent writes and sequential reads.
+func (c *tcpComm) armDeadlines() {
+	switch {
+	case c.timeout > 0:
+		dl := time.Now().Add(c.timeout)
+		for _, conn := range c.conns {
+			if conn != nil {
+				conn.SetDeadline(dl)
+			}
+		}
+		c.hadDeadline = true
+	case c.hadDeadline:
+		for _, conn := range c.conns {
+			if conn != nil {
+				conn.SetDeadline(time.Time{})
+			}
+		}
+		c.hadDeadline = false
+	}
+}
+
+// wrapTimeout converts a deadline-exceeded transport error into the
+// portable ErrTimeout sentinel; other errors pass through.
+func wrapTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
+}
+
 // writeFrame sends one length-prefixed payload.
 func writeFrame(conn net.Conn, payload []byte) error {
 	if len(payload) > maxFrame {
@@ -209,6 +277,7 @@ func (c *tcpComm) AllToAll(send [][]byte) ([][]byte, error) {
 	if len(send) != c.k {
 		return nil, fmt.Errorf("dist: AllToAll with %d payloads for %d ranks", len(send), c.k)
 	}
+	c.armDeadlines()
 	// Writers run concurrently so two ranks exchanging large payloads
 	// cannot deadlock on full socket buffers.
 	var wg sync.WaitGroup
@@ -246,11 +315,16 @@ func (c *tcpComm) AllToAll(send [][]byte) ([][]byte, error) {
 	wg.Wait()
 	select {
 	case err := <-errCh:
+		err = wrapTimeout(err)
 		c.mu.Lock()
 		if c.state == nil {
 			c.state = fmt.Errorf("dist: transport failure (rank %d): %w", c.rank, err)
 		}
 		c.mu.Unlock()
+		// A deadline can strike mid-frame; the streams are unframeable from
+		// here, so tear the group down promptly rather than leaving peers to
+		// discover it via their own timeouts.
+		c.Close()
 		return nil, err
 	default:
 	}

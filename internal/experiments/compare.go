@@ -251,12 +251,84 @@ func compareServe(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Com
 			}
 		}
 	}
+	return compareLoadCurve(out, oldRaw, newRaw, tol)
+}
+
+// serveLoadGateRow is the gated subset of a ServeLoadRow.
+type serveLoadGateRow struct {
+	OfferedRPS   float64 `json:"offered_rps"`
+	AchievedRPS  float64 `json:"achieved_rps"`
+	P99          float64 `json:"p99_latency_seconds"`
+	ShedRate     float64 `json:"shed_rate"`
+	DegradedRate float64 `json:"degraded_rate"`
+}
+
+// compareLoadCurve gates the open-loop overload columns: per offered-rate
+// row, p99 (lower is better), achieved throughput (higher), and the shed
+// and degraded rates. A baseline from before the load curve existed lacks
+// the "load_curve" field entirely and skips these gates — old BENCH files
+// stay comparable — but a baseline that has the curve pins it: a missing
+// row in the new report is a coverage regression.
+func compareLoadCurve(out []Comparison, oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Comparison, error) {
+	if oldRaw["load_curve"] == nil {
+		return out, nil // pre-load-curve baseline: nothing to gate against
+	}
+	var oldRows, newRows []serveLoadGateRow
+	if err := json.Unmarshal(oldRaw["load_curve"], &oldRows); err != nil {
+		return nil, fmt.Errorf("compare: bad load_curve in old report: %w", err)
+	}
+	if newRaw["load_curve"] != nil {
+		if err := json.Unmarshal(newRaw["load_curve"], &newRows); err != nil {
+			return nil, fmt.Errorf("compare: bad load_curve in new report: %w", err)
+		}
+	}
+	byRate := map[float64]serveLoadGateRow{}
+	for _, r := range newRows {
+		byRate[r.OfferedRPS] = r
+	}
+	var err error
+	for _, o := range oldRows {
+		n, ok := byRate[o.OfferedRPS]
+		if !ok {
+			out = append(out, Comparison{
+				Metric: fmt.Sprintf("offered_rps=%.0f", o.OfferedRPS), Old: o.OfferedRPS,
+				Regressed: true, // the new report silently dropped coverage
+			})
+			continue
+		}
+		out, err = gate(out, fmt.Sprintf("p99_latency_seconds[offered=%.0f]", o.OfferedRPS), o.P99, n.P99, tol, false)
+		if err != nil {
+			return nil, err
+		}
+		out, err = gate(out, fmt.Sprintf("achieved_rps[offered=%.0f]", o.OfferedRPS), o.AchievedRPS, n.AchievedRPS, tol, true)
+		if err != nil {
+			return nil, err
+		}
+		// Rates live in [0,1] and are legitimately zero below the knee, so
+		// they get an additive tolerance instead of gate()'s multiplicative
+		// one (which must reject zero baselines).
+		out = gateRate(out, fmt.Sprintf("shed_rate[offered=%.0f]", o.OfferedRPS), o.ShedRate, n.ShedRate, tol)
+		out = gateRate(out, fmt.Sprintf("degraded_rate[offered=%.0f]", o.OfferedRPS), o.DegradedRate, n.DegradedRate, tol)
+	}
 	return out, nil
 }
 
-// ParseAlphas parses a comma-separated replication-factor list (shared by
-// cmd/salientbench and cmd/gnnserve).
-func ParseAlphas(s string) ([]float64, error) {
+// gateRate gates a bounded [0,1] rate with an additive tolerance: the new
+// rate regresses when it exceeds the old by more than tol in absolute
+// terms. Unlike gate, a zero baseline is meaningful (no shedding at that
+// load) and still gated.
+func gateRate(out []Comparison, metric string, oldV, newV, tol float64) []Comparison {
+	c := Comparison{Metric: metric, Old: oldV, New: newV}
+	if oldV > 0 {
+		c.Change = (newV - oldV) / oldV
+	}
+	c.Regressed = newV > oldV+tol
+	return append(out, c)
+}
+
+// ParseFloatList parses a comma-separated list of non-negative floats;
+// what names the entries in errors.
+func ParseFloatList(s, what string) ([]float64, error) {
 	var out []float64
 	for _, tok := range strings.Split(s, ",") {
 		tok = strings.TrimSpace(tok)
@@ -265,11 +337,17 @@ func ParseAlphas(s string) ([]float64, error) {
 		}
 		a, err := strconv.ParseFloat(tok, 64)
 		if err != nil || a < 0 {
-			return nil, fmt.Errorf("bad alpha entry %q", tok)
+			return nil, fmt.Errorf("bad %s entry %q", what, tok)
 		}
 		out = append(out, a)
 	}
 	return out, nil
+}
+
+// ParseAlphas parses a comma-separated replication-factor list (shared by
+// cmd/salientbench and cmd/gnnserve).
+func ParseAlphas(s string) ([]float64, error) {
+	return ParseFloatList(s, "alpha")
 }
 
 // AnyRegressed reports whether the gate should fail the build.

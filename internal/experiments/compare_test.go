@@ -25,8 +25,12 @@ func writeEpochReportBytes(t *testing.T, dir, name string, best, bytes float64) 
 }
 
 func writeServeReport(t *testing.T, dir, name string, rows []ServeAlphaRow) string {
+	return writeServeLoadReport(t, dir, name, rows, nil)
+}
+
+func writeServeLoadReport(t *testing.T, dir, name string, rows []ServeAlphaRow, curve []ServeLoadRow) string {
 	t.Helper()
-	r := &ServeBenchResult{Dataset: "papers-sim", Vertices: 1000, K: 2, Alphas: rows}
+	r := &ServeBenchResult{Dataset: "papers-sim", Vertices: 1000, K: 2, Alphas: rows, LoadCurve: curve}
 	p := filepath.Join(dir, name)
 	if err := r.WriteJSON(p); err != nil {
 		t.Fatal(err)
@@ -154,6 +158,82 @@ func TestCompareGateServeRows(t *testing.T) {
 	}
 	if !AnyRegressed(cs) {
 		t.Fatal("dropping an alpha row passed the gate")
+	}
+}
+
+// TestCompareGateLoadCurve gates the open-loop overload columns and skips
+// them only when the baseline predates the load curve entirely.
+func TestCompareGateLoadCurve(t *testing.T) {
+	dir := t.TempDir()
+	alphas := []ServeAlphaRow{{Alpha: 0, P95: 0.010, ThroughputRPS: 1000, BytesSent: 4e6}}
+	curve := []ServeLoadRow{
+		{OfferedRPS: 500, AchievedRPS: 495, P99: 0.010, ShedRate: 0, DegradedRate: 0},
+		{OfferedRPS: 2000, AchievedRPS: 1500, P99: 0.024, ShedRate: 0.2, DegradedRate: 0},
+	}
+	old := writeServeLoadReport(t, dir, "old.json", alphas, curve)
+
+	// A baseline without the curve skips the new columns (old BENCH files
+	// stay comparable), in both directions of asymmetry.
+	pre := writeServeReport(t, dir, "pre.json", alphas)
+	cs, err := CompareBenchFiles(pre, old, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("pre-load-curve baseline regressed against a curve-bearing report: %+v", cs)
+	}
+
+	// Identical curves pass.
+	same := writeServeLoadReport(t, dir, "same.json", alphas, curve)
+	cs, err = CompareBenchFiles(old, same, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("identical load curves regressed: %+v", cs)
+	}
+
+	// p99 +50% at one offered rate: fail.
+	slow := []ServeLoadRow{curve[0], curve[1]}
+	slow[1].P99 = 0.036
+	cs, err = CompareBenchFiles(old, writeServeLoadReport(t, dir, "slow.json", alphas, slow), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatal("50% open-loop p99 regression passed the gate")
+	}
+
+	// Shed rate jumping from 0 to 0.5 (additive tolerance — a zero
+	// baseline is meaningful for a rate and must still gate): fail.
+	sheddy := []ServeLoadRow{curve[0], curve[1]}
+	sheddy[0].ShedRate = 0.5
+	cs, err = CompareBenchFiles(old, writeServeLoadReport(t, dir, "sheddy.json", alphas, sheddy), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatal("shed rate 0 -> 0.5 passed the gate")
+	}
+
+	// Small shed-rate drift inside the additive tolerance: pass.
+	drift := []ServeLoadRow{curve[0], curve[1]}
+	drift[1].ShedRate = 0.3
+	cs, err = CompareBenchFiles(old, writeServeLoadReport(t, dir, "drift.json", alphas, drift), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("shed rate 0.2 -> 0.3 failed a 0.25 additive tolerance: %+v", cs)
+	}
+
+	// Dropped offered-rate row: fail.
+	cs, err = CompareBenchFiles(old, writeServeLoadReport(t, dir, "dropped.json", alphas, curve[:1]), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatal("dropping an offered-rate row passed the gate")
 	}
 }
 

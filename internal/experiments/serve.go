@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -86,6 +87,40 @@ type ServeBenchResult struct {
 	// in cmd/salientbench -compare also checks every row individually).
 	BestP95Seconds    float64 `json:"best_p95_latency_seconds"`
 	BestThroughputRPS float64 `json:"best_throughput_rps"`
+
+	// LoadCurve is the open-loop overload profile (present when the bench
+	// ran with Load="open"): seeded Poisson arrivals over a zipf(LoadZipf)
+	// vertex popularity at each offered rate, served under a
+	// DeadlineMicros admission budget. p99 versus offered load plus the
+	// shed and degraded rates show where the server tips from batching
+	// into shedding — and that it sheds explicitly instead of queueing
+	// without bound. Old baselines predate these columns; the -compare
+	// gate skips them in that case.
+	LoadZipf       float64        `json:"load_zipf,omitempty"`
+	DeadlineMicros int64          `json:"deadline_micros,omitempty"`
+	FlashFactor    float64        `json:"flash_factor,omitempty"`
+	LoadCurve      []ServeLoadRow `json:"load_curve,omitempty"`
+}
+
+// ServeLoadRow is one offered-load point of the open-loop curve. Offered
+// counts dispatched arrivals; Served + Shed accounts for all of them
+// (shedding is explicit, never a silent drop).
+type ServeLoadRow struct {
+	OfferedRPS   float64 `json:"offered_rps"`
+	AchievedRPS  float64 `json:"achieved_rps"`
+	Offered      int64   `json:"offered_requests"`
+	Served       int64   `json:"served"`
+	Shed         int64   `json:"shed"`
+	ShedRate     float64 `json:"shed_rate"`
+	Degraded     int64   `json:"degraded"`
+	DegradedRate float64 `json:"degraded_rate"`
+
+	P50  float64 `json:"p50_latency_seconds"`
+	P95  float64 `json:"p95_latency_seconds"`
+	P99  float64 `json:"p99_latency_seconds"`
+	Mean float64 `json:"mean_latency_seconds"`
+
+	MeanBatch float64 `json:"mean_batch"`
 }
 
 // ServeConfig sizes the serving benchmark.
@@ -116,6 +151,29 @@ type ServeConfig struct {
 	// from one). Like Codec, it is a serving-side choice: an fp32-trained
 	// cluster may serve int8.
 	Precision string
+	// Load selects the workload shape. "closed" (the default) is the
+	// fixed per-client replay of the α sweep. "open" additionally drives
+	// an open-loop curve after the sweep: seeded Poisson arrivals at each
+	// OfferedRPS rate — arrivals do not wait for replies, so overload
+	// actually builds queues — over a zipf(ZipfS) vertex popularity,
+	// served with a Deadline so the server sheds instead of queueing
+	// unboundedly.
+	Load string
+	// ZipfS is the open-loop popularity exponent (default 1.1).
+	ZipfS float64
+	// OfferedRPS is the open-loop offered-rate sweep (default
+	// {250, 500, 1000, 2000}).
+	OfferedRPS []float64
+	// LoadSeconds is the duration of each offered-rate point (default 2).
+	LoadSeconds float64
+	// FlashFactor, when > 1, turns the middle third of each open-loop
+	// point into a flash crowd: the offered rate is multiplied by this
+	// factor, then drops back — the recover-after-burst shape real
+	// serving sees.
+	FlashFactor float64
+	// DeadlineMicros is the per-request admission budget of the open-loop
+	// runs (default 25000 = 25ms).
+	DeadlineMicros int64
 	// Checkpoint, when set, serves a frozen snapshot restored from this
 	// checkpoint file (the format cmd/gnntrain -checkpoint-dir writes):
 	// the cluster — dataset, partition layout, cache contents, trained
@@ -140,6 +198,18 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	}
 	if c.MaxWaitMicros <= 0 {
 		c.MaxWaitMicros = 1000
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if len(c.OfferedRPS) == 0 {
+		c.OfferedRPS = []float64{250, 500, 1000, 2000}
+	}
+	if c.LoadSeconds <= 0 {
+		c.LoadSeconds = 2
+	}
+	if c.DeadlineMicros <= 0 {
+		c.DeadlineMicros = 25000
 	}
 	return c
 }
@@ -259,7 +329,110 @@ func ServeBench(scale Scale, cfg ServeConfig) (*ServeBenchResult, error) {
 			res.BestThroughputRPS = r.ThroughputRPS
 		}
 	}
+	if cfg.Load == "open" {
+		// The open-loop curve runs at the sweep's largest cache (its last
+		// α, or the checkpoint's own α) so the overload behavior is
+		// measured on the best-served configuration.
+		alpha := cfg.Alphas[len(cfg.Alphas)-1]
+		if state != nil {
+			alpha = res.Alphas[0].Alpha
+		}
+		res.LoadZipf = cfg.ZipfS
+		res.DeadlineMicros = cfg.DeadlineMicros
+		if cfg.FlashFactor > 1 {
+			res.FlashFactor = cfg.FlashFactor
+		}
+		res.LoadCurve, err = serveLoadCurve(ds, scale, cfg, dims, k, alpha, state)
+		if err != nil {
+			return nil, fmt.Errorf("serve load curve at alpha=%v: %w", alpha, err)
+		}
+	}
 	return res, nil
+}
+
+// serveLoadCurve measures the open-loop p99-vs-offered-load profile: one
+// cluster, and per offered rate a fresh serving deployment (so the shed
+// and degraded counters are per-point) driven by seeded Poisson arrivals
+// over a zipf popularity for LoadSeconds.
+func serveLoadCurve(ds *dataset.Dataset, scale Scale, cfg ServeConfig, dims ModelDims, k int, alpha float64, resume *ckpt.TrainState) ([]ServeLoadRow, error) {
+	ccfg := serveClusterConfig(scale, cfg.UseTCP, dims, k, alpha)
+	ccfg.Resume = resume
+	cl, err := pipeline.NewCluster(ds, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	var rows []ServeLoadRow
+	for _, offered := range cfg.OfferedRPS {
+		srv, err := serve.New(cl, serve.Config{
+			MaxBatch:  cfg.MaxBatch,
+			MaxWait:   time.Duration(cfg.MaxWaitMicros) * time.Microsecond,
+			Seed:      scale.Seed,
+			UseTCP:    cfg.UseTCP,
+			Codec:     cfg.Codec,
+			Precision: cfg.Precision,
+			Deadline:  time.Duration(cfg.DeadlineMicros) * time.Microsecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dispatched, wall := driveOpenLoop(srv, ds.NumVertices(), scale.Seed, cfg.ZipfS, offered,
+			time.Duration(cfg.LoadSeconds*float64(time.Second)), cfg.FlashFactor)
+		snap := srv.Snapshot()
+		if err := srv.Close(); err != nil {
+			return nil, err
+		}
+		rows = append(rows, ServeLoadRow{
+			OfferedRPS: offered, AchievedRPS: float64(snap.Requests) / wall,
+			Offered: dispatched, Served: snap.Requests,
+			Shed: snap.Shed, ShedRate: snap.ShedRate,
+			Degraded: snap.Degraded, DegradedRate: snap.DegradedRate,
+			P50: snap.P50, P95: snap.P95, P99: snap.P99, Mean: snap.Mean,
+			MeanBatch: snap.MeanBatch,
+		})
+	}
+	return rows, nil
+}
+
+// driveOpenLoop dispatches seeded Poisson arrivals at the offered rate for
+// dur, each requesting a zipf-popular vertex (decorrelated from vertex ids
+// through a seeded permutation). Arrivals never wait for earlier replies —
+// the open-loop property that makes overload real — and every dispatched
+// request is accounted by the server as served or shed. With flash > 1 the
+// middle third of the run offers flash× the rate.
+func driveOpenLoop(srv *serve.Server, n int, seed uint64, zipfS, offered float64, dur time.Duration, flash float64) (dispatched int64, wall float64) {
+	perm := rng.New(seed ^ 0x9ea7).Perm(n)
+	z := rng.NewZipf(rng.New(seed).Split(7), zipfS, uint64(n))
+	arr := rng.New(seed).Split(8)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var next time.Duration
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= dur {
+			break
+		}
+		rate := offered
+		if flash > 1 && elapsed > dur/3 && elapsed < 2*dur/3 {
+			rate *= flash
+		}
+		next += time.Duration(-math.Log(1-arr.Float64()) / rate * float64(time.Second))
+		if d := next - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		v := perm[z.Uint64()]
+		dispatched++
+		wg.Add(1)
+		go func(v int32) {
+			defer wg.Done()
+			out := make([]float32, srv.Classes())
+			// Shed and error outcomes are accounted in the server snapshot.
+			_, _ = srv.Predict(v, out)
+		}(v)
+	}
+	wg.Wait()
+	return dispatched, time.Since(start).Seconds()
 }
 
 // serveClusterConfig is the cluster assembly serveOneAlpha uses. It is a
@@ -411,6 +584,26 @@ func RenderServeBench(r *ServeBenchResult) string {
 	if control > 0 {
 		out += fmt.Sprintf("\n%s compute across sweep: %.4fs vs %.4fs fp32 control (%.1f%% less)",
 			r.Precision, reduced, control, 100*(1-reduced/control))
+	}
+	if len(r.LoadCurve) > 0 {
+		flash := ""
+		if r.FlashFactor > 1 {
+			flash = fmt.Sprintf(", flash ×%.1f mid-run", r.FlashFactor)
+		}
+		lt := metrics.NewTable(
+			fmt.Sprintf("Open-loop overload profile (zipf %.2f, deadline %dµs%s)", r.LoadZipf, r.DeadlineMicros, flash),
+			"offered req/s", "achieved req/s", "p50 (ms)", "p99 (ms)", "shed rate", "degraded rate", "mean batch")
+		for _, row := range r.LoadCurve {
+			lt.AddRow(
+				fmt.Sprintf("%.0f", row.OfferedRPS),
+				fmt.Sprintf("%.0f", row.AchievedRPS),
+				fmt.Sprintf("%.3f", row.P50*1e3),
+				fmt.Sprintf("%.3f", row.P99*1e3),
+				fmt.Sprintf("%.3f", row.ShedRate),
+				fmt.Sprintf("%.3f", row.DegradedRate),
+				fmt.Sprintf("%.2f", row.MeanBatch))
+		}
+		out += "\n\n" + lt.String()
 	}
 	return out
 }

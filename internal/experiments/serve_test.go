@@ -86,6 +86,61 @@ func TestServeBenchReport(t *testing.T) {
 	}
 }
 
+// TestServeBenchOpenLoadCurve runs the open-loop overload profile at test
+// scale: every dispatched arrival must be accounted for (served or
+// explicitly shed — never silently dropped), the latency columns must be
+// well-formed, and the curve-bearing report must gate against itself.
+func TestServeBenchOpenLoadCurve(t *testing.T) {
+	scale := SmallScale()
+	scale.PapersN = 4000
+	res, err := ServeBench(scale, ServeConfig{
+		Alphas: []float64{0, 0.16}, Clients: 2, RequestsPerClient: 10,
+		Load: "open", OfferedRPS: []float64{200, 600}, LoadSeconds: 0.4,
+		ZipfS: 1.1, FlashFactor: 3, DeadlineMicros: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LoadCurve) != 2 {
+		t.Fatalf("got %d load rows, want 2", len(res.LoadCurve))
+	}
+	if res.LoadZipf != 1.1 || res.DeadlineMicros != 20000 || res.FlashFactor != 3 {
+		t.Fatalf("load parameters not recorded: %+v", res)
+	}
+	for _, row := range res.LoadCurve {
+		if row.Offered == 0 {
+			t.Fatalf("offered=%v dispatched nothing", row.OfferedRPS)
+		}
+		if row.Served+row.Shed != row.Offered {
+			t.Fatalf("offered=%v: %d served + %d shed != %d offered (a request was silently dropped)",
+				row.OfferedRPS, row.Served, row.Shed, row.Offered)
+		}
+		if row.Served > 0 && (row.P50 <= 0 || row.P99 < row.P50) {
+			t.Fatalf("implausible open-loop latency quantiles: %+v", row)
+		}
+		if row.ShedRate < 0 || row.ShedRate > 1 || row.DegradedRate < 0 || row.DegradedRate > 1 {
+			t.Fatalf("rates outside [0,1]: %+v", row)
+		}
+		if row.AchievedRPS <= 0 {
+			t.Fatalf("non-positive achieved rate: %+v", row)
+		}
+	}
+	if RenderServeBench(res) == "" {
+		t.Fatal("empty rendering")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := CompareBenchFiles(path, path, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("self-comparison regressed: %+v", cs)
+	}
+}
+
 // TestServeBenchFromCheckpoint exercises the serve-from-snapshot path: a
 // short checkpointed training run (the exact cluster configuration
 // ServeBench uses), then ServeBench pointed at the checkpoint file instead

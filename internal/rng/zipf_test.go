@@ -1,0 +1,68 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfDeterministic: the sampler is a pure function of the RNG stream.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(New(7), 1.1, 1000)
+	b := NewZipf(New(7), 1.1, 1000)
+	for i := 0; i < 10000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestZipfRangeAndSkew: every draw lands in [0, n), and the empirical head
+// probabilities match the (1+k)^-s law — p(0)/p(1) = 2^s — within
+// sampling tolerance. Also covers a tiny range (n=1 must always return 0).
+func TestZipfRangeAndSkew(t *testing.T) {
+	const n, draws = 10000, 400000
+	const s = 1.1
+	z := NewZipf(New(3), s, n)
+	counts := make([]int, 16)
+	for i := 0; i < draws; i++ {
+		v := z.Uint64()
+		if v >= n {
+			t.Fatalf("draw %d out of range: %d", i, v)
+		}
+		if v < uint64(len(counts)) {
+			counts[v]++
+		}
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[4] {
+		t.Fatalf("head not monotone: %v", counts)
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	want := math.Pow(2, s)
+	if ratio < want*0.9 || ratio > want*1.1 {
+		t.Fatalf("p(0)/p(1) = %.3f, want ≈ %.3f", ratio, want)
+	}
+
+	one := NewZipf(New(1), 2, 1)
+	for i := 0; i < 100; i++ {
+		if v := one.Uint64(); v != 0 {
+			t.Fatalf("n=1 sampler drew %d", v)
+		}
+	}
+}
+
+// TestZipfPanics: the envelope needs s > 1 and a non-empty range.
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		s float64
+		n uint64
+	}{{1, 10}, {0.5, 10}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(s=%v, n=%d) did not panic", tc.s, tc.n)
+				}
+			}()
+			NewZipf(New(1), tc.s, tc.n)
+		}()
+	}
+}

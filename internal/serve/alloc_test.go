@@ -2,6 +2,7 @@ package serve
 
 import (
 	"testing"
+	"time"
 )
 
 // TestServeAllocationFree is the allocation-regression guard for the warm
@@ -15,31 +16,43 @@ func TestServeAllocationFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race runtime allocates on the goroutine handoffs the serving loop crosses by design")
 	}
-	cl := serveCluster(t, 1, 0, false)
-	defer cl.Close()
-	// MaxWait < 0: fire a round as soon as a request arrives, so the
-	// measured loop is Predict → round → reply with no timer involved.
-	srv, err := New(cl, Config{MaxBatch: 4, MaxWait: -1, Seed: 2})
-	if err != nil {
-		t.Fatal(err)
+	// The deadline variant keeps the same guarantee with admission control,
+	// the snapshot-time shed filter, the round-time EWMA, the adaptive
+	// batch controller, and the per-collective gather deadline all active —
+	// resilience bookkeeping must cost zero allocations on the warm path.
+	cfgs := map[string]Config{
+		"fixed":    {MaxBatch: 4, MaxWait: -1, Seed: 2},
+		"deadline": {MaxBatch: 4, MaxWait: -1, Seed: 2, Deadline: time.Minute},
 	}
-	defer srv.Close()
-
-	out := make([]float32, srv.Classes())
-	verts := []int32{3, 200, 731, 48}
-	step := func() {
-		for _, v := range verts {
-			if _, err := srv.Predict(v, out); err != nil {
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			cl := serveCluster(t, 1, 0, false)
+			defer cl.Close()
+			// MaxWait < 0: fire a round as soon as a request arrives, so the
+			// measured loop is Predict → round → reply with no timer involved.
+			srv, err := New(cl, cfg)
+			if err != nil {
 				t.Fatal(err)
 			}
-		}
-	}
-	for i := 0; i < 5; i++ {
-		step() // warm every pool and high-water-mark buffer
-	}
-	allocs := testing.AllocsPerRun(50, step)
-	if allocs != 0 {
-		t.Fatalf("warm serving loop allocated %.2f times per %d requests, want 0", allocs, len(verts))
+			defer srv.Close()
+
+			out := make([]float32, srv.Classes())
+			verts := []int32{3, 200, 731, 48}
+			step := func() {
+				for _, v := range verts {
+					if _, err := srv.Predict(v, out); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for i := 0; i < 5; i++ {
+				step() // warm every pool and high-water-mark buffer
+			}
+			allocs := testing.AllocsPerRun(50, step)
+			if allocs != 0 {
+				t.Fatalf("warm serving loop allocated %.2f times per %d requests, want 0", allocs, len(verts))
+			}
+		})
 	}
 }
 

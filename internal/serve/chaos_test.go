@@ -1,0 +1,410 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"salientpp/internal/dist"
+	"salientpp/internal/rng"
+	"salientpp/internal/sample"
+)
+
+// chaosWrap installs a dist.Chaos harness on one rank of the serving
+// deployment; every other rank gets the raw transport. Because WrapComm is
+// re-applied after every regroup, the schedule keeps biting until cleared.
+func chaosWrap(ch *dist.Chaos, victim int) func(int, dist.Comm) dist.Comm {
+	return func(rank int, c dist.Comm) dist.Comm {
+		if rank == victim {
+			return ch.Wrap(c)
+		}
+		return c
+	}
+}
+
+// TestServeStalledRankDegradesAndRecovers is the headline chaos test: with
+// rank 1's NIC wedged (an injected stall), every request still completes
+// within a bound — the stalled gather times out, the round degrades to
+// cache + local shard, replies are flagged — and once the stall clears,
+// the background prober installs a fresh comm group and serving returns to
+// normal, with post-recovery predictions bitwise identical to an offline
+// replay of the same round.
+func TestServeStalledRankDegradesAndRecovers(t *testing.T) {
+	cl := serveCluster(t, 2, 0.2, false)
+	defer cl.Close()
+	if _, err := cl.TrainEpochAll(0); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	const seed = 17
+	ch := dist.NewChaos(dist.ChaosConfig{})
+	srv, err := New(cl, Config{
+		MaxBatch: 4, MaxWait: 200 * time.Microsecond, Seed: seed,
+		GatherTimeout: 50 * time.Millisecond,
+		ProbeInterval: 20 * time.Millisecond,
+		WrapComm:      chaosWrap(ch, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a rank-0-owned vertex with remote neighbors so both the healthy
+	// and the degraded path are meaningful.
+	var v0 int32 = -1
+	for v := int32(0); int(v) < cl.Data.NumVertices(); v++ {
+		if cl.Layout.Owner(v) == 0 {
+			v0 = v
+			break
+		}
+	}
+	if v0 < 0 {
+		t.Fatal("no rank-0 vertex")
+	}
+	out := make([]float32, srv.Classes())
+
+	// Phase 1: healthy serving.
+	if st, err := srv.Predict(v0, out); err != nil || st.Degraded {
+		t.Fatalf("healthy predict: stats %+v, err %v", st, err)
+	}
+
+	// Phase 2: wedge rank 1. Every request must still complete — the first
+	// round eats the 50ms gather timeout, later rounds run degraded-local
+	// and fast. 2s per request is an ample CI-safe bound that a hang (the
+	// pre-PR behavior: a stalled peer blocked the collective forever)
+	// cannot meet.
+	ch.Stall()
+	sawDegraded := false
+	for i := 0; i < 30; i++ {
+		done := make(chan error, 1)
+		var st Stats
+		go func() {
+			var err error
+			st, err = srv.Predict(v0, out)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("request %d during stall failed: %v", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("request %d hung during the stall: degraded serving is not bounded", i)
+		}
+		if st.Degraded {
+			sawDegraded = true
+			for _, x := range out {
+				if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+					t.Fatal("degraded logits are non-finite")
+				}
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("no request was served degraded while rank 1 was stalled")
+	}
+	mid := srv.Snapshot()
+	if mid.Degraded == 0 || mid.DegradedRounds == 0 {
+		t.Fatalf("snapshot shows no degraded serving during the stall: %+v", mid)
+	}
+	if mid.GatherTimeouts == 0 {
+		t.Fatalf("stalled gather never counted a timeout: %+v", mid)
+	}
+	// The per-outcome histogram must have captured the degraded subset,
+	// with sane quantile ordering.
+	if mid.DegradedP99 <= 0 || mid.DegradedP99 < mid.DegradedP50 {
+		t.Fatalf("degraded latency quantiles malformed: p50=%v p99=%v", mid.DegradedP50, mid.DegradedP99)
+	}
+
+	// Phase 3: clear the stall; the prober must find a healthy group and
+	// the driver must reinstall normal serving.
+	ch.Clear()
+	deadline := time.Now().Add(10 * time.Second)
+	var recovered Stats
+	for {
+		st, err := srv.Predict(v0, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Degraded {
+			recovered = st
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("serving still degraded 10s after the stall cleared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if snap := srv.Snapshot(); snap.Regroups == 0 {
+		t.Fatalf("recovery happened without a recorded regroup: %+v", snap)
+	}
+
+	// Phase 4: post-recovery serving is bitwise-normal. The recovered
+	// request ran alone in its round, so an offline replay of that round's
+	// seed stream over the parent stores must reproduce its logits exactly.
+	if recovered.BatchSize != 1 {
+		// Retry with a quiet server until the request is alone in a round.
+		for i := 0; i < 50 && recovered.BatchSize != 1; i++ {
+			if recovered, err = srv.Predict(v0, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if recovered.BatchSize != 1 {
+		t.Fatalf("could not get a singleton round; batch %d", recovered.BatchSize)
+	}
+	smp, err := sample.NewSampler(cl.Data.Graph, []int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := smp.NewWorker(rng.New(seed).Split(0).Split(recovered.Round))
+	mfg := w.Sample([]int32{v0})
+	peerDone := make(chan error, 1)
+	go func() {
+		_, _, err := cl.Ranks[1].Store().Gather(nil)
+		peerDone <- err
+	}()
+	feats, _, err := cl.Ranks[0].Store().Gather(mfg.InputIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-peerDone; err != nil {
+		t.Fatal(err)
+	}
+	logits, err := cl.Ranks[0].Model().Forward(mfg, feats, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range logits.Row(0) {
+		if math.Float32bits(out[j]) != math.Float32bits(want) {
+			t.Fatalf("post-recovery logit %d: served %v, offline %v (must be bitwise identical)",
+				j, out[j], want)
+		}
+	}
+
+	// Phase 5: nothing leaked across the degrade/regroup cycle.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range srv.engines {
+		if live := e.store.Live(); live != 0 {
+			t.Fatalf("engine %d leaked %d pooled matrices", i, live)
+		}
+	}
+	waitServeGoroutines(t, baseline)
+}
+
+// TestServeDeadRankStaysAvailable: an injected permanent rank death (every
+// collective fails instantly from DropAtCall on, including the prober's
+// health checks) must leave the server degraded but available — every
+// request answered, none hung — and Close must still tear everything down
+// while the prober is mid-retry.
+func TestServeDeadRankStaysAvailable(t *testing.T) {
+	cl := serveCluster(t, 2, 0.2, false)
+	defer cl.Close()
+	baseline := runtime.NumGoroutine()
+
+	ch := dist.NewChaos(dist.ChaosConfig{DropAtCall: 1})
+	srv, err := New(cl, Config{
+		MaxBatch: 4, MaxWait: 200 * time.Microsecond, Seed: 9,
+		GatherTimeout: 50 * time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+		WrapComm:      chaosWrap(ch, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := int32(cl.Data.NumVertices())
+	out := make([]float32, srv.Classes())
+	r := rng.New(4)
+	degraded := 0
+	for i := 0; i < 40; i++ {
+		done := make(chan error, 1)
+		var st Stats
+		go func(v int32) {
+			var err error
+			st, err = srv.Predict(v, out)
+			done <- err
+		}(int32(r.Intn(int(n))))
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("request %d on the dead-rank server failed: %v", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("request %d hung on the dead-rank server", i)
+		}
+		if st.Degraded {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no degraded replies despite a dead rank")
+	}
+	snap := srv.Snapshot()
+	if snap.Regroups != 0 {
+		t.Fatalf("a regroup succeeded against a permanently dead rank: %+v", snap)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitServeGoroutines(t, baseline)
+}
+
+// TestServeShutdownWhileStalled closes the server while a gather is parked
+// inside an uncleared stall with a generous timeout: the abort channel
+// must unwind it promptly, requests fail (not silently degrade), and
+// nothing leaks.
+func TestServeShutdownWhileStalled(t *testing.T) {
+	cl := serveCluster(t, 2, 0.2, false)
+	defer cl.Close()
+	baseline := runtime.NumGoroutine()
+
+	ch := dist.NewChaos(dist.ChaosConfig{})
+	srv, err := New(cl, Config{
+		MaxBatch: 2, MaxWait: -1, Seed: 6,
+		GatherTimeout: 30 * time.Second, // never fires in this test
+		WrapComm:      chaosWrap(ch, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Stall()
+
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := make([]float32, srv.Classes())
+			if _, err := srv.Predict(int32(c), out); err != nil {
+				failed.Add(1)
+			}
+		}(c)
+	}
+	time.Sleep(50 * time.Millisecond) // let the round park in the stall
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung: the shutdown abort does not reach a stalled collective")
+	}
+	wg.Wait()
+	if failed.Load() == 0 {
+		t.Fatal("shutdown mid-stall failed no requests: a degraded reply leaked past Close")
+	}
+	for i, e := range srv.engines {
+		if live := e.store.Live(); live != 0 {
+			t.Fatalf("engine %d leaked %d pooled matrices", i, live)
+		}
+	}
+	waitServeGoroutines(t, baseline)
+}
+
+// TestServeShedsWhenBudgetExceeded pins admission control: with a Deadline
+// set and a round-time estimate that makes the budget hopeless, Predict
+// fails fast with ErrShed (counted in the snapshot); when the estimate
+// falls back inside the budget, admission resumes.
+func TestServeShedsWhenBudgetExceeded(t *testing.T) {
+	cl := serveCluster(t, 2, 0, false)
+	defer cl.Close()
+	srv, err := New(cl, Config{
+		MaxBatch: 4, MaxWait: -1, Seed: 2, Deadline: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	out := make([]float32, srv.Classes())
+
+	// No estimate yet: the first request must be admitted.
+	if _, err := srv.Predict(0, out); err != nil {
+		t.Fatalf("first request shed before any estimate existed: %v", err)
+	}
+
+	// Hopeless estimate: one round alone exceeds the budget.
+	srv.roundNS.Store(int64(time.Second))
+	if _, err := srv.Predict(0, out); !errors.Is(err, ErrShed) {
+		t.Fatalf("overloaded Predict returned %v, want ErrShed", err)
+	}
+	snap := srv.Snapshot()
+	if snap.Shed == 0 || snap.ShedRate <= 0 {
+		t.Fatalf("shed not accounted: %+v", snap)
+	}
+
+	// Recovery: a fast estimate readmits traffic.
+	srv.roundNS.Store(int64(50 * time.Microsecond))
+	if _, err := srv.Predict(0, out); err != nil {
+		t.Fatalf("request shed after the estimate recovered: %v", err)
+	}
+}
+
+// TestAdaptiveBatchBounds unit-tests the driver's batch controller: halve
+// under SLO pressure with a floor of 1, double under backlog with ample
+// headroom up to MaxBatchCap, hold otherwise.
+func TestAdaptiveBatchBounds(t *testing.T) {
+	s := &Server{cfg: Config{
+		MaxBatch: 4, MaxBatchCap: 16, Deadline: 10 * time.Millisecond,
+	}.withDefaults()}
+	s.maxBatch.Store(4)
+
+	// Rounds eating >Deadline/2: shrink, down to the floor.
+	s.roundNS.Store(int64(8 * time.Millisecond))
+	for _, want := range []int64{2, 1, 1} {
+		s.adaptBatch(100)
+		if got := s.maxBatch.Load(); got != want {
+			t.Fatalf("shrink: batch %d, want %d", got, want)
+		}
+	}
+
+	// Fast rounds + backlog: grow, capped at MaxBatchCap.
+	s.roundNS.Store(int64(time.Millisecond))
+	for _, want := range []int64{2, 4, 8, 16, 16} {
+		s.adaptBatch(1000)
+		if got := s.maxBatch.Load(); got != want {
+			t.Fatalf("grow: batch %d, want %d", got, want)
+		}
+	}
+
+	// Fast rounds without backlog: hold.
+	s.adaptBatch(3)
+	if got := s.maxBatch.Load(); got != 16 {
+		t.Fatalf("hold: batch moved to %d", got)
+	}
+
+	// No deadline: the controller is inert.
+	s2 := &Server{cfg: Config{MaxBatch: 4}.withDefaults()}
+	s2.maxBatch.Store(4)
+	s2.roundNS.Store(int64(time.Hour))
+	s2.adaptBatch(1000)
+	if got := s2.maxBatch.Load(); got != 4 {
+		t.Fatalf("deadline-free batch moved to %d", got)
+	}
+}
+
+// waitServeGoroutines waits for the goroutine count to settle back to the
+// pre-server baseline, dumping stacks on timeout.
+func waitServeGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("serving goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -13,8 +13,12 @@ import (
 // counters. All updates are lock-free and allocation-free so recording
 // them keeps the serving loop's zero-allocation guarantee.
 type Metrics struct {
-	// Latency records end-to-end request latency in seconds.
-	Latency *metrics.Histogram
+	// Latency records end-to-end request latency in seconds, across all
+	// served requests; DegradedLatency records the degraded subset only,
+	// so the cost of answering from cache + local shard is attributable
+	// per outcome.
+	Latency         *metrics.Histogram
+	DegradedLatency *metrics.Histogram
 	// BatchOccupancy records coalesced requests per non-empty round.
 	BatchOccupancy *metrics.Histogram
 
@@ -26,6 +30,17 @@ type Metrics struct {
 	cacheHits   atomic.Int64
 	remote      atomic.Int64
 	computeNS   atomic.Int64
+
+	// Resilience counters: requests rejected by admission control,
+	// requests answered degraded (and the rounds that produced them),
+	// remote rows zero-filled in degraded rounds, gather deadline
+	// expirations, and successful comm-group regroups.
+	shed           atomic.Int64
+	degraded       atomic.Int64
+	degradedRounds atomic.Int64
+	missingRows    atomic.Int64
+	gatherTimeouts atomic.Int64
+	regroups       atomic.Int64
 }
 
 func newMetrics(maxBatch int) *Metrics {
@@ -33,21 +48,30 @@ func newMetrics(maxBatch int) *Metrics {
 		maxBatch = 2
 	}
 	return &Metrics{
-		Latency:        metrics.NewLatencyHistogram(),
-		BatchOccupancy: metrics.NewCountHistogram(float64(maxBatch)),
+		Latency:         metrics.NewLatencyHistogram(),
+		DegradedLatency: metrics.NewLatencyHistogram(),
+		BatchOccupancy:  metrics.NewCountHistogram(float64(maxBatch)),
 	}
 }
 
 func (m *Metrics) observeRequest(st *Stats) {
 	m.requests.Add(1)
 	m.Latency.Observe(st.Total.Seconds())
+	if st.Degraded {
+		m.degraded.Add(1)
+		m.DegradedLatency.Observe(st.Total.Seconds())
+	}
 }
 
-func (m *Metrics) observeRound(batch int, g dist.GatherStats, compute time.Duration) {
+func (m *Metrics) observeRound(batch int, g dist.GatherStats, compute time.Duration, degraded bool) {
 	m.rounds.Add(1)
 	if batch == 0 {
 		m.emptyRounds.Add(1)
 		return
+	}
+	if degraded {
+		m.degradedRounds.Add(1)
+		m.missingRows.Add(int64(g.Missing))
 	}
 	m.BatchOccupancy.Observe(float64(batch))
 	m.computeNS.Add(int64(compute))
@@ -86,6 +110,28 @@ type Snapshot struct {
 	// rounds — the serve-side compute cost a reduced precision is meant to
 	// cut.
 	ComputeSeconds float64 `json:"compute_seconds"`
+
+	// Resilience accounting. Shed counts requests rejected with ErrShed;
+	// ShedRate is shed/(shed+served). Degraded counts requests answered
+	// from cache + local shard only (DegradedRate is their fraction of
+	// served requests), DegradedRounds the rounds that produced them, and
+	// MissingRows the remote rows zero-filled in those rounds.
+	// GatherTimeouts counts gather deadline expirations; Regroups counts
+	// comm-group replacements that restored healthy serving.
+	Shed           int64   `json:"shed"`
+	ShedRate       float64 `json:"shed_rate"`
+	Degraded       int64   `json:"degraded"`
+	DegradedRate   float64 `json:"degraded_rate"`
+	DegradedRounds int64   `json:"degraded_rounds"`
+	MissingRows    int64   `json:"missing_rows"`
+	GatherTimeouts int64   `json:"gather_timeouts"`
+	Regroups       int64   `json:"regroups"`
+	// Per-outcome latency: quantiles over the degraded subset only (zero
+	// when no request was degraded). Degraded responses skip the remote
+	// collectives, so under a stalled peer these stay bounded by the
+	// gather timeout while the combined quantiles would hide the split.
+	DegradedP50 float64 `json:"degraded_p50_latency_seconds"`
+	DegradedP99 float64 `json:"degraded_p99_latency_seconds"`
 }
 
 func (m *Metrics) snapshot(bytes int64) Snapshot {
@@ -94,6 +140,16 @@ func (m *Metrics) snapshot(bytes int64) Snapshot {
 	hitRate := 0.0
 	if hits+remote > 0 {
 		hitRate = float64(hits) / float64(hits+remote)
+	}
+	served := m.requests.Load()
+	shed := m.shed.Load()
+	degraded := m.degraded.Load()
+	shedRate, degradedRate := 0.0, 0.0
+	if served+shed > 0 {
+		shedRate = float64(shed) / float64(served+shed)
+	}
+	if served > 0 {
+		degradedRate = float64(degraded) / float64(served)
 	}
 	return Snapshot{
 		Requests:       m.requests.Load(),
@@ -111,5 +167,15 @@ func (m *Metrics) snapshot(bytes int64) Snapshot {
 		CacheHitRate:   hitRate,
 		BytesSent:      bytes,
 		ComputeSeconds: float64(m.computeNS.Load()) / 1e9,
+		Shed:           shed,
+		ShedRate:       shedRate,
+		Degraded:       degraded,
+		DegradedRate:   degradedRate,
+		DegradedRounds: m.degradedRounds.Load(),
+		MissingRows:    m.missingRows.Load(),
+		GatherTimeouts: m.gatherTimeouts.Load(),
+		Regroups:       m.regroups.Load(),
+		DegradedP50:    m.DegradedLatency.Quantile(0.50),
+		DegradedP99:    m.DegradedLatency.Quantile(0.99),
 	}
 }

@@ -47,6 +47,14 @@ import (
 // ErrClosed is returned by Predict once the server is shut down.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrShed is returned by Predict when admission control decides the
+// request cannot meet its Config.Deadline budget — the queue is too deep,
+// or the request would expire before its round completes. Shedding is
+// always explicit: the caller gets this error immediately (or as the
+// request's reply), never a silent drop, so an overloaded server degrades
+// into fast rejections instead of unbounded queueing.
+var ErrShed = errors.New("serve: request shed: deadline budget cannot be met")
+
 // Config controls the coalescing admission policy and the inference
 // sampling setup.
 type Config struct {
@@ -84,6 +92,41 @@ type Config struct {
 	// SIMD kernels. Training always computes in fp32, so int8 serving over
 	// an fp32-trained cluster is the expected deployment shape.
 	Precision string
+
+	// Deadline is each request's end-to-end latency budget and turns on
+	// admission control: a request that cannot complete within it — the
+	// queue is too deep at Predict time, or its budget expires before its
+	// round fires — fails with ErrShed instead of queueing unboundedly.
+	// Deadline also activates adaptive batching: the driver grows the
+	// effective per-rank batch (up to MaxBatchCap) under backlog while
+	// rounds run well inside the budget, and shrinks it back under SLO
+	// pressure. Zero disables both (the historical fixed-MaxBatch policy).
+	Deadline time.Duration
+	// MaxBatchCap bounds adaptive batch growth; 0 defaults to 8×MaxBatch.
+	// Ignored unless Deadline is set.
+	MaxBatchCap int
+	// GatherTimeout bounds each serving round's feature collectives and
+	// turns on degraded operation: when a gather times out (or otherwise
+	// fails while the server is up), the round falls back to cache + local
+	// shard only — missing remote rows zero-filled, replies flagged
+	// Stats.Degraded — and the server probes for a fresh healthy comm
+	// group in the background, restoring normal serving when peers
+	// recover. Zero disables the timeout unless Deadline is set, in which
+	// case it defaults to Deadline/2 (a request's budget must cover a
+	// timed-out gather plus the local fallback).
+	GatherTimeout time.Duration
+	// ProbeInterval paces health probes while the server is degraded
+	// (default 250ms): each probe builds a candidate comm group, runs one
+	// timed health collective over it, and installs it only on success.
+	ProbeInterval time.Duration
+	// WrapComm, when set, wraps each serving communicator at construction
+	// AND after every regroup — the serving twin of
+	// pipeline.ClusterConfig.WrapComm. Fault-injection harnesses
+	// (dist.Chaos) install themselves here; because the wrapper is
+	// re-applied to every fresh group, a schedule like "rank 1 is stalled"
+	// keeps biting until the harness clears it, exactly as real broken
+	// hardware would.
+	WrapComm func(rank int, c dist.Comm) dist.Comm
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +138,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWait < 0 {
 		c.MaxWait = 0
+	}
+	if c.Deadline > 0 && c.GatherTimeout == 0 {
+		c.GatherTimeout = c.Deadline / 2
+	}
+	if c.MaxBatchCap <= 0 {
+		c.MaxBatchCap = 8 * c.MaxBatch
+	}
+	if c.MaxBatchCap < c.MaxBatch {
+		c.MaxBatchCap = c.MaxBatch
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
 	}
 	return c
 }
@@ -118,6 +173,13 @@ type Stats struct {
 	// RemoteFetch and CacheHits classify the round's feature accesses.
 	RemoteFetch int
 	CacheHits   int
+	// Degraded marks a prediction computed without remote features: the
+	// round's gather timed out (or the server was already regrouping), so
+	// rows owned by unreachable peers were zero-filled. The logits are
+	// well-defined but less accurate; Missing counts the zero-filled rows
+	// of the round's batch.
+	Degraded bool
+	Missing  int
 }
 
 // request is a pooled in-flight prediction.
@@ -137,13 +199,12 @@ type Server struct {
 	cfg      Config
 	layout   *dist.Layout
 	engines  []*engine
-	comms    []dist.Comm
 	classes  int
 	numVerts int
 
 	reqPool  sync.Pool
 	arrivals chan struct{} // cap 1: "a request arrived somewhere"
-	full     chan struct{} // cap 1: "some rank reached MaxBatch"
+	full     chan struct{} // cap 1: "some rank reached the effective batch cap"
 	shutdown chan struct{}
 	closed   sync.Once
 	wg       sync.WaitGroup
@@ -155,7 +216,46 @@ type Server struct {
 	// per timer tick of the admission window.
 	scans atomic.Int64
 
+	// parents are the training ranks' stores, retained so a regroup can
+	// mint fresh siblings over a new comm group; prec/codec are the
+	// resolved serving settings every group (initial and regrown) gets.
+	parents  []*dist.Store
+	prec     tensor.Precision
+	codec    dist.Codec
+	codecSet bool
+
+	// Resilience state. maxBatch is the adaptive per-rank batch cap
+	// (equal to cfg.MaxBatch when Deadline is off); roundNS is an EWMA of
+	// round duration feeding admission estimates; healthy gates whether
+	// rounds run real gathers or the degraded local fallback; gen numbers
+	// comm groups for the health-probe frames.
+	maxBatch   atomic.Int64
+	roundNS    atomic.Int64
+	healthy    atomic.Bool
+	regrouping atomic.Bool
+	gen        atomic.Uint32
+	newGroup   chan *commGroup // cap 1: a probed group awaiting install
+
+	// cmu guards comms (swapped by install) and retiredBytes (wire bytes
+	// accumulated from groups discarded by regroups) against Snapshot.
+	cmu          sync.Mutex
+	comms        []dist.Comm
+	retiredBytes int64
+
 	met *Metrics
+}
+
+// commGroup is one generation of serving communicators with the sibling
+// stores built over them.
+type commGroup struct {
+	comms  []dist.Comm
+	stores []*dist.Store
+}
+
+func (g *commGroup) close() {
+	for _, c := range g.comms {
+		c.Close()
+	}
 }
 
 // New builds a serving deployment over a trained (or training) cluster:
@@ -180,25 +280,25 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	var comms []dist.Comm
-	var err error
-	if cfg.UseTCP {
-		comms, err = dist.NewTCPGroup(k)
-	} else {
-		comms, err = dist.NewLocalGroup(k)
-	}
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
 		cfg:      cfg,
 		layout:   cl.Layout,
-		comms:    comms,
 		numVerts: cl.Data.NumVertices(),
+		prec:     prec,
 		arrivals: make(chan struct{}, 1),
 		full:     make(chan struct{}, 1),
 		shutdown: make(chan struct{}),
-		met:      newMetrics(cfg.MaxBatch),
+		newGroup: make(chan *commGroup, 1),
+		met:      newMetrics(cfg.MaxBatchCap),
+	}
+	s.maxBatch.Store(int64(cfg.MaxBatch))
+	s.healthy.Store(true)
+	if cfg.Codec != "" {
+		codec, err := dist.ParseCodec(cfg.Codec)
+		if err != nil {
+			return nil, err
+		}
+		s.codec, s.codecSet = codec, true
 	}
 	// fail closes the shutdown channel too, so abort watchers already
 	// installed on sibling stores exit instead of leaking.
@@ -208,21 +308,7 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	for r := 0; r < k; r++ {
-		st, err := cl.Ranks[r].Store().Sibling(comms[r])
-		if err != nil {
-			return fail(err)
-		}
-		if cfg.Codec != "" {
-			codec, err := dist.ParseCodec(cfg.Codec)
-			if err != nil {
-				return fail(err)
-			}
-			st.SetCodec(codec)
-		}
-		if prec != tensor.PrecisionFP32 {
-			st.SetPrecision(prec)
-		}
-		st.SetAbort(s.shutdown)
+		s.parents = append(s.parents, cl.Ranks[r].Store())
 		frozen := cl.Ranks[r].Model().FreezePrecision(prec)
 		if frozen.NumLayers() != len(fanouts) {
 			return fail(fmt.Errorf("serve: %d fanouts for a %d-layer model", len(fanouts), frozen.NumLayers()))
@@ -238,18 +324,27 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 		e := &engine{
 			srv:    s,
 			rank:   r,
-			store:  st,
 			model:  frozen,
 			worker: smp.NewWorker(rng.New(0)), // stream replaced every round
 			base:   rng.New(cfg.Seed).Split(uint64(r)),
 			lo:     int32(cl.Layout.Starts[r]),
 			stamp:  make([]uint64, cl.Layout.PartSize(r)),
 			rowOf:  make([]int32, cl.Layout.PartSize(r)),
-			start:  make(chan uint64),
+			start:  make(chan roundMsg),
 			ended:  make(chan struct{}, 1),
 		}
 		s.engines = append(s.engines, e)
 		s.classes = frozen.Classes()
+	}
+	// The initial comm group is trusted without a probe (its construction
+	// just succeeded); regrown groups are probed before install.
+	g, err := s.buildGroup(false)
+	if err != nil {
+		return fail(err)
+	}
+	s.comms = g.comms
+	for r, e := range s.engines {
+		e.store = g.stores[r]
 	}
 	s.wg.Add(1 + k)
 	for _, e := range s.engines {
@@ -259,6 +354,100 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// buildGroup assembles one generation of serving communicators — fresh
+// transport group, WrapComm fault seam, gather timeout, sibling stores
+// with the resolved codec/precision, abort channel — and, when probe is
+// set, validates it with one timed health collective before returning it.
+// Every comm of a failed build is closed; nothing leaks.
+func (s *Server) buildGroup(probe bool) (*commGroup, error) {
+	k := len(s.parents)
+	var comms []dist.Comm
+	var err error
+	if s.cfg.UseTCP {
+		comms, err = dist.NewTCPGroup(k)
+	} else {
+		comms, err = dist.NewLocalGroup(k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g := &commGroup{comms: comms}
+	for r := range comms {
+		if s.cfg.WrapComm != nil {
+			comms[r] = s.cfg.WrapComm(r, comms[r])
+			g.comms[r] = comms[r]
+		}
+		if s.cfg.GatherTimeout > 0 {
+			comms[r].SetTimeout(s.cfg.GatherTimeout)
+		}
+	}
+	if probe {
+		if err := s.probeGroup(g); err != nil {
+			g.close()
+			return nil, err
+		}
+	}
+	for r := range comms {
+		st, err := s.parents[r].Sibling(comms[r])
+		if err != nil {
+			g.close()
+			return nil, err
+		}
+		if s.codecSet {
+			st.SetCodec(s.codec)
+		}
+		if s.prec != tensor.PrecisionFP32 {
+			st.SetPrecision(s.prec)
+		}
+		st.SetAbort(s.shutdown)
+		g.stores = append(g.stores, st)
+	}
+	return g, nil
+}
+
+// probeGroup runs one matched health collective over a candidate group:
+// every rank broadcasts the generation stamped into the probe frame and
+// validates its peers'. The comms' gather timeout bounds the probe, so a
+// still-stalled rank fails the probe within the budget instead of wedging
+// the regroup goroutine.
+func (s *Server) probeGroup(g *commGroup) error {
+	k := len(g.comms)
+	gen := s.gen.Add(1)
+	errs := make(chan error, k)
+	for _, c := range g.comms {
+		go func(c dist.Comm) {
+			send := make([][]byte, k)
+			for dst := range send {
+				send[dst] = dist.AppendHealthFrame(nil, gen)
+			}
+			recv, err := c.AllToAll(send)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for src := range recv {
+				got, err := dist.DecodeHealthFrame(recv[src])
+				if err != nil {
+					errs <- fmt.Errorf("serve: probe frame from rank %d: %w", src, err)
+					return
+				}
+				if got != gen {
+					errs <- fmt.Errorf("serve: probe from rank %d carries generation %d, want %d", src, got, gen)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	var firstErr error
+	for i := 0; i < k; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Classes returns the logit width Predict fills (len(out) must equal it).
 func (s *Server) Classes() int { return s.classes }
 
@@ -266,12 +455,15 @@ func (s *Server) Classes() int { return s.classes }
 func (s *Server) Metrics() *Metrics { return s.met }
 
 // Snapshot returns an aggregate view of the metrics, including the bytes
-// the serving collectives have moved so far.
+// the serving collectives have moved so far (current comm group plus every
+// group retired by a regroup).
 func (s *Server) Snapshot() Snapshot {
-	var bytes int64
+	s.cmu.Lock()
+	bytes := s.retiredBytes
 	for _, c := range s.comms {
 		bytes += c.BytesSent()
 	}
+	s.cmu.Unlock()
 	return s.met.snapshot(bytes)
 }
 
@@ -302,8 +494,25 @@ func (s *Server) Predict(v int32, out []float32) (Stats, error) {
 		s.reqPool.Put(r)
 		return Stats{}, ErrClosed
 	}
+	cur := int(s.maxBatch.Load())
+	if s.cfg.Deadline > 0 {
+		// Admission control: with an EWMA round-time estimate in hand, a
+		// request that would sit behind ⌈queue/batch⌉ rounds plus its own
+		// cannot meet the budget — reject it now, while the caller can still
+		// retry elsewhere, rather than time it out after queueing.
+		if est := s.roundNS.Load(); est > 0 {
+			ahead := int64(len(e.pending)/cur) + 1
+			if time.Duration(ahead*est) > s.cfg.Deadline {
+				e.mu.Unlock()
+				r.out = nil
+				s.reqPool.Put(r)
+				s.met.shed.Add(1)
+				return Stats{}, ErrShed
+			}
+		}
+	}
 	e.pending = append(e.pending, r)
-	isFull := len(e.pending) >= s.cfg.MaxBatch
+	isFull := len(e.pending) >= cur
 	e.mu.Unlock()
 
 	select {
@@ -332,11 +541,20 @@ func (s *Server) Predict(v int32, out []float32) (Stats, error) {
 func (s *Server) Close() error {
 	s.closed.Do(func() { close(s.shutdown) })
 	s.wg.Wait()
+	// A regrown group delivered by the prober but never installed must not
+	// leak its comms.
+	select {
+	case g := <-s.newGroup:
+		g.close()
+	default:
+	}
 	s.closeComms()
 	return nil
 }
 
 func (s *Server) closeComms() {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
 	for _, c := range s.comms {
 		c.Close()
 	}
@@ -377,6 +595,7 @@ func (s *Server) driver() {
 		oldest time.Time
 		queued bool // a request is known queued; oldest is its arrival
 		isFull bool
+		total  int
 	)
 	for {
 		if !queued {
@@ -386,7 +605,7 @@ func (s *Server) driver() {
 				return
 			case <-s.arrivals:
 			}
-			oldest, queued, isFull = s.scanQueues()
+			oldest, queued, isFull, total = s.scanQueues()
 			if !queued {
 				continue // raced with a round that served the arrival
 			}
@@ -410,9 +629,14 @@ func (s *Server) driver() {
 		}
 		round := s.round
 		s.round++
+		// The round mode is decided here, once, for all K engines: every
+		// engine of a round must run the same collective schedule, so a
+		// rank cannot decide unilaterally mid-round to skip its gather.
+		msg := roundMsg{round: round, gather: s.healthy.Load() || s.cfg.GatherTimeout == 0}
+		roundT0 := time.Now()
 		for _, e := range s.engines {
 			select {
-			case e.start <- round:
+			case e.start <- msg:
 			case <-s.shutdown:
 				// Engines that already received the round unwind through
 				// the comm abort; their final ended signal parks in the
@@ -423,6 +647,18 @@ func (s *Server) driver() {
 		}
 		for _, e := range s.engines {
 			<-e.ended
+		}
+		s.observeRoundTime(time.Since(roundT0))
+		// A probed healthy group delivered by the regroup goroutine is
+		// installed here, between rounds, when no engine touches its store.
+		select {
+		case g := <-s.newGroup:
+			s.installGroup(g)
+		default:
+		}
+		if s.cfg.GatherTimeout > 0 && !s.healthy.Load() && s.regrouping.CompareAndSwap(false, true) {
+			s.wg.Add(1)
+			go s.regroup()
 		}
 		// Absorb signals raised by requests this round already served.
 		// Draining before the scan is race-free: Predict appends to a
@@ -437,14 +673,98 @@ func (s *Server) driver() {
 		case <-s.arrivals:
 		default:
 		}
-		oldest, queued, isFull = s.scanQueues()
+		oldest, queued, isFull, total = s.scanQueues()
+		s.adaptBatch(total)
+	}
+}
+
+// observeRoundTime folds one round's wall time into the EWMA the admission
+// shed and the adaptive batch policy read. Only the driver writes it.
+func (s *Server) observeRoundTime(d time.Duration) {
+	est := s.roundNS.Load()
+	if est == 0 {
+		s.roundNS.Store(int64(d))
+		return
+	}
+	s.roundNS.Store(est - est/4 + int64(d)/4)
+}
+
+// adaptBatch is the driver's batch-size controller (active only with a
+// Deadline): under SLO pressure — rounds consuming more than half the
+// budget — it halves the effective batch so rounds finish inside the
+// deadline again; under backlog with ample headroom it doubles the batch
+// up to MaxBatchCap, trading per-request latency for drain rate.
+func (s *Server) adaptBatch(totalQueued int) {
+	if s.cfg.Deadline <= 0 {
+		return
+	}
+	est := s.roundNS.Load()
+	if est == 0 {
+		return
+	}
+	cur := s.maxBatch.Load()
+	switch {
+	case est > int64(s.cfg.Deadline)/2 && cur > 1:
+		s.maxBatch.Store(cur / 2)
+	case est < int64(s.cfg.Deadline)/4 && totalQueued > int(cur) && cur < int64(s.cfg.MaxBatchCap):
+		next := cur * 2
+		if next > int64(s.cfg.MaxBatchCap) {
+			next = int64(s.cfg.MaxBatchCap)
+		}
+		s.maxBatch.Store(next)
+	}
+}
+
+// installGroup retires the current comm group (closing its comms and
+// banking their wire-byte counters) and swaps in a freshly probed one,
+// returning the server to healthy gathering. Called only by the driver,
+// between rounds.
+func (s *Server) installGroup(g *commGroup) {
+	s.cmu.Lock()
+	for _, c := range s.comms {
+		s.retiredBytes += c.BytesSent()
+		c.Close()
+	}
+	s.comms = g.comms
+	s.cmu.Unlock()
+	for r, e := range s.engines {
+		e.store = g.stores[r]
+	}
+	s.met.regroups.Add(1)
+	s.healthy.Store(true)
+	s.regrouping.Store(false)
+}
+
+// regroup is the background prober launched while the server is degraded:
+// it repeatedly builds a candidate comm group and health-checks it (the
+// gather timeout bounds each attempt), delivering the first group whose
+// probe succeeds. The driver installs it between rounds.
+func (s *Server) regroup() {
+	defer s.wg.Done()
+	for {
+		g, err := s.buildGroup(true)
+		if err == nil {
+			select {
+			case s.newGroup <- g:
+			case <-s.shutdown:
+				g.close()
+			}
+			return
+		}
+		select {
+		case <-s.shutdown:
+			return
+		case <-time.After(s.cfg.ProbeInterval):
+		}
 	}
 }
 
 // scanQueues reports the oldest queued arrival, whether any request is
-// queued, and whether any rank has a full batch waiting.
-func (s *Server) scanQueues() (oldest time.Time, any, isFull bool) {
+// queued, whether any rank has a full batch waiting, and the total queued
+// across ranks (the backlog signal the adaptive batch policy reads).
+func (s *Server) scanQueues() (oldest time.Time, any, isFull bool, total int) {
 	s.scans.Add(1)
+	cur := int(s.maxBatch.Load())
 	for _, e := range s.engines {
 		e.mu.Lock()
 		if n := len(e.pending); n > 0 {
@@ -453,13 +773,14 @@ func (s *Server) scanQueues() (oldest time.Time, any, isFull bool) {
 				oldest = a
 			}
 			any = true
-			if n >= s.cfg.MaxBatch {
+			total += n
+			if n >= cur {
 				isFull = true
 			}
 		}
 		e.mu.Unlock()
 	}
-	return oldest, any, isFull
+	return oldest, any, isFull, total
 }
 
 // failPending marks every engine closed and fails all queued requests.
@@ -503,8 +824,17 @@ type engine struct {
 	rowOf    []int32  // (v-lo) -> seed row in the current round
 	roundRNG rng.RNG  // per-round sampling stream, derived in place
 
-	start chan uint64
+	start chan roundMsg
 	ended chan struct{}
+}
+
+// roundMsg is the driver's round order. gather tells every engine of the
+// round, uniformly, whether to run the real collective Gather or the
+// degraded local fallback — the mode is a round-level property because
+// Gather's collectives must stay matched across all K ranks.
+type roundMsg struct {
+	round  uint64
+	gather bool
 }
 
 // loop is the engine's executor goroutine: it runs rounds in lockstep with
@@ -515,25 +845,38 @@ func (e *engine) loop() {
 		select {
 		case <-e.srv.shutdown:
 			return
-		case round := <-e.start:
-			e.run(round)
+		case m := <-e.start:
+			e.run(m)
 			e.ended <- struct{}{}
 		}
 	}
 }
 
-// run executes one serving round on this rank: snapshot up to MaxBatch
-// queued requests, coalesce them into a sorted deduplicated seed list,
-// sample, gather (matched with every peer, even when empty), forward, and
-// reply. All buffers are recycled before returning.
-func (e *engine) run(round uint64) {
+// noteUnhealthy records a live gather failure: the server flips to
+// degraded mode (the driver stops ordering real gathers and starts
+// probing for a fresh group) and the failure is classified in metrics.
+func (e *engine) noteUnhealthy(err error) {
 	s := e.srv
+	if errors.Is(err, dist.ErrTimeout) {
+		s.met.gatherTimeouts.Add(1)
+	}
+	s.healthy.Store(false)
+}
+
+// run executes one serving round on this rank: snapshot up to the
+// effective batch cap of queued requests, coalesce them into a sorted
+// deduplicated seed list, sample, gather (matched with every peer, even
+// when empty) or fall back to the degraded local gather, forward, and
+// reply. All buffers are recycled before returning.
+func (e *engine) run(m roundMsg) {
+	s := e.srv
+	round := m.round
 	roundStart := time.Now()
 
 	e.mu.Lock()
 	n := len(e.pending)
-	if n > s.cfg.MaxBatch {
-		n = s.cfg.MaxBatch
+	if cur := int(s.maxBatch.Load()); n > cur {
+		n = cur
 	}
 	e.batch = append(e.batch[:0], e.pending[:n]...)
 	rem := copy(e.pending, e.pending[n:])
@@ -542,6 +885,29 @@ func (e *engine) run(round uint64) {
 	}
 	e.pending = e.pending[:rem]
 	e.mu.Unlock()
+
+	if s.cfg.Deadline > 0 {
+		// Snapshot-time shed: a request whose budget cannot cover this
+		// round (queue wait so far plus the round-time estimate) would only
+		// waste batch slots on a reply its caller has abandoned. The filter
+		// rewrites e.batch in place, keeping the warm path allocation-free.
+		est := time.Duration(s.roundNS.Load())
+		kept := e.batch[:0]
+		for _, r := range e.batch {
+			if roundStart.Sub(r.arrive)+est > s.cfg.Deadline {
+				r.err = ErrShed
+				s.met.shed.Add(1)
+				r.done <- struct{}{}
+				continue
+			}
+			kept = append(kept, r)
+		}
+		for i := len(kept); i < len(e.batch); i++ {
+			e.batch[i] = nil
+		}
+		e.batch = kept
+		n = len(e.batch)
+	}
 
 	// Coalesce: concurrent requests for the same vertex share one seed.
 	// Sorting makes the micro-batch (and therefore the sampled MFG and the
@@ -569,16 +935,44 @@ func (e *engine) run(round uint64) {
 	// A reduced-precision store gathers straight into quantized form (the
 	// scratch is store-owned — nothing to release); fp32 takes the pooled
 	// path. Both run the same collectives, so mixed deployments stay
-	// matched.
+	// matched. A degraded round (driver-ordered, or a gather failure while
+	// the server is up) serves from cache + local shard only: unreachable
+	// remote rows are zero-filled and the reply is flagged.
 	t0 = time.Now()
 	var feats *tensor.Matrix
 	var qfeats *tensor.QuantMatrix
 	var gstats dist.GatherStats
 	var err error
-	if e.store.Precision() != tensor.PrecisionFP32 {
-		qfeats, gstats, err = e.store.GatherQuant(mfg.InputIDs())
+	quant := e.store.Precision() != tensor.PrecisionFP32
+	degraded := !m.gather
+	if degraded {
+		if quant {
+			qfeats, gstats, err = e.store.GatherLocalQuant(mfg.InputIDs())
+		} else {
+			feats, gstats = e.store.GatherLocal(mfg.InputIDs())
+		}
 	} else {
-		feats, gstats, err = e.store.Gather(mfg.InputIDs())
+		if quant {
+			qfeats, gstats, err = e.store.GatherQuant(mfg.InputIDs())
+		} else {
+			feats, gstats, err = e.store.Gather(mfg.InputIDs())
+		}
+		if err != nil && s.cfg.GatherTimeout > 0 {
+			// Degrade in place — unless the failure is the shutdown abort
+			// unwinding, in which case requests must fail, not silently get
+			// a degraded answer from a server that is going away.
+			select {
+			case <-s.shutdown:
+			default:
+				e.noteUnhealthy(err)
+				degraded, err = true, nil
+				if quant {
+					qfeats, gstats, err = e.store.GatherLocalQuant(mfg.InputIDs())
+				} else {
+					feats, gstats = e.store.GatherLocal(mfg.InputIDs())
+				}
+			}
+		}
 	}
 	tGather := time.Since(t0)
 	// RemoteByPeer aliases store scratch; only scalars may outlive the round.
@@ -608,6 +1002,7 @@ func (e *engine) run(round uint64) {
 				Sample: tSample, Gather: tGather, Compute: tCompute,
 				Total:       now.Sub(r.arrive),
 				RemoteFetch: gstats.RemoteFetch, CacheHits: gstats.CacheHits,
+				Degraded: degraded, Missing: gstats.Missing,
 			}
 			s.met.observeRequest(&r.stats)
 		}
@@ -616,7 +1011,7 @@ func (e *engine) run(round uint64) {
 	}
 	e.batch = e.batch[:0]
 	if err == nil {
-		s.met.observeRound(n, gstats, tCompute)
+		s.met.observeRound(n, gstats, tCompute, degraded)
 	}
 	if feats != nil {
 		e.store.Release(feats)

@@ -72,6 +72,13 @@ type (
 	TrainState = ckpt.TrainState
 )
 
+// ErrShed is returned by Server.Predict when deadline-aware admission
+// control (ServeConfig.Deadline) concludes the request cannot be answered
+// within its budget. Shedding is always explicit — an overloaded server
+// answers every request with either a prediction or ErrShed, never
+// silence — so callers can back off and retry.
+var ErrShed = serve.ErrShed
+
 // NewPapersDataset generates the scaled ogbn-papers100M analog with n
 // vertices (features materialized when materialize is true).
 func NewPapersDataset(n int, materialize bool, seed uint64) (*Dataset, error) {
