@@ -65,6 +65,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Codec = run.Codec
 	cfg.Precision = run.Precision
+	cfg.GradCodec = run.GradCodec
+	cfg.NoGradOverlap = run.NoGradOverlap
 	cfg.Parallelism = run.Parallelism
 	cfg.Checkpoint = run.Checkpoint
 	cfg.Resume = run.Resume

@@ -106,7 +106,7 @@ func main() {
 	scale := experiments.Scale{
 		ProductsN: *products, PapersN: *papers, Mag240N: *mag240,
 		Batch: *batch, TrainBoost: *boost, Workers: runCfg.Parallelism, Seed: *seed,
-		Codec: runCfg.Codec, Precision: runCfg.Precision,
+		Codec: runCfg.Codec, Precision: runCfg.Precision, GradCodec: runCfg.GradCodec,
 	}
 
 	run := map[string]func() (string, error){

@@ -1,0 +1,112 @@
+package salientpp
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// mdHeading matches ATX headings for anchor validation.
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// TestMarkdownLinks is the docs CI job's link checker: every relative link
+// in the repository's markdown files must point at a file that exists, and
+// every same-file #fragment must match a heading's GitHub-style anchor.
+// External http(s) links are not fetched (CI must not depend on the
+// network), and links that resolve outside the repository (e.g. the CI
+// badge's ../../actions path, which is only meaningful on github.com) are
+// skipped.
+func TestMarkdownLinks(t *testing.T) {
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	err = filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			if name := fi.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			switch fi.Name() {
+			case "PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md":
+				// Generated reference material (paper extractions), not part
+				// of the repo's own documentation; their image links point at
+				// assets that were never committed.
+				return nil
+			}
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("found only %d markdown files under %s; walker broken?", len(files), root)
+	}
+	for _, path := range files {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := filepath.Rel(root, path)
+		anchors := headingAnchors(string(buf))
+		for _, m := range mdLink.FindAllStringSubmatch(string(buf), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			case strings.HasPrefix(target, "#"):
+				if !anchors[strings.TrimPrefix(target, "#")] {
+					t.Errorf("%s: fragment link %q matches no heading", rel, target)
+				}
+				continue
+			}
+			file := target
+			if i := strings.IndexByte(file, '#'); i >= 0 {
+				file = file[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(path), file)
+			if r, err := filepath.Rel(root, resolved); err != nil || strings.HasPrefix(r, "..") {
+				continue // escapes the repo (e.g. the GitHub badge path); nothing to check locally
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link target %q does not exist", rel, target)
+			}
+		}
+	}
+}
+
+// headingAnchors returns the GitHub-style anchor slugs of a document's
+// headings: lowercase, spaces to hyphens, punctuation dropped.
+func headingAnchors(doc string) map[string]bool {
+	anchors := map[string]bool{}
+	for _, m := range mdHeading.FindAllStringSubmatch(doc, -1) {
+		title := m[1]
+		// Strip inline code/link markup before slugifying.
+		title = strings.NewReplacer("`", "", "*", "", "[", "", "]", "").Replace(title)
+		var b strings.Builder
+		for _, r := range strings.ToLower(title) {
+			switch {
+			case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+				b.WriteRune(r)
+			case r == ' ' || r == '-':
+				b.WriteByte('-')
+			}
+		}
+		anchors[b.String()] = true
+	}
+	return anchors
+}

@@ -15,7 +15,11 @@ func testState() *TrainState {
 	mkRank := func(seed float32) *RankState {
 		return &RankState{
 			Params: []ParamState{
-				{Rows: 2, Cols: 3, W: []float32{seed, 1, 2, 3, 4, 5}, M: []float32{6, 7, 8, 9, 10, 11}, V: []float32{0, 0, 1, 1, 2, 2}},
+				// The first param carries an error-feedback residual (lossy
+				// gradient codec); the second has none — both shapes must
+				// round-trip, with an absent residual staying nil.
+				{Rows: 2, Cols: 3, W: []float32{seed, 1, 2, 3, 4, 5}, M: []float32{6, 7, 8, 9, 10, 11}, V: []float32{0, 0, 1, 1, 2, 2},
+					EF: []float32{1e-4, -2e-4, 0, 3e-4, -4e-4, 5e-4}},
 				{Rows: 1, Cols: 2, W: []float32{seed + 0.5, -1}, M: []float32{0.25, 0.125}, V: []float32{1e-9, 2e-9}},
 			},
 			AdamStep: 17,
@@ -25,6 +29,7 @@ func testState() *TrainState {
 				LocalGPU: 10, LocalCPU: 4, CacheHit: 7, Remote: 2,
 				BytesSent: 4096, SampleNS: 11, GatherNS: 22, ComputeNS: 33,
 				AggregateNS: 5, TransformNS: 9, BackwardNS: 13,
+				GradBytesSent: 512, GradReduceNS: 21, GradWaitNS: 8,
 			},
 		}
 	}
@@ -37,6 +42,7 @@ func testState() *TrainState {
 		Fanouts:   []int32{3, 2},
 		Codec:     "fp16",
 		Precision: "int8",
+		GradCodec: "int8",
 		Topo: &Topology{
 			NumVertices: 6, FeatureDim: 4, K: 2,
 			Perm:     []int32{0, 2, 4, 1, 3, 5},
@@ -49,9 +55,10 @@ func testState() *TrainState {
 }
 
 // encodeOld serializes st in a historical layout — v1 (no codec string in
-// the header) or v2 (codec but no precision, and no per-stage compute
-// attribution in the rank sections) — byte-for-byte what the older code
-// wrote, so the backward-compatibility tests decode genuine old files.
+// the header), v2 (codec but no precision or stage attribution), or v3
+// (precision and stage attribution but no gradient codec, residuals, or
+// gradient accounting) — byte-for-byte what the older code wrote, so the
+// backward-compatibility tests decode genuine old files.
 func encodeOld(st *TrainState, ver uint32) []byte {
 	var e enc
 	e.u32(magic)
@@ -70,6 +77,9 @@ func encodeOld(st *TrainState, ver uint32) []byte {
 	p.str(st.Dataset)
 	if ver >= 2 {
 		p.str(st.Codec)
+	}
+	if ver >= 3 {
+		p.str(st.Precision)
 	}
 	out = p.section(out, tagHeader)
 	p.b = p.b[:0]
@@ -106,18 +116,25 @@ func encodeOld(st *TrainState, ver uint32) []byte {
 		p.i64(pe.SampleNS)
 		p.i64(pe.GatherNS)
 		p.i64(pe.ComputeNS)
+		if ver >= 3 {
+			p.i64(pe.AggregateNS)
+			p.i64(pe.TransformNS)
+			p.i64(pe.BackwardNS)
+		}
 		out = p.section(out, tagRank)
 	}
 	return out
 }
 
 // TestDecodeAcceptsOldVersions guards restore compatibility: checkpoints
-// written before the wire-codec field (v1) or before the precision field
-// and per-stage compute attribution (v2) must still decode. Missing codec
-// and precision default to "fp32" — the only formats those runs could have
-// used — and missing stage timers decode as zero.
+// written before the wire-codec field (v1), before the precision field and
+// per-stage compute attribution (v2), or before the gradient codec,
+// error-feedback residuals, and gradient accounting (v3) must still
+// decode. Missing codec, precision, and gradient-codec strings default to
+// "fp32" — the only formats those runs could have used — missing timers
+// and counters decode as zero, and missing residuals as nil.
 func TestDecodeAcceptsOldVersions(t *testing.T) {
-	for _, ver := range []uint32{1, 2} {
+	for _, ver := range []uint32{1, 2, 3} {
 		st := testState()
 		got, err := Decode(bytes.NewReader(encodeOld(st, ver)))
 		if err != nil {
@@ -129,17 +146,35 @@ func TestDecodeAcceptsOldVersions(t *testing.T) {
 			}
 			got.Codec = st.Codec
 		}
-		if got.Precision != "fp32" {
-			t.Fatalf("v%d decode precision %q, want the fp32 default", ver, got.Precision)
+		if ver < 3 {
+			if got.Precision != "fp32" {
+				t.Fatalf("v%d decode precision %q, want the fp32 default", ver, got.Precision)
+			}
+			got.Precision = st.Precision
 		}
-		got.Precision = st.Precision
+		if got.GradCodec != "fp32" {
+			t.Fatalf("v%d decode gradient codec %q, want the fp32 default", ver, got.GradCodec)
+		}
+		got.GradCodec = st.GradCodec
 		for i, rs := range got.Ranks {
 			pe := &rs.Partial
-			if pe.AggregateNS != 0 || pe.TransformNS != 0 || pe.BackwardNS != 0 {
-				t.Fatalf("v%d decode rank %d has non-zero stage timers %+v", ver, i, pe)
-			}
 			want := st.Ranks[i].Partial
-			pe.AggregateNS, pe.TransformNS, pe.BackwardNS = want.AggregateNS, want.TransformNS, want.BackwardNS
+			if ver < 3 {
+				if pe.AggregateNS != 0 || pe.TransformNS != 0 || pe.BackwardNS != 0 {
+					t.Fatalf("v%d decode rank %d has non-zero stage timers %+v", ver, i, pe)
+				}
+				pe.AggregateNS, pe.TransformNS, pe.BackwardNS = want.AggregateNS, want.TransformNS, want.BackwardNS
+			}
+			if pe.GradBytesSent != 0 || pe.GradReduceNS != 0 || pe.GradWaitNS != 0 {
+				t.Fatalf("v%d decode rank %d has non-zero gradient accounting %+v", ver, i, pe)
+			}
+			pe.GradBytesSent, pe.GradReduceNS, pe.GradWaitNS = want.GradBytesSent, want.GradReduceNS, want.GradWaitNS
+			for j := range rs.Params {
+				if rs.Params[j].EF != nil {
+					t.Fatalf("v%d decode rank %d param %d has a residual", ver, i, j)
+				}
+				rs.Params[j].EF = st.Ranks[i].Params[j].EF
+			}
 		}
 		if !reflect.DeepEqual(st, got) {
 			t.Fatalf("v%d decode mismatch:\nwant %+v\ngot  %+v", ver, st, got)
@@ -147,7 +182,7 @@ func TestDecodeAcceptsOldVersions(t *testing.T) {
 	}
 	// An out-of-range version is still rejected.
 	bad := encodeOld(testState(), 1)
-	bad[4] = 4
+	bad[4] = 5
 	if _, err := Decode(bytes.NewReader(bad)); err == nil {
 		t.Fatal("future version accepted")
 	}
@@ -221,6 +256,8 @@ func TestValidateCatchesInconsistency(t *testing.T) {
 		"no dataset":      func(s *TrainState) { s.Dataset = "" },
 		"no codec":        func(s *TrainState) { s.Codec = "" },
 		"no precision":    func(s *TrainState) { s.Precision = "" },
+		"no grad codec":   func(s *TrainState) { s.GradCodec = "" },
+		"short residual":  func(s *TrainState) { s.Ranks[0].Params[0].EF = s.Ranks[0].Params[0].EF[:3] },
 		"no fanouts":      func(s *TrainState) { s.Fanouts = nil },
 		"bad fanout":      func(s *TrainState) { s.Fanouts[1] = -1 },
 		"cursor past end": func(s *TrainState) { s.Step.Round = s.Rounds },
@@ -247,7 +284,7 @@ func TestSaverBarrierWriteAndRotation(t *testing.T) {
 	}
 	base := testState()
 	s.SetTopology(base.Topo)
-	s.SetRunConfig(base.Dataset, base.Seed, int(base.BatchSize), []int{3, 2}, base.Codec, base.Precision)
+	s.SetRunConfig(base.Dataset, base.Seed, int(base.BatchSize), []int{3, 2}, base.Codec, base.Precision, base.GradCodec)
 	fill := func(src *RankState) func(*RankState) {
 		return func(dst *RankState) { *dst = *src }
 	}
@@ -347,7 +384,7 @@ func TestSaverRejectsBarrierViolations(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.SetTopology(testState().Topo)
-	s.SetRunConfig("toy-sim", 77, 2, []int{3, 2}, "", "")
+	s.SetRunConfig("toy-sim", 77, 2, []int{3, 2}, "", "", "")
 	fill := func(dst *RankState) { *dst = *testState().Ranks[0] }
 	if err := s.Offer(0, Step{0, 1}, fill); err != nil {
 		t.Fatal(err)
@@ -360,7 +397,7 @@ func TestSaverRejectsBarrierViolations(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2.SetTopology(testState().Topo)
-	s2.SetRunConfig("toy-sim", 77, 2, []int{3, 2}, "", "")
+	s2.SetRunConfig("toy-sim", 77, 2, []int{3, 2}, "", "", "")
 	if err := s2.Offer(0, Step{0, 1}, fill); err != nil {
 		t.Fatal(err)
 	}

@@ -41,13 +41,17 @@ const (
 	// version is the format written. v2 added the wire-codec identity to
 	// the header; v3 added the compute-precision identity and the
 	// per-stage compute attribution (aggregate/transform/backward) to the
-	// partial-epoch statistics.
-	version uint32 = 3
+	// partial-epoch statistics; v4 added the gradient-codec identity,
+	// per-parameter error-feedback residuals, and gradient
+	// synchronization accounting to the partial-epoch statistics.
+	version uint32 = 4
 	// minVersion is the oldest format Decode still reads: v1 files lack
 	// the header codec string and decode with the "fp32" default — every
 	// v1 run trained under the only wire format that existed then. v2
 	// files likewise lack the precision string and stage timers; they
-	// decode with precision "fp32" and zero stage attribution.
+	// decode with precision "fp32" and zero stage attribution. v3 files
+	// lack the gradient codec and residuals; they decode with gradient
+	// codec "fp32" (the only one that existed) and empty residuals.
 	minVersion uint32 = 1
 
 	tagHeader   uint32 = 1
@@ -104,13 +108,25 @@ type PartialEpoch struct {
 	AggregateNS int64
 	TransformNS int64
 	BackwardNS  int64
+	// Gradient-synchronization accounting (v4+): the gradient all-reduce
+	// byte counter at the cursor (approximate after a resume, like
+	// BytesSent), the cumulative wall time inside gradient reduces, and
+	// the part of it the training loop actually blocked on. Zero when
+	// decoded from older files.
+	GradBytesSent int64
+	GradReduceNS  int64
+	GradWaitNS    int64
 }
 
-// ParamState is one parameter tensor's full optimizer state: value and
-// Adam first/second moments, all float32, flattened row-major.
+// ParamState is one parameter tensor's full optimizer state: value, Adam
+// first/second moments, and (v4+, lossy gradient codecs only) the
+// error-feedback residual of the compressed all-reduce — all float32,
+// flattened row-major. EF is empty for fp32-gradient runs and files older
+// than v4.
 type ParamState struct {
 	Rows, Cols int32
 	W, M, V    []float32
+	EF         []float32
 }
 
 // RankState is everything one rank needs to resume mid-epoch bitwise
@@ -163,6 +179,12 @@ type TrainState struct {
 	// it is run identity exactly like Codec; restore validates it. v1/v2
 	// files decode as "fp32", the only precision that existed then.
 	Precision string
+	// GradCodec names the gradient all-reduce wire codec ("fp32", "fp16",
+	// "int8") the run trained under. A lossy gradient codec perturbs
+	// every optimizer step and carries error-feedback residual state, so
+	// it is run identity exactly like Codec; restore validates it. Files
+	// older than v4 decode as "fp32".
+	GradCodec string
 	Topo      *Topology
 	Ranks     []*RankState
 }
@@ -192,6 +214,9 @@ func (t *TrainState) Validate() error {
 	}
 	if t.Precision == "" || len(t.Precision) > 32 {
 		return fmt.Errorf("ckpt: missing or oversized compute precision name")
+	}
+	if t.GradCodec == "" || len(t.GradCodec) > 32 {
+		return fmt.Errorf("ckpt: missing or oversized gradient codec name")
 	}
 	if len(t.Fanouts) == 0 {
 		return fmt.Errorf("ckpt: missing fanouts")
@@ -250,6 +275,10 @@ func (t *TrainState) Validate() error {
 			if len(p.W) != need || len(p.M) != need || len(p.V) != need {
 				return fmt.Errorf("ckpt: rank %d param %d: %dx%d shape but %d/%d/%d values",
 					r, i, p.Rows, p.Cols, len(p.W), len(p.M), len(p.V))
+			}
+			if len(p.EF) != 0 && len(p.EF) != need {
+				return fmt.Errorf("ckpt: rank %d param %d: residual has %d values for %dx%d shape",
+					r, i, len(p.EF), p.Rows, p.Cols)
 			}
 		}
 		if rs.AdamStep < 0 || rs.Partial.Batches < 0 {
@@ -337,6 +366,7 @@ func AppendEncode(dst []byte, t *TrainState) ([]byte, error) {
 	p.str(t.Dataset)
 	p.str(t.Codec)
 	p.str(t.Precision)
+	p.str(t.GradCodec)
 	out = p.section(out, tagHeader)
 
 	// Topology.
@@ -359,6 +389,7 @@ func AppendEncode(dst []byte, t *TrainState) ([]byte, error) {
 			p.f32s(pr.W)
 			p.f32s(pr.M)
 			p.f32s(pr.V)
+			p.f32s(pr.EF)
 		}
 		p.i64(rs.AdamStep)
 		for _, s := range rs.ModelRNG {
@@ -379,6 +410,9 @@ func AppendEncode(dst []byte, t *TrainState) ([]byte, error) {
 		p.i64(pe.AggregateNS)
 		p.i64(pe.TransformNS)
 		p.i64(pe.BackwardNS)
+		p.i64(pe.GradBytesSent)
+		p.i64(pe.GradReduceNS)
+		p.i64(pe.GradWaitNS)
 		out = p.section(out, tagRank)
 	}
 	return out, nil
@@ -650,6 +684,12 @@ func Decode(r io.Reader) (*TrainState, error) {
 					return nil, err
 				}
 			}
+			gradCodec := "fp32"
+			if ver >= 4 {
+				if gradCodec, err = c.str(); err != nil {
+					return nil, err
+				}
+			}
 			if k > 1<<16 || rounds > 1<<30 || epoch > 1<<30 || n > 1<<40 {
 				return nil, fmt.Errorf("ckpt: implausible header (k=%d rounds=%d epoch=%d n=%d)", k, rounds, epoch, n)
 			}
@@ -661,6 +701,7 @@ func Decode(r io.Reader) (*TrainState, error) {
 			t.Dataset = dsName
 			t.Codec = codec
 			t.Precision = precision
+			t.GradCodec = gradCodec
 			t.Topo = &Topology{NumVertices: int64(n), FeatureDim: int32(dim), K: int32(k)}
 		case tagTopology:
 			if !sawHeader {
@@ -723,6 +764,18 @@ func Decode(r io.Reader) (*TrainState, error) {
 				if p.V, err = c.f32s(); err != nil {
 					return nil, err
 				}
+				// Error-feedback residuals were appended in v4; older files
+				// carry none (their runs reduced raw fp32 gradients). An
+				// empty residual normalizes to nil so fp32-gradient states
+				// round-trip exactly.
+				if ver >= 4 {
+					if p.EF, err = c.f32s(); err != nil {
+						return nil, err
+					}
+					if len(p.EF) == 0 {
+						p.EF = nil
+					}
+				}
 			}
 			if rs.AdamStep, err = c.i64(); err != nil {
 				return nil, err
@@ -748,6 +801,14 @@ func Decode(r io.Reader) (*TrainState, error) {
 			// files carry only the ComputeNS total.
 			if ver >= 3 {
 				for _, dst := range []*int64{&pe.AggregateNS, &pe.TransformNS, &pe.BackwardNS} {
+					if *dst, err = c.i64(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			// Gradient-synchronization accounting was appended in v4.
+			if ver >= 4 {
+				for _, dst := range []*int64{&pe.GradBytesSent, &pe.GradReduceNS, &pe.GradWaitNS} {
 					if *dst, err = c.i64(); err != nil {
 						return nil, err
 					}

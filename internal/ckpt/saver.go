@@ -62,6 +62,7 @@ type Saver struct {
 	fanouts   []int32
 	codec     string
 	precision string
+	gradCodec string
 	slots     []*RankState
 	filled    []bool
 	arrived   int
@@ -98,13 +99,14 @@ func NewSaver(cfg Config, k, rounds int) (*Saver, error) {
 func (s *Saver) SetTopology(t *Topology) { s.topo = t }
 
 // SetRunConfig pins the run identity (dataset name, sampling seed, batch
-// size, fanouts, the feature-gather wire codec, and the compute-backend
-// precision) in every checkpoint so restore can reject drift that would
-// silently train the wrong data, replay different batches, dequantize
-// different feature bytes, or round GEMMs differently. Must be called
-// before the first Offer. An empty codec or precision records the "fp32"
-// default.
-func (s *Saver) SetRunConfig(dataset string, seed uint64, batchSize int, fanouts []int, codec, precision string) {
+// size, fanouts, the feature-gather wire codec, the compute-backend
+// precision, and the gradient all-reduce codec) in every checkpoint so
+// restore can reject drift that would silently train the wrong data,
+// replay different batches, dequantize different feature bytes, round
+// GEMMs differently, or quantize gradients against a stale residual. Must
+// be called before the first Offer. An empty codec, precision, or
+// gradCodec records the "fp32" default.
+func (s *Saver) SetRunConfig(dataset string, seed uint64, batchSize int, fanouts []int, codec, precision, gradCodec string) {
 	s.dataset = dataset
 	s.seed = seed
 	s.batchSize = int32(batchSize)
@@ -120,6 +122,10 @@ func (s *Saver) SetRunConfig(dataset string, seed uint64, batchSize int, fanouts
 		precision = "fp32"
 	}
 	s.precision = precision
+	if gradCodec == "" {
+		gradCodec = "fp32"
+	}
+	s.gradCodec = gradCodec
 }
 
 // DueRound reports whether a checkpoint fires after roundsDone fully
@@ -175,7 +181,7 @@ func (s *Saver) Offer(rank int, step Step, fill func(*RankState)) error {
 	state := &TrainState{
 		Step: step, Rounds: s.rounds,
 		Dataset: s.dataset, Seed: s.seed, BatchSize: s.batchSize, Fanouts: s.fanouts,
-		Codec: s.codec, Precision: s.precision, Topo: s.topo, Ranks: s.slots,
+		Codec: s.codec, Precision: s.precision, GradCodec: s.gradCodec, Topo: s.topo, Ranks: s.slots,
 	}
 	if err := s.write(state); err != nil {
 		s.err = err

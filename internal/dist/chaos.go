@@ -142,15 +142,25 @@ type ChaosComm struct {
 	stopWatch chan struct{} // cancels the SetAbort watcher
 }
 
-func (c *ChaosComm) Rank() int        { return c.inner.Rank() }
-func (c *ChaosComm) Size() int        { return c.inner.Size() }
+// Rank delegates to the wrapped member.
+func (c *ChaosComm) Rank() int { return c.inner.Rank() }
+
+// Size delegates to the wrapped member.
+func (c *ChaosComm) Size() int { return c.inner.Size() }
+
+// BytesSent delegates to the wrapped member; chaos faults charge no bytes.
 func (c *ChaosComm) BytesSent() int64 { return c.inner.BytesSent() }
 
+// Close closes the wrapped member and unblocks any collective waiting out
+// a stall on this member.
 func (c *ChaosComm) Close() {
 	c.closeOnce.Do(func() { close(c.closed) })
 	c.inner.Close()
 }
 
+// SetTimeout bounds collectives on the wrapped member and also caps how
+// long an injected stall may hold a call before the group is poisoned,
+// mirroring a transport-level timeout.
 func (c *ChaosComm) SetTimeout(d time.Duration) {
 	c.timeout = d
 	c.inner.SetTimeout(d)
@@ -232,6 +242,8 @@ func (c *ChaosComm) shape(send [][]byte) {
 	}
 }
 
+// AllToAll runs the fault schedule (drop, stall, slowdown, link shaping)
+// ahead of the wrapped member's collective.
 func (c *ChaosComm) AllToAll(send [][]byte) ([][]byte, error) {
 	if err := c.inject(); err != nil {
 		return nil, err
@@ -240,6 +252,8 @@ func (c *ChaosComm) AllToAll(send [][]byte) ([][]byte, error) {
 	return c.inner.AllToAll(send)
 }
 
+// AllReduceSum runs the fault schedule ahead of the wrapped member's
+// reduce (link shaping applies only to AllToAll payloads).
 func (c *ChaosComm) AllReduceSum(x []float32) error {
 	if err := c.inject(); err != nil {
 		return err

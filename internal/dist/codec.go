@@ -64,6 +64,7 @@ func ParseCodec(name string) (Codec, error) {
 	return CodecFP32, fmt.Errorf("dist: unknown wire codec %q (want fp32, fp16, or int8)", name)
 }
 
+// String returns the codec's canonical flag/checkpoint name.
 func (c Codec) String() string {
 	switch c {
 	case CodecFP32:

@@ -35,6 +35,14 @@ type AccuracyConfig struct {
 	// precision ("", "fp32", "fp16", "int8"). Training compute is always
 	// fp32; like Codec it is part of the checkpoint identity.
 	Precision string
+	// GradCodec is the gradient all-reduce wire codec ("", "fp32", "fp16",
+	// "int8"). Lossy codecs quantize per row with error-feedback residuals;
+	// the residuals (and the codec name) are part of the checkpoint
+	// identity, so resuming requires the same setting.
+	GradCodec string
+	// NoGradOverlap disables the overlapped per-layer gradient reduce
+	// (bitwise-neutral; exists for A/B measurement).
+	NoGradOverlap bool
 	// Parallelism bounds sampler workers and setup-time analysis threads
 	// (0 keeps the default of 2).
 	Parallelism int
@@ -142,6 +150,7 @@ func Accuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 				Fanouts: cfg.Fanouts, BatchSize: cfg.Batch,
 				PipelineDepth: 10, SamplerWorkers: workers, Parallelism: workers,
 				LR: cfg.LR, Seed: cfg.Seed,
+				GradCodec: cfg.GradCodec, NoGradOverlap: cfg.NoGradOverlap,
 			},
 			ModelSeed:  cfg.Seed + 1,
 			Checkpoint: cfg.Checkpoint,

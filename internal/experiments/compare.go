@@ -28,7 +28,10 @@ type Comparison struct {
 // the report kind from its fields and gates the kind's headline metrics.
 //
 //   - BENCH_epoch.json: best epoch wall time and mean bytes-on-wire per
-//     epoch (both lower is better).
+//     epoch (both lower is better), plus — when the baseline has the
+//     columns — per-stage compute means, gradient all-reduce bytes per
+//     epoch (lower), and overlap seconds saved (higher, above a noise
+//     floor).
 //   - BENCH_serve.json: per-α serving p95 latency (lower), closed-loop
 //     throughput (higher), and bytes on the wire (lower), matched row by
 //     row on α.
@@ -88,6 +91,20 @@ func jsonFloat(raw map[string]json.RawMessage, key string) (float64, error) {
 	return v, nil
 }
 
+// jsonFloatOpt is jsonFloat for columns added after the first BENCH files
+// were committed: an absent key decodes as zero (callers skip the gate)
+// instead of erroring.
+func jsonFloatOpt(raw map[string]json.RawMessage, key string) (float64, error) {
+	if raw[key] == nil {
+		return 0, nil
+	}
+	var v float64
+	if err := json.Unmarshal(raw[key], &v); err != nil {
+		return 0, fmt.Errorf("compare: bad %q: %w", key, err)
+	}
+	return v, nil
+}
+
 // gate appends the comparison of one metric pair. A non-positive value on
 // either side is an error, not a pass: every gated metric is a wall time,
 // a latency, or a throughput, all strictly positive in any real report. A
@@ -140,6 +157,41 @@ func compareEpoch(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Com
 	out, err = gate(out, "mean_bytes_per_epoch", oldBytes, newBytes, tol, false)
 	if err != nil {
 		return nil, err
+	}
+	// Gradient-synchronization columns (grad codec + overlapped reduce).
+	// Baselines written before the columns existed lack them entirely and
+	// skip the gates, so old BENCH files stay comparable.
+	oldGrad, err := jsonFloatOpt(oldRaw, "grad_bytes_per_epoch")
+	if err != nil {
+		return nil, err
+	}
+	newGrad, err := jsonFloatOpt(newRaw, "grad_bytes_per_epoch")
+	if err != nil {
+		return nil, err
+	}
+	if oldGrad > 0 {
+		out, err = gate(out, "grad_bytes_per_epoch", oldGrad, newGrad, tol, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	oldSaved, err := jsonFloatOpt(oldRaw, "overlap_seconds_saved")
+	if err != nil {
+		return nil, err
+	}
+	newSaved, err := jsonFloatOpt(newRaw, "overlap_seconds_saved")
+	if err != nil {
+		return nil, err
+	}
+	// Overlap time saved is gated only above a noise floor: on a small run
+	// the saved fraction is milliseconds and scheduler jitter would flap
+	// the gate. 50ms per epoch is well above jitter on any CI box.
+	const overlapNoiseFloor = 0.05
+	if oldSaved > overlapNoiseFloor {
+		out, err = gate(out, "overlap_seconds_saved", oldSaved, newSaved, tol, true)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Per-stage compute columns (aggregate/transform/backward), gated on
 	// their per-epoch means so a kernel regression is pinned to a stage.

@@ -11,11 +11,16 @@ func writeEpochReport(t *testing.T, dir, name string, best float64) string {
 }
 
 func writeEpochReportBytes(t *testing.T, dir, name string, best, bytes float64) string {
+	return writeEpochReportGrad(t, dir, name, best, bytes, 0, 0)
+}
+
+func writeEpochReportGrad(t *testing.T, dir, name string, best, bytes, gradBytes, saved float64) string {
 	t.Helper()
 	r := &EpochBenchResult{
 		Dataset: "papers-sim", Vertices: 1000, K: 2, Codec: "fp32",
 		Epochs:          []EpochRow{{Epoch: 0, WallSeconds: best, BytesSent: int64(bytes)}},
 		BestWallSeconds: best, MeanWallSeconds: best, MeanBytesPerEpoch: bytes,
+		GradBytesPerEpoch: gradBytes, OverlapSecondsSaved: saved,
 	}
 	p := filepath.Join(dir, name)
 	if err := r.WriteJSON(p); err != nil {
@@ -84,6 +89,78 @@ func TestCompareGateFailsOnInjectedEpochRegression(t *testing.T) {
 	}
 	if !AnyRegressed(cs) {
 		t.Fatalf("60%% bytes-per-epoch regression passed the gate: %+v", cs)
+	}
+}
+
+// TestCompareGateGradColumns gates the gradient-synchronization columns and
+// skips them only when the baseline predates them (or, for overlap, sits
+// below the noise floor).
+func TestCompareGateGradColumns(t *testing.T) {
+	dir := t.TempDir()
+	old := writeEpochReportGrad(t, dir, "old.json", 10.0, 5e6, 1e6, 0.2)
+
+	// Identical columns pass.
+	same := writeEpochReportGrad(t, dir, "same.json", 10.0, 5e6, 1e6, 0.2)
+	cs, err := CompareBenchFiles(old, same, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("identical grad columns regressed: %+v", cs)
+	}
+
+	// Gradient bytes +60% (a grad wire-format regression): fail.
+	fat := writeEpochReportGrad(t, dir, "fat.json", 10.0, 5e6, 1.6e6, 0.2)
+	cs, err = CompareBenchFiles(old, fat, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatalf("60%% grad-bytes regression passed the gate: %+v", cs)
+	}
+
+	// Overlap savings collapsing by half (the reduce stopped hiding behind
+	// backward compute): fail.
+	stall := writeEpochReportGrad(t, dir, "stall.json", 10.0, 5e6, 1e6, 0.1)
+	cs, err = CompareBenchFiles(old, stall, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyRegressed(cs) {
+		t.Fatalf("halved overlap savings passed the gate: %+v", cs)
+	}
+
+	// A baseline from before the columns existed skips them, in both
+	// directions (old BENCH files stay comparable).
+	pre := writeEpochReport(t, dir, "pre.json", 10.0)
+	for _, pair := range [][2]string{{pre, old}, {old, pre}} {
+		if pair[0] == old {
+			// A zero new value against a positive grad baseline is a broken
+			// measurement and must error, not pass.
+			if _, err := CompareBenchFiles(pair[0], pair[1], 0.25); err == nil {
+				t.Fatal("zero grad bytes in the new report accepted against a grad-bearing baseline")
+			}
+			continue
+		}
+		cs, err := CompareBenchFiles(pair[0], pair[1], 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if AnyRegressed(cs) {
+			t.Fatalf("pre-grad baseline regressed against a grad-bearing report: %+v", cs)
+		}
+	}
+
+	// Overlap savings below the 50ms noise floor are not gated: milliseconds
+	// of scheduler jitter must not flap CI.
+	noisyOld := writeEpochReportGrad(t, dir, "noisy-old.json", 10.0, 5e6, 1e6, 0.02)
+	noisyNew := writeEpochReportGrad(t, dir, "noisy-new.json", 10.0, 5e6, 1e6, 0.001)
+	cs, err = CompareBenchFiles(noisyOld, noisyNew, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("sub-noise-floor overlap drift regressed: %+v", cs)
 	}
 }
 

@@ -31,7 +31,14 @@ type EpochRow struct {
 	BackwardSeconds  float64 `json:"backward_seconds"`
 	BytesSent        int64   `json:"bytes_sent"`
 	RemoteFetches    int64   `json:"remote_fetches"`
-	Loss             float64 `json:"loss"`
+	// GradBytesSent is the gradient all-reduce payload summed over ranks —
+	// the grad-codec headline, disjoint from the feature bytes above.
+	GradBytesSent int64 `json:"grad_bytes_sent"`
+	// OverlapSecondsSaved is rank-0's reduce time spent concurrently with
+	// backward compute: GradReduceTime − GradWaitTime. With overlap
+	// disabled the two are equal by construction and the column is zero.
+	OverlapSecondsSaved float64 `json:"overlap_seconds_saved"`
+	Loss                float64 `json:"loss"`
 }
 
 // EpochBenchResult is the machine-readable end-to-end epoch report
@@ -51,7 +58,11 @@ type EpochBenchResult struct {
 	// Codec is the feature-gather wire codec the epochs ran under; the
 	// per-epoch BytesSent column counts encoded wire bytes, so fp16/int8
 	// rows shrink it at identical remote-fetch counts.
-	Codec           string     `json:"codec"`
+	Codec string `json:"codec"`
+	// GradCodec is the gradient all-reduce wire codec ("fp32", "fp16",
+	// "int8"); fp16/int8 rows shrink GradBytesPerEpoch via per-row
+	// quantization with error-feedback residuals.
+	GradCodec       string     `json:"grad_codec"`
 	MaxProcs        int        `json:"gomaxprocs"`
 	NumCPU          int        `json:"numcpu"`
 	Epochs          []EpochRow `json:"epochs"`
@@ -60,6 +71,17 @@ type EpochBenchResult struct {
 	// MeanBytesPerEpoch is the bytes-on-wire headline the CI bench gate
 	// tracks: mean feature-communication payload bytes per epoch.
 	MeanBytesPerEpoch float64 `json:"mean_bytes_per_epoch"`
+	// GradBytesPerEpoch is the gradient-synchronization analog: mean
+	// all-reduce payload bytes per epoch, gated by `-compare` when the
+	// baseline has the column.
+	GradBytesPerEpoch float64 `json:"grad_bytes_per_epoch"`
+	// OverlapSecondsSaved is the mean per-epoch reduce time hidden behind
+	// backward compute by the overlapped schedule.
+	OverlapSecondsSaved float64 `json:"overlap_seconds_saved"`
+	// NoOverlapWallSeconds is one control epoch on a fresh same-seed
+	// cluster with Config.NoGradOverlap set, so the overlap win is
+	// visible in the report itself (compare against the epoch-0 wall).
+	NoOverlapWallSeconds float64 `json:"no_overlap_wall_seconds"`
 }
 
 // EpochBench trains a 2-machine SALIENT++ cluster on a materialized
@@ -89,16 +111,21 @@ func EpochBench(scale Scale, epochs int) (*EpochBenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl, err := pipeline.NewCluster(ds, pipeline.ClusterConfig{
+	gradCodec, err := dist.ParseCodec(scale.GradCodec)
+	if err != nil {
+		return nil, err
+	}
+	clusterCfg := pipeline.ClusterConfig{
 		K: k, Alpha: alpha, GPUFraction: 1, VIPReorder: true,
 		Hidden: dims.Hidden, Layers: len(dims.Fanouts), Codec: scale.Codec,
 		Train: pipeline.Config{
 			Fanouts: dims.Fanouts, BatchSize: scale.Batch, PipelineDepth: 10,
 			SamplerWorkers: scale.Workers, Parallelism: scale.Workers,
-			LR: 1e-3, Seed: scale.Seed,
+			LR: 1e-3, Seed: scale.Seed, GradCodec: scale.GradCodec,
 		},
 		ModelSeed: scale.Seed + 1,
-	})
+	}
+	cl, err := pipeline.NewCluster(ds, clusterCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +135,8 @@ func EpochBench(scale Scale, epochs int) (*EpochBenchResult, error) {
 		Dataset: ds.Name, Vertices: ds.NumVertices(), Edges: ds.Graph.NumEdges(),
 		K: k, Alpha: alpha, Fanouts: dims.Fanouts, Batch: scale.Batch,
 		Hidden: dims.Hidden, Seed: scale.Seed, Codec: codec.String(),
-		MaxProcs: procs, NumCPU: runtime.NumCPU(),
+		GradCodec: gradCodec.String(),
+		MaxProcs:  procs, NumCPU: runtime.NumCPU(),
 	}
 	for e := 0; e < epochs; e++ {
 		t0 := time.Now()
@@ -123,10 +151,14 @@ func EpochBench(scale Scale, epochs int) (*EpochBenchResult, error) {
 		for _, s := range stats {
 			row.BytesSent += s.BytesSent
 			row.RemoteFetches += int64(s.Gather.RemoteFetch)
+			row.GradBytesSent += s.GradBytesSent
 			if s.Batches > 0 {
 				lossSum += s.Loss
 				lossN++
 			}
+		}
+		if saved := (stats[0].GradReduceTime - stats[0].GradWaitTime).Seconds(); saved > 0 {
+			row.OverlapSecondsSaved = saved
 		}
 		if lossN > 0 {
 			row.Loss = lossSum / float64(lossN)
@@ -140,18 +172,38 @@ func EpochBench(scale Scale, epochs int) (*EpochBenchResult, error) {
 		res.Epochs = append(res.Epochs, row)
 	}
 	best := res.Epochs[0].WallSeconds
-	var sum float64
-	var bytes int64
+	var sum, saved float64
+	var bytes, gradBytes int64
 	for _, r := range res.Epochs {
 		if r.WallSeconds < best {
 			best = r.WallSeconds
 		}
 		sum += r.WallSeconds
 		bytes += r.BytesSent
+		gradBytes += r.GradBytesSent
+		saved += r.OverlapSecondsSaved
 	}
 	res.BestWallSeconds = best
 	res.MeanWallSeconds = sum / float64(len(res.Epochs))
 	res.MeanBytesPerEpoch = float64(bytes) / float64(len(res.Epochs))
+	res.GradBytesPerEpoch = float64(gradBytes) / float64(len(res.Epochs))
+	res.OverlapSecondsSaved = saved / float64(len(res.Epochs))
+
+	// Control: one epoch on a fresh same-seed cluster with the overlapped
+	// reduce schedule disabled, so the report carries its own ablation
+	// (compare NoOverlapWallSeconds against the epoch-0 wall above).
+	ctrlCfg := clusterCfg
+	ctrlCfg.Train.NoGradOverlap = true
+	ctrl, err := pipeline.NewCluster(ds, ctrlCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer ctrl.Close()
+	t0 := time.Now()
+	if _, err := ctrl.TrainEpochAll(0); err != nil {
+		return nil, err
+	}
+	res.NoOverlapWallSeconds = time.Since(t0).Seconds()
 	return res, nil
 }
 
@@ -168,17 +220,23 @@ func (r *EpochBenchResult) WriteJSON(path string) error {
 // RenderEpochBench formats the per-epoch table.
 func RenderEpochBench(r *EpochBenchResult) string {
 	t := metrics.NewTable(
-		fmt.Sprintf("End-to-end training epochs (%s, N=%d, K=%d, α=%.2f, batch=%d, codec=%s, GOMAXPROCS=%d/%d CPUs)",
-			r.Dataset, r.Vertices, r.K, r.Alpha, r.Batch, r.Codec, r.MaxProcs, r.NumCPU),
-		"epoch", "wall (s)", "sample (s)", "gather (s)", "compute (s)", "agg (s)", "xform (s)", "bwd (s)", "MB sent", "remote rows", "loss")
+		fmt.Sprintf("End-to-end training epochs (%s, N=%d, K=%d, α=%.2f, batch=%d, codec=%s, grad=%s, GOMAXPROCS=%d/%d CPUs)",
+			r.Dataset, r.Vertices, r.K, r.Alpha, r.Batch, r.Codec, r.GradCodec, r.MaxProcs, r.NumCPU),
+		"epoch", "wall (s)", "sample (s)", "gather (s)", "compute (s)", "agg (s)", "xform (s)", "bwd (s)", "MB sent", "grad MB", "ovl saved (s)", "remote rows", "loss")
 	for _, row := range r.Epochs {
 		t.AddRow(row.Epoch,
 			fmt.Sprintf("%.4f", row.WallSeconds), fmt.Sprintf("%.4f", row.SampleSeconds),
 			fmt.Sprintf("%.4f", row.GatherSeconds), fmt.Sprintf("%.4f", row.ComputeSeconds),
 			fmt.Sprintf("%.4f", row.AggregateSeconds), fmt.Sprintf("%.4f", row.TransformSeconds),
 			fmt.Sprintf("%.4f", row.BackwardSeconds),
-			fmt.Sprintf("%.2f", float64(row.BytesSent)/1e6), row.RemoteFetches,
+			fmt.Sprintf("%.2f", float64(row.BytesSent)/1e6),
+			fmt.Sprintf("%.2f", float64(row.GradBytesSent)/1e6),
+			fmt.Sprintf("%.4f", row.OverlapSecondsSaved),
+			row.RemoteFetches,
 			fmt.Sprintf("%.4f", row.Loss))
+	}
+	if r.NoOverlapWallSeconds > 0 {
+		return t.String() + fmt.Sprintf("\ncontrol epoch with grad overlap disabled: %.4f s wall\n", r.NoOverlapWallSeconds)
 	}
 	return t.String()
 }

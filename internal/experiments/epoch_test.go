@@ -10,6 +10,7 @@ import (
 func TestEpochBenchReport(t *testing.T) {
 	scale := SmallScale()
 	scale.PapersN = 4000
+	scale.GradCodec = "int8"
 	res, err := EpochBench(scale, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -24,9 +25,18 @@ func TestEpochBenchReport(t *testing.T) {
 		if row.BytesSent <= 0 {
 			t.Fatalf("no communication recorded: %+v", row)
 		}
+		if row.GradBytesSent <= 0 {
+			t.Fatalf("no gradient communication recorded: %+v", row)
+		}
 		if row.Loss <= 0 {
 			t.Fatalf("no loss recorded: %+v", row)
 		}
+	}
+	if res.GradCodec != "int8" || res.GradBytesPerEpoch <= 0 {
+		t.Fatalf("gradient summary malformed: codec=%q bytes=%v", res.GradCodec, res.GradBytesPerEpoch)
+	}
+	if res.NoOverlapWallSeconds <= 0 {
+		t.Fatalf("control epoch missing: %+v", res.NoOverlapWallSeconds)
 	}
 	if res.BestWallSeconds <= 0 || res.MeanWallSeconds < res.BestWallSeconds {
 		t.Fatalf("summary malformed: best=%v mean=%v", res.BestWallSeconds, res.MeanWallSeconds)

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGradCodecAccuracyDelta pins the quality cost of the compressed
+// gradient all-reduce on a real seeded training run: switching the gradient
+// transport from fp32 to fp16 must leave the final sampled-inference test
+// accuracy within 0.5 points, and int8 (with error-feedback residuals)
+// within 2 points — the same bounds the feature-gather codecs are held to
+// in TestCodecAccuracyDelta. Remote-fetch counts must not move at all: the
+// gradient codec compresses synchronization traffic, it must never change
+// what the samplers fetch.
+func TestGradCodecAccuracyDelta(t *testing.T) {
+	run := func(gradCodec string) AccuracyRow {
+		cfg := DefaultAccuracyConfig()
+		cfg.Datasets = []string{"products-sim"}
+		cfg.N = 3000
+		cfg.Epochs = 2
+		cfg.GradCodec = gradCodec
+		rows, err := Accuracy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows[0]
+	}
+	fp32 := run("fp32")
+	fp16 := run("fp16")
+	i8 := run("int8")
+
+	if fp16.RemotePerEpoch != fp32.RemotePerEpoch || i8.RemotePerEpoch != fp32.RemotePerEpoch {
+		t.Fatalf("remote fetches drifted across gradient codecs: fp32 %d, fp16 %d, int8 %d",
+			fp32.RemotePerEpoch, fp16.RemotePerEpoch, i8.RemotePerEpoch)
+	}
+	if d := math.Abs(fp16.TestAcc - fp32.TestAcc); d > 0.005 {
+		t.Errorf("fp16 grad test accuracy %.4f vs fp32 %.4f: delta %.4f exceeds 0.5 points",
+			fp16.TestAcc, fp32.TestAcc, d)
+	}
+	if d := math.Abs(i8.TestAcc - fp32.TestAcc); d > 0.02 {
+		t.Errorf("int8 grad test accuracy %.4f vs fp32 %.4f: delta %.4f exceeds 2 points",
+			i8.TestAcc, fp32.TestAcc, d)
+	}
+	for _, r := range []AccuracyRow{fp32, fp16, i8} {
+		if r.FinalLoss >= r.FirstLoss {
+			t.Errorf("%+v: loss did not decrease", r)
+		}
+	}
+}

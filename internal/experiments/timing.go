@@ -43,6 +43,11 @@ type Scale struct {
 	// "fp32", "fp16", "int8") — part of checkpoint run identity. Training
 	// compute is always fp32 regardless. Empty means fp32.
 	Precision string
+	// GradCodec selects the gradient all-reduce wire codec ("", "fp32",
+	// "fp16", "int8") for the benchmarks that train the real cluster.
+	// Lossy codecs use per-row quantization with error-feedback residuals;
+	// the empty string is the raw fp32 default.
+	GradCodec string
 }
 
 // DefaultScale is used by the CLI harness (a few minutes end to end).

@@ -39,6 +39,13 @@ type Model struct {
 	params   []*Param         // cached stable parameter order
 	dropRNG  *rng.RNG
 	training bool // mode of the last Forward
+
+	// layerDone, when set, is invoked by Backward the moment layer li's
+	// parameter gradients are final — i.e. right after that layer's
+	// backward kernel returns, while earlier layers are still being
+	// differentiated. The pipeline uses it to launch layer li's gradient
+	// all-reduce concurrently with layer li-1's backward compute.
+	layerDone func(li int)
 }
 
 // NewModel builds a GraphSAGE with the given dimensions: inDim → hidden
@@ -139,6 +146,12 @@ func (m *Model) Backward(dLogits *tensor.Matrix) {
 	grad := dLogits
 	for li := len(m.Layers) - 1; li >= 0; li-- {
 		grad = m.Layers[li].Backward(&m.caches[li], grad, m.arena, &env)
+		if m.layerDone != nil {
+			// Layer li's gradients are final: the remaining iterations only
+			// touch layers < li, so a concurrent reader of layer li's params
+			// is race-free from here on.
+			m.layerDone(li)
+		}
 		if li > 0 {
 			// Undo dropout and ReLU of the previous hidden activation.
 			if m.Dropout > 0 {
@@ -168,6 +181,19 @@ func (m *Model) RNGState() [4]uint64 { return m.dropRNG.State() }
 
 // SetRNGState restores the dropout stream captured by RNGState.
 func (m *Model) SetRNGState(s [4]uint64) { m.dropRNG.SetState(s) }
+
+// SetBackwardLayerHook installs (or, with nil, removes) the per-layer
+// backward-completion callback: Backward calls fn(li) as soon as layer
+// li's parameter gradients are fully accumulated, while the backward pass
+// continues through earlier layers. fn runs on the goroutine executing
+// Backward and must be cheap — the pipeline's hook just enqueues the
+// layer index for its reducer goroutine.
+func (m *Model) SetBackwardLayerHook(fn func(li int)) { m.layerDone = fn }
+
+// LayerParams returns layer li's parameters, in the same relative order
+// they appear in Params(). The overlapped all-reduce reduces one layer's
+// group at a time.
+func (m *Model) LayerParams(li int) []*Param { return m.Layers[li].Params() }
 
 // Params returns all learnable parameters in a stable order.
 func (m *Model) Params() []*Param { return m.params }

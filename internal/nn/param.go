@@ -13,6 +13,14 @@ type Param struct {
 	G *tensor.Matrix // gradient (accumulated per step)
 	M *tensor.Matrix // Adam first moment
 	V *tensor.Matrix // Adam second moment
+
+	// EF is the error-feedback residual for lossy gradient compression:
+	// the quantization error left over from the previous round's
+	// all-reduce, added back into the next round's gradient before
+	// encoding (dist.GradReducer). Nil until EnsureResidual — fp32 runs
+	// never allocate it. Checkpointed (format v4) so a resumed lossy run
+	// replays the uninterrupted trajectory bitwise.
+	EF []float32
 }
 
 // NewParam allocates a parameter of the given shape with zeroed state.
@@ -30,3 +38,12 @@ func (p *Param) ZeroGrad() { p.G.Zero() }
 
 // NumValues returns the number of scalar parameters.
 func (p *Param) NumValues() int { return len(p.W.Data) }
+
+// EnsureResidual allocates the error-feedback buffer if it is missing.
+// Idempotent; called once at setup when a lossy gradient codec is
+// configured.
+func (p *Param) EnsureResidual() {
+	if p.EF == nil {
+		p.EF = make([]float32, len(p.W.Data))
+	}
+}

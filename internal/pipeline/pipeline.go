@@ -45,6 +45,20 @@ type Config struct {
 	LR float64
 	// Seed drives sampling and dropout; combined with rank and epoch.
 	Seed uint64
+	// GradCodec selects the wire encoding of the per-round gradient
+	// all-reduce: "fp32" (raw, the default — bitwise the historical
+	// reduce), "fp16", or "int8" with error-feedback residual
+	// accumulation (dist.GradReducer). Independent of the feature-gather
+	// codec; all ranks must agree. The empty string means fp32, so
+	// zero-valued configs keep the historical behavior.
+	GradCodec string
+	// NoGradOverlap disables the overlapped per-layer gradient reduce and
+	// falls back to synchronously reducing each layer after the full
+	// backward pass, in the same layer order — identical arithmetic,
+	// strictly more idle time. The zero value (overlap on) is the
+	// production configuration; the flag exists so the epoch benchmark
+	// can measure the overlap win.
+	NoGradOverlap bool
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +86,14 @@ type Rank struct {
 	trainIDs []int32
 	labels   []int32 // global labels (label < 0 means unlabeled)
 	rounds   int     // collective rounds per epoch (global max batches)
+
+	// Gradient synchronization: the codec-aware reducer plus per-layer
+	// views of the model's gradient tensors and error-feedback residuals,
+	// grouped so layer L can all-reduce while layer L-1 is still in
+	// backward.
+	reducer   *dist.GradReducer
+	layerMats [][]*tensor.Matrix
+	layerRes  [][][]float32
 
 	// Per-batch scratch reused across the epoch so the steady-state loop
 	// allocates nothing: pooled loss-gradient matrices and the label
@@ -104,6 +126,16 @@ type EpochStats struct {
 	AggregateTime time.Duration
 	TransformTime time.Duration
 	BackwardTime  time.Duration
+
+	// Gradient-synchronization attribution. GradReduceTime is the total
+	// wall time spent inside gradient all-reduces; GradWaitTime is the
+	// part the training loop actually blocked on (the rest ran hidden
+	// under backward compute). Their difference is the overlap win the
+	// epoch benchmark reports as overlap_seconds_saved; with
+	// Config.NoGradOverlap the two are equal by construction.
+	GradBytesSent  int64 // gradient all-reduce bytes this epoch
+	GradReduceTime time.Duration
+	GradWaitTime   time.Duration
 }
 
 // NewRank wires one machine. labels must cover all global vertices
@@ -118,18 +150,39 @@ func NewRank(cfg Config, commFeat, commGrad dist.Comm, store *dist.Store, s *sam
 	if globalMaxBatches <= 0 {
 		return nil, fmt.Errorf("pipeline: non-positive round count %d", globalMaxBatches)
 	}
+	gradCodec, err := dist.ParseCodec(cfg.GradCodec)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: gradient codec: %w", err)
+	}
+	// Group gradients and error-feedback residuals by layer: the unit of
+	// the overlapped all-reduce. Lossy codecs need the residual buffers;
+	// fp32 never allocates them.
+	layerMats := make([][]*tensor.Matrix, len(m.Layers))
+	layerRes := make([][][]float32, len(m.Layers))
+	for li := range m.Layers {
+		for _, p := range m.LayerParams(li) {
+			if gradCodec != dist.CodecFP32 {
+				p.EnsureResidual()
+			}
+			layerMats[li] = append(layerMats[li], p.G)
+			layerRes[li] = append(layerRes[li], p.EF)
+		}
+	}
 	return &Rank{
-		cfg:      cfg,
-		commFeat: commFeat,
-		commGrad: commGrad,
-		store:    store,
-		sampler:  s,
-		model:    m,
-		opt:      nn.NewAdam(cfg.LR),
-		trainIDs: trainIDs,
-		labels:   labels,
-		rounds:   globalMaxBatches,
-		pool:     tensor.NewPool(),
+		cfg:       cfg,
+		commFeat:  commFeat,
+		commGrad:  commGrad,
+		store:     store,
+		sampler:   s,
+		model:     m,
+		opt:       nn.NewAdam(cfg.LR),
+		trainIDs:  trainIDs,
+		labels:    labels,
+		rounds:    globalMaxBatches,
+		reducer:   dist.NewGradReducer(commGrad, gradCodec),
+		layerMats: layerMats,
+		layerRes:  layerRes,
+		pool:      tensor.NewPool(),
 	}, nil
 }
 
@@ -166,6 +219,19 @@ func (r *Rank) RestoreState(st *ckpt.RankState) error {
 		copy(p.W.Data, sp.W)
 		copy(p.M.Data, sp.M)
 		copy(p.V.Data, sp.V)
+		// Error-feedback residuals (format v4; empty in older files and
+		// fp32 runs). Copy in place — the reducer holds aliases of p.EF.
+		if len(sp.EF) > 0 {
+			if len(sp.EF) != len(p.W.Data) {
+				return fmt.Errorf("pipeline: checkpoint param %d residual has %d values, want %d", i, len(sp.EF), len(p.W.Data))
+			}
+			p.EnsureResidual()
+			copy(p.EF, sp.EF)
+		} else if p.EF != nil {
+			for j := range p.EF {
+				p.EF[j] = 0
+			}
+		}
 		p.ZeroGrad()
 	}
 	r.opt.SetStepCount(int(st.AdamStep))
@@ -189,6 +255,7 @@ func (r *Rank) offerCheckpoint(step ckpt.Step, partial ckpt.PartialEpoch) error 
 			sp.W = append(sp.W[:0], p.W.Data...)
 			sp.M = append(sp.M[:0], p.M.Data...)
 			sp.V = append(sp.V[:0], p.V.Data...)
+			sp.EF = append(sp.EF[:0], p.EF...)
 		}
 		st.AdamStep = int64(r.opt.StepCount())
 		st.ModelRNG = r.model.RNGState()
@@ -211,7 +278,7 @@ func (r *Rank) failCheckpoint(err error) error {
 
 // partialFrom snapshots the accumulated epoch statistics at a round
 // boundary into checkpoint form.
-func partialFrom(stats *EpochStats, doneReal int, liveBytes int64) ckpt.PartialEpoch {
+func partialFrom(stats *EpochStats, doneReal int, liveBytes, liveGradBytes int64) ckpt.PartialEpoch {
 	return ckpt.PartialEpoch{
 		Loss:     stats.Loss,
 		Accuracy: stats.Accuracy,
@@ -229,6 +296,10 @@ func partialFrom(stats *EpochStats, doneReal int, liveBytes int64) ckpt.PartialE
 		AggregateNS: stats.AggregateTime.Nanoseconds(),
 		TransformNS: stats.TransformTime.Nanoseconds(),
 		BackwardNS:  stats.BackwardTime.Nanoseconds(),
+
+		GradBytesSent: liveGradBytes,
+		GradReduceNS:  stats.GradReduceTime.Nanoseconds(),
+		GradWaitNS:    stats.GradWaitTime.Nanoseconds(),
 	}
 }
 
@@ -273,6 +344,7 @@ func (r *Rank) trainEpochFrom(epoch, startRound int, partial *ckpt.PartialEpoch)
 	batches = batches[startRound:]
 
 	bytesBefore := r.commFeat.BytesSent()
+	gradBytesBefore := r.commGrad.BytesSent()
 	var stats EpochStats
 	stats.Batches = real
 	// doneReal counts real batches retired so far (across the restart);
@@ -281,7 +353,7 @@ func (r *Rank) trainEpochFrom(epoch, startRound int, partial *ckpt.PartialEpoch)
 	// between the checkpoint and the crash, so BytesSent is approximate
 	// after a restore, while the loss/accuracy/access counts are exact.
 	doneReal := 0
-	var resumedBytes int64
+	var resumedBytes, resumedGradBytes int64
 	if partial != nil {
 		stats.Loss = partial.Loss
 		stats.Accuracy = partial.Accuracy
@@ -295,8 +367,11 @@ func (r *Rank) trainEpochFrom(epoch, startRound int, partial *ckpt.PartialEpoch)
 		stats.AggregateTime = time.Duration(partial.AggregateNS)
 		stats.TransformTime = time.Duration(partial.TransformNS)
 		stats.BackwardTime = time.Duration(partial.BackwardNS)
+		stats.GradReduceTime = time.Duration(partial.GradReduceNS)
+		stats.GradWaitTime = time.Duration(partial.GradWaitNS)
 		doneReal = int(partial.Batches)
 		resumedBytes = partial.BytesSent
+		resumedGradBytes = partial.GradBytesSent
 	}
 	// Discard stage time accrued outside training (e.g. an evaluation pass
 	// between epochs) so the per-round harvest below attributes only this
@@ -367,9 +442,56 @@ func (r *Rank) trainEpochFrom(epoch, startRound int, partial *ckpt.PartialEpoch)
 		return stats, err
 	}
 
+	// Stage D: overlapped gradient synchronization. A dedicated reducer
+	// goroutine consumes per-layer jobs that the model's backward hook
+	// emits the moment a layer's gradients are final, so layer L's
+	// all-reduce runs concurrently with layer L-1's backward kernels. One
+	// result per round reports the error and the wall time spent inside
+	// reduces; the training loop measures separately how long it actually
+	// blocked, and the difference is the overlap win. Job capacity is one
+	// round's layer count and the loop always harvests a round's result
+	// before the next Backward, so the hook never blocks. The cleanup
+	// below drains deterministically: Reduce always returns once every
+	// rank has matched the collective or the group is closed.
+	numLayers := len(r.model.Layers)
+	type roundReduce struct {
+		err  error
+		work time.Duration
+	}
+	var reduced chan roundReduce
+	if !r.cfg.NoGradOverlap {
+		jobs := make(chan int, numLayers)
+		reduced = make(chan roundReduce, 1)
+		go func() {
+			var rr roundReduce
+			count := 0
+			for li := range jobs {
+				if rr.err == nil {
+					t0 := time.Now()
+					rr.err = r.reducer.Reduce(r.layerMats[li], r.layerRes[li])
+					rr.work += time.Since(t0)
+				}
+				count++
+				if count == numLayers {
+					reduced <- rr
+					rr, count = roundReduce{}, 0
+				}
+			}
+			close(reduced)
+		}()
+		r.model.SetBackwardLayerHook(func(li int) { jobs <- li })
+		defer func() {
+			r.model.SetBackwardLayerHook(nil)
+			close(jobs)
+			for range reduced {
+				// Drain any round completed between the last harvest and the
+				// close so the reducer goroutine never leaks.
+			}
+		}()
+	}
+
 	// Stage C: model computation and gradient synchronization.
 	grads := r.model.Params()
-	flat := make([]float32, 0, r.model.NumParameters())
 	roundsDone := startRound
 	for pb := range ready {
 		t0 := time.Now()
@@ -401,22 +523,34 @@ func (r *Rank) trainEpochFrom(epoch, startRound int, partial *ckpt.PartialEpoch)
 		r.model.Backward(dL)
 		r.pool.Put(dL)
 
-		// Gradient all-reduce (mean across ranks) on the dedicated
-		// communicator, overlapping the next batches' feature collectives.
-		flat = flat[:0]
-		for _, p := range grads {
-			flat = append(flat, p.G.Data...)
-		}
-		if err := r.commGrad.AllReduceSum(flat); err != nil {
-			return failBatch(pb, err)
+		// Harvest the round's gradient all-reduce (sum across ranks) from
+		// the overlapped reducer — or run it synchronously per layer in
+		// the same descending order when overlap is disabled (identical
+		// arithmetic, so the two modes train bitwise identically).
+		if reduced != nil {
+			t0 := time.Now()
+			rr := <-reduced
+			stats.GradWaitTime += time.Since(t0)
+			stats.GradReduceTime += rr.work
+			if rr.err != nil {
+				return failBatch(pb, rr.err)
+			}
+		} else {
+			for li := numLayers - 1; li >= 0; li-- {
+				t0 := time.Now()
+				if err := r.reducer.Reduce(r.layerMats[li], r.layerRes[li]); err != nil {
+					return failBatch(pb, err)
+				}
+				d := time.Since(t0)
+				stats.GradReduceTime += d
+				stats.GradWaitTime += d
+			}
 		}
 		inv := float32(1) / float32(r.commGrad.Size())
-		off := 0
 		for _, p := range grads {
 			for i := range p.G.Data {
-				p.G.Data[i] = flat[off+i] * inv
+				p.G.Data[i] *= inv
 			}
-			off += len(p.G.Data)
 		}
 		r.opt.Step(grads)
 		stats.ComputeTime += time.Since(t0)
@@ -435,8 +569,9 @@ func (r *Rank) trainEpochFrom(epoch, startRound int, partial *ckpt.PartialEpoch)
 		// normalized to the epoch-boundary checkpoint below.
 		if r.saver != nil && roundsDone < r.rounds && r.saver.DueRound(roundsDone) {
 			live := resumedBytes + r.commFeat.BytesSent() - bytesBefore
+			liveGrad := resumedGradBytes + r.commGrad.BytesSent() - gradBytesBefore
 			step := ckpt.Step{Epoch: epoch, Round: roundsDone}
-			if err := r.offerCheckpoint(step, partialFrom(&stats, doneReal, live)); err != nil {
+			if err := r.offerCheckpoint(step, partialFrom(&stats, doneReal, live, liveGrad)); err != nil {
 				return failBatch(preparedBatch{}, r.failCheckpoint(err))
 			}
 		}
@@ -462,6 +597,7 @@ func (r *Rank) trainEpochFrom(epoch, startRound int, partial *ckpt.PartialEpoch)
 		stats.Accuracy /= float64(real)
 	}
 	stats.BytesSent = resumedBytes + r.commFeat.BytesSent() - bytesBefore
+	stats.GradBytesSent = resumedGradBytes + r.commGrad.BytesSent() - gradBytesBefore
 	stats.Duration = time.Since(start)
 	return stats, nil
 }

@@ -149,6 +149,10 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	gradCodec, err := dist.ParseCodec(cfg.Train.GradCodec)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: gradient codec: %w", err)
+	}
 
 	// Steps 1–3 (partitioning, VIP analysis, reordering) run only for
 	// fresh clusters; a Resume restores their results from the checkpoint
@@ -363,7 +367,7 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		saver.SetRunConfig(ds.Name, cfg.Train.Seed, cfg.Train.BatchSize, cfg.Train.Fanouts, codec.String(), precision.String())
+		saver.SetRunConfig(ds.Name, cfg.Train.Seed, cfg.Train.BatchSize, cfg.Train.Fanouts, codec.String(), precision.String(), gradCodec.String())
 		saver.SetTopology(&ckpt.Topology{
 			NumVertices: int64(ds.NumVertices()),
 			FeatureDim:  int32(rds.FeatureDim),
@@ -418,6 +422,15 @@ func validateResume(ds *dataset.Dataset, cfg ClusterConfig, st *ckpt.TrainState)
 		return err
 	} else if st.Precision != precision.String() {
 		return fmt.Errorf("pipeline: checkpoint was taken with precision %q, configuration says %q", st.Precision, precision.String())
+	}
+	// The gradient codec is run identity exactly like the gather codec: a
+	// lossy gradient reduce perturbs every optimizer step and carries
+	// error-feedback residual state that only means anything under the
+	// codec that produced it.
+	if gradCodec, err := dist.ParseCodec(cfg.Train.GradCodec); err != nil {
+		return err
+	} else if st.GradCodec != gradCodec.String() {
+		return fmt.Errorf("pipeline: checkpoint was taken with gradient codec %q, configuration says %q", st.GradCodec, gradCodec.String())
 	}
 	if int(st.BatchSize) != cfg.Train.BatchSize {
 		return fmt.Errorf("pipeline: checkpoint was taken with batch size %d, configuration says %d", st.BatchSize, cfg.Train.BatchSize)

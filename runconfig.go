@@ -28,6 +28,18 @@ type RunConfig struct {
 	// precision makes frozen snapshots and serving run quantized end to
 	// end. Part of checkpoint run identity.
 	Precision string
+	// GradCodec is the gradient all-reduce wire codec ("fp32", "fp16",
+	// "int8"; "" means fp32). Lossy codecs quantize each gradient row with
+	// a per-row scale and fold the quantization error back into the next
+	// round (error feedback), keeping accuracy within fractions of a point
+	// of fp32. Part of checkpoint run identity: the accumulated residuals
+	// are saved and restored with the model.
+	GradCodec string
+	// NoGradOverlap disables overlapping the per-layer gradient all-reduce
+	// with the remaining backward compute. The overlap is on by default
+	// and bitwise-neutral (layer reduces retire in a fixed order); the
+	// switch exists for A/B measurement and debugging.
+	NoGradOverlap bool
 	// Parallelism bounds sampler workers and setup-time analysis threads;
 	// 0 keeps each harness's own default.
 	Parallelism int
@@ -48,6 +60,10 @@ func (c *RunConfig) RegisterFlags(fs *flag.FlagSet) {
 		"feature-gather wire codec: fp32 (raw), fp16 (half-precision rows + varint ids), int8 (per-row-scaled rows + varint ids)")
 	fs.StringVar(&c.Precision, "precision", c.Precision,
 		"serving/freeze compute precision: fp32, fp16, int8 (training always computes fp32); int8 runs the integer SIMD forward over quantized gathers")
+	fs.StringVar(&c.GradCodec, "grad-codec", c.GradCodec,
+		"gradient all-reduce wire codec: fp32 (raw), fp16 (half-precision rows), int8 (per-row-scaled rows with error-feedback residuals)")
+	fs.BoolVar(&c.NoGradOverlap, "no-grad-overlap", c.NoGradOverlap,
+		"disable overlapping the per-layer gradient all-reduce with backward compute (A/B measurement; results are bitwise identical either way)")
 	fs.IntVar(&c.Parallelism, "parallelism", c.Parallelism,
 		"sampler/analysis worker count (0 = harness default)")
 }
@@ -76,6 +92,9 @@ func (c RunConfig) Validate() error {
 	if _, err := tensor.ParsePrecision(c.Precision); err != nil {
 		return fmt.Errorf("-precision: %w", err)
 	}
+	if _, err := dist.ParseCodec(c.GradCodec); err != nil {
+		return fmt.Errorf("-grad-codec: %w", err)
+	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("-parallelism: negative worker count %d", c.Parallelism)
 	}
@@ -91,6 +110,8 @@ func (c RunConfig) ApplyCluster(cc *ClusterConfig) {
 	cc.Codec = c.Codec
 	cc.Precision = c.Precision
 	cc.Checkpoint = c.Checkpoint
+	cc.Train.GradCodec = c.GradCodec
+	cc.Train.NoGradOverlap = c.NoGradOverlap
 	if c.Parallelism > 0 {
 		cc.Train.SamplerWorkers = c.Parallelism
 		cc.Train.Parallelism = c.Parallelism

@@ -17,6 +17,7 @@ func TestRunConfigFlagRoundTrip(t *testing.T) {
 	run.RegisterCheckpointFlags(fs)
 	if err := fs.Parse([]string{
 		"-codec", "int8", "-precision", "fp16", "-parallelism", "4",
+		"-grad-codec", "fp16", "-no-grad-overlap",
 		"-checkpoint-dir", "ckpts", "-checkpoint-every-rounds", "50",
 		"-checkpoint-retain", "5", "-resume",
 	}); err != nil {
@@ -24,6 +25,9 @@ func TestRunConfigFlagRoundTrip(t *testing.T) {
 	}
 	if run.Codec != "int8" || run.Precision != "fp16" || run.Parallelism != 4 {
 		t.Fatalf("parsed %+v", run)
+	}
+	if run.GradCodec != "fp16" || !run.NoGradOverlap {
+		t.Fatalf("gradient flags parsed %+v", run)
 	}
 	if run.Checkpoint.Dir != "ckpts" || run.Checkpoint.EveryRounds != 50 || run.Checkpoint.Retain != 5 || !run.Resume {
 		t.Fatalf("checkpoint flags parsed %+v resume=%v", run.Checkpoint, run.Resume)
@@ -48,6 +52,7 @@ func TestRunConfigValidate(t *testing.T) {
 	for name, rc := range map[string]RunConfig{
 		"bad codec":          {Codec: "fp8"},
 		"bad precision":      {Precision: "bf16"},
+		"bad grad codec":     {GradCodec: "fp8"},
 		"negative workers":   {Parallelism: -1},
 		"resume without dir": {Resume: true},
 	} {
@@ -61,12 +66,16 @@ func TestRunConfigValidate(t *testing.T) {
 // including the "0 keeps the harness default" parallelism rule.
 func TestRunConfigApply(t *testing.T) {
 	run := RunConfig{Codec: "int8", Precision: "int8", Parallelism: 3,
+		GradCodec: "fp16", NoGradOverlap: true,
 		Checkpoint: CheckpointConfig{Dir: "d", EveryEpochs: 1}}
 	var cc ClusterConfig
 	cc.Train.SamplerWorkers = 2
 	run.ApplyCluster(&cc)
 	if cc.Codec != "int8" || cc.Precision != "int8" || cc.Checkpoint.Dir != "d" {
 		t.Fatalf("ApplyCluster: %+v", cc)
+	}
+	if cc.Train.GradCodec != "fp16" || !cc.Train.NoGradOverlap {
+		t.Fatalf("ApplyCluster gradient knobs: %+v", cc.Train)
 	}
 	if cc.Train.SamplerWorkers != 3 || cc.Train.Parallelism != 3 {
 		t.Fatalf("ApplyCluster parallelism: %+v", cc.Train)

@@ -8,6 +8,7 @@
 //
 // This root package is the facade over the implementation packages:
 //
+//   - internal/rng        — splittable seeded PRNG, zipf load sampler
 //   - internal/graph      — CSR graphs, generators, reordering
 //   - internal/dataset    — synthetic OGB analogs (Table 2)
 //   - internal/partition  — multilevel multi-constraint edge-cut partitioner
@@ -15,15 +16,20 @@
 //   - internal/cache      — the seven caching policies of Figure 2
 //   - internal/sample     — node-wise neighborhood sampling and MFGs
 //   - internal/tensor,nn  — dense float32 tensors and GraphSAGE fwd/bwd
-//   - internal/dist       — transports, collectives, partitioned feature store
+//   - internal/dist       — transports, collectives, partitioned feature
+//     store, wire codecs, compressed gradient all-reduce, chaos injection
 //   - internal/pipeline   — the real 10-stage training pipeline (§4.3)
+//   - internal/ckpt       — versioned coordinated checkpoints and restore
 //   - internal/serve      — online inference with request coalescing
 //   - internal/simnet     — bandwidth/latency/token-bucket link models
 //   - internal/perfmodel  — discrete-event performance simulator
+//   - internal/metrics    — text tables and histograms for the harnesses
 //   - internal/experiments— harnesses for every table and figure
 //
-// The quickest tour is examples/quickstart; cmd/salientbench regenerates
-// the paper's evaluation tables.
+// docs/ARCHITECTURE.md maps these packages onto the train and serve data
+// flows and lists where each guarantee is pinned by a test. The quickest
+// tour is examples/quickstart; cmd/salientbench regenerates the paper's
+// evaluation tables.
 package salientpp
 
 import (
