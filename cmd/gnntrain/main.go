@@ -8,12 +8,17 @@
 // training state — weights, Adam moments, RNG streams, epoch/round cursor,
 // and the partition/VIP/cache topology. -resume restores the newest valid
 // checkpoint and continues bitwise identically to an uninterrupted run.
+// -elastic goes further: a rank that dies mid-run becomes a live
+// membership change — the survivors detect the stall (-stall-timeout),
+// agree on the newest checkpoint they all hold, absorb the dead rank's
+// shard and cache slice, and continue on K-1 machines.
 //
 // Example:
 //
 //	gnntrain -dataset products-sim -n 8000 -k 2 -epochs 5
 //	gnntrain -dataset products-sim -checkpoint-dir ckpts -checkpoint-every-rounds 50
 //	gnntrain -dataset products-sim -checkpoint-dir ckpts -resume
+//	gnntrain -dataset products-sim -k 3 -checkpoint-dir ckpts -elastic -stall-timeout 5s
 package main
 
 import (
@@ -45,6 +50,7 @@ func main() {
 	run := salientpp.RunConfig{Codec: "fp32", Checkpoint: salientpp.CheckpointConfig{Retain: 3}}
 	run.RegisterFlags(flag.CommandLine)
 	run.RegisterCheckpointFlags(flag.CommandLine)
+	run.RegisterElasticFlags(flag.CommandLine)
 	flag.Parse()
 	if err := run.Validate(); err != nil {
 		log.Fatal(err)
@@ -70,6 +76,8 @@ func main() {
 	cfg.Parallelism = run.Parallelism
 	cfg.Checkpoint = run.Checkpoint
 	cfg.Resume = run.Resume
+	cfg.Elastic = run.Elastic
+	cfg.StallTimeout = run.StallTimeout
 
 	rows, err := experiments.Accuracy(cfg)
 	if err != nil {

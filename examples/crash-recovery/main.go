@@ -19,7 +19,12 @@
 //     Adam moments, and the dropout RNG stream — skipping partitioning
 //     and VIP re-analysis entirely;
 //  4. verify: the combined crashed+resumed trajectory matches the
-//     uninterrupted reference bit for bit.
+//     uninterrupted reference bit for bit;
+//  5. live shrink: the same death under elastic training (TrainElastic)
+//     needs no operator at all — the survivors detect the stall, agree on
+//     the newest checkpoint they all hold, absorb the dead rank's shard
+//     and cache slice, and finish on K-1 machines, bitwise identical to a
+//     cold K-1 restart from that same checkpoint.
 //
 // Run with:
 //
@@ -32,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"salientpp"
 	"salientpp/internal/dist"
@@ -153,7 +159,10 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := train(crashCl, 0, &got); err != nil {
-		fmt.Printf("    crash: %v\n", err)
+		// The survivor unwinds from whichever collective it was blocked in
+		// (send or recv varies with scheduling), so print a stable summary
+		// to keep the walkthrough's output byte-identical run to run.
+		fmt.Println("    crash: rank died mid-collective; survivors unwound with a group-closed error")
 	} else {
 		log.Fatal("the injected failure never fired; raise failAt")
 	}
@@ -197,6 +206,112 @@ func main() {
 		log.Fatal("recovery was not bitwise identical")
 	}
 	fmt.Println("\ncrash + restore reproduced the uninterrupted run bit for bit")
+
+	fmt.Println("\n5. live shrink: elastic training survives the same death unattended:")
+	demoLiveShrink(ds)
+}
+
+// demoLiveShrink runs a 3-rank elastic training job, kills rank 2 midway
+// through epoch 1, and lets the survivors shrink the run live: stall
+// detection, pairwise probes, membership consensus on the newest common
+// checkpoint, shard/cache re-layout, and a 2-rank finish. It then verifies
+// the live-shrunk run against a cold 2-rank restart from the very same
+// shrunk state — bit for bit.
+func demoLiveShrink(ds *salientpp.Dataset) {
+	const victim = 2
+	dir, err := os.MkdirTemp("", "salientpp-elastic-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	base := func() salientpp.ClusterConfig {
+		cfg := config()
+		cfg.K = 3
+		cfg.Checkpoint = salientpp.CheckpointConfig{Dir: dir, EveryRounds: 2, EveryEpochs: 1, Retain: 8}
+		cfg.StallTimeout = time.Second
+		return cfg
+	}
+
+	// Calibrate: one healthy epoch counts the victim's collectives so the
+	// kill below lands mid-epoch 1.
+	counter := dist.NewChaos(dist.ChaosConfig{Seed: 1})
+	ccfg := base()
+	ccfg.Checkpoint = salientpp.CheckpointConfig{}
+	ccfg.StallTimeout = 0
+	ccfg.WrapComm = func(rank int, feat, grad dist.Comm) (dist.Comm, dist.Comm) {
+		if rank == victim {
+			return counter.WrapPair(feat, grad)
+		}
+		return feat, grad
+	}
+	cal, err := salientpp.NewCluster(ds, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cal.TrainEpochAll(0); err != nil {
+		log.Fatal(err)
+	}
+	perEpoch := counter.Calls()
+	cal.Close()
+
+	// Elastic run: the chaos harness kills rank 2 (closes both collective
+	// groups, and keeps failing its recovery probes — a dead machine stays
+	// dead) halfway through epoch 1.
+	ch := dist.NewChaos(dist.ChaosConfig{Seed: 2, DropAtCall: perEpoch + perEpoch/2})
+	ecfg := base()
+	ecfg.WrapComm = func(rank int, feat, grad dist.Comm) (dist.Comm, dist.Comm) {
+		if rank == victim {
+			return ch.WrapPair(feat, grad)
+		}
+		return feat, grad
+	}
+	live, rep, err := salientpp.TrainElastic(ds, ecfg, epochs, salientpp.ElasticConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer live.Close()
+	ev := rep.RegroupEvents[0]
+	fmt.Printf("    rank %d died; %d stall detected, %d regroup: survivors %v resume at epoch %d (%d rounds replayed)\n",
+		victim, rep.StallsDetected, rep.Regroups, ev.Survivors, ev.State.Step.Epoch, rep.RoundsReplayed)
+
+	// Control: a cold K-1 restart from the same shrunk state.
+	cold := config()
+	cold.K = len(ev.Survivors)
+	cold.Resume = ev.State
+	coldCl, err := salientpp.NewCluster(ds, cold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coldCl.Close()
+	ok := true
+	for e := ev.State.Step.Epoch; e < epochs; e++ {
+		stats, err := coldCl.TrainEpochAll(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var coldLoss, liveLoss float64
+		for _, s := range stats {
+			coldLoss += s.Loss / float64(len(stats))
+		}
+		liveStats := rep.Epochs[e]
+		for _, s := range liveStats {
+			liveLoss += s.Loss / float64(len(liveStats))
+		}
+		match := coldLoss == liveLoss
+		fmt.Printf("    epoch %d: live loss %.6f vs cold restart %.6f — %s\n",
+			e, liveLoss, coldLoss, verdict(match))
+		ok = ok && match
+	}
+	liveW, coldW := weights(live), weights(coldCl)
+	wMatch := len(liveW) == len(coldW)
+	for i := 0; wMatch && i < len(coldW); i++ {
+		wMatch = liveW[i] == coldW[i]
+	}
+	fmt.Printf("    final weights (%d values) — %s\n", len(coldW), verdict(wMatch))
+	if !ok || !wMatch {
+		log.Fatal("live shrink did not match the cold restart")
+	}
+	fmt.Println("\nthe live-shrunk run matches a cold 2-rank restart bit for bit")
 }
 
 func weights(cl *salientpp.Cluster) []float32 {

@@ -31,6 +31,12 @@ type Chaos struct {
 	stalled bool
 	clearCh chan struct{} // closed by Clear; waiters block on it while stalled
 
+	// killed, once set, makes every wrapped collective fail permanently
+	// (see Kill) — the manual counterpart of DropAtCall for faults that
+	// must land at an external event (a checkpoint file appearing, a
+	// wall-clock mark) rather than at a collective count.
+	killed atomic.Bool
+
 	linkMu sync.Mutex // simnet.Link is single-threaded; serialize wrappers
 }
 
@@ -100,6 +106,18 @@ func (c *Chaos) Stalled() bool {
 	return c.stalled
 }
 
+// Kill trips the death gate manually: from now on every wrapped collective
+// closes its group and fails permanently, exactly as DropAtCall would at a
+// collective count. Like the rest of the schedule the state lives in the
+// harness, so the rank stays dead across regroups and re-wraps — a crashed
+// machine does not come back because the survivors built a new group.
+// Idempotent.
+func (c *Chaos) Kill() { c.killed.Store(true) }
+
+// Killed reports whether the death gate has been tripped (by Kill or by
+// the DropAtCall schedule reaching its collective).
+func (c *Chaos) Killed() bool { return c.killed.Load() }
+
 // Calls returns the shared collective counter (for tests asserting a
 // schedule actually fired).
 func (c *Chaos) Calls() int64 { return c.calls.Load() }
@@ -123,11 +141,31 @@ func (c *Chaos) stallGate() <-chan struct{} {
 // group, matching both transports' timeout-poisons-the-group contract.
 func (c *Chaos) Wrap(inner Comm) Comm {
 	return &ChaosComm{
-		inner:  inner,
-		chaos:  c,
-		rng:    rng.New(c.cfg.Seed).Split(uint64(inner.Rank())),
-		closed: make(chan struct{}),
+		inner:     inner,
+		chaos:     c,
+		rng:       rng.New(c.cfg.Seed).Split(uint64(inner.Rank())),
+		closeOnce: new(sync.Once),
+		closed:    make(chan struct{}),
 	}
+}
+
+// WrapPair wraps one rank's feature and gradient communicators under a
+// shared fate: a death, stall-timeout, or Close on either wrapper closes
+// both inner groups, exactly as a dying machine takes all of its sockets
+// with it. This is what the training path needs — the pipeline issues
+// gathers on one communicator and gradient all-reduces on the other, and
+// killing only one of them would leave peers deadlocked in unmatched
+// collectives on the survivor. The schedule (counter, stall gate, death
+// gate) is the harness's, shared with every other wrapper it has issued.
+func (c *Chaos) WrapPair(feat, grad Comm) (Comm, Comm) {
+	f := c.Wrap(feat).(*ChaosComm)
+	g := c.Wrap(grad).(*ChaosComm)
+	f.buddy, g.buddy = grad, feat
+	// One close state for the pair: poisoning either half unblocks a stall
+	// wait on the other, so a sibling never waits out a gate its machine
+	// already died under.
+	g.closeOnce, g.closed = f.closeOnce, f.closed
+	return f, g
 }
 
 // ChaosComm is one wrapped communicator; see Chaos.Wrap.
@@ -137,7 +175,13 @@ type ChaosComm struct {
 	rng     *rng.RNG
 	timeout time.Duration
 
-	closeOnce sync.Once
+	// buddy, when set by WrapPair, is the sibling communicator (the other
+	// half of the rank's feat/grad pair) closed alongside this one.
+	buddy Comm
+
+	// closeOnce and closed are shared between the two halves of a WrapPair
+	// (pointer/channel identity), so either half's poison unblocks both.
+	closeOnce *sync.Once
 	closed    chan struct{} // unblocks a stall wait when the member closes
 	stopWatch chan struct{} // cancels the SetAbort watcher
 }
@@ -151,11 +195,15 @@ func (c *ChaosComm) Size() int { return c.inner.Size() }
 // BytesSent delegates to the wrapped member; chaos faults charge no bytes.
 func (c *ChaosComm) BytesSent() int64 { return c.inner.BytesSent() }
 
-// Close closes the wrapped member and unblocks any collective waiting out
-// a stall on this member.
+// Close closes the wrapped member (and, for a WrapPair sibling, the other
+// half of the pair) and unblocks any collective waiting out a stall on
+// this member.
 func (c *ChaosComm) Close() {
 	c.closeOnce.Do(func() { close(c.closed) })
 	c.inner.Close()
+	if c.buddy != nil {
+		c.buddy.Close()
+	}
 }
 
 // SetTimeout bounds collectives on the wrapped member and also caps how
@@ -187,9 +235,10 @@ func (c *ChaosComm) SetAbort(abort <-chan struct{}) {
 func (c *ChaosComm) inject() error {
 	cfg := &c.chaos.cfg
 	n := c.chaos.calls.Add(1)
-	if cfg.DropAtCall > 0 && n >= cfg.DropAtCall {
+	if c.chaos.killed.Load() || (cfg.DropAtCall > 0 && n >= cfg.DropAtCall) {
+		c.chaos.killed.Store(true)
 		c.Close()
-		return fmt.Errorf("dist: chaos killed rank %d at collective %d", c.inner.Rank(), n)
+		return fmt.Errorf("%w: chaos killed rank %d at collective %d", ErrClosed, c.inner.Rank(), n)
 	}
 	if cfg.StallAtCall > 0 && n >= cfg.StallAtCall {
 		c.chaos.Stall()
@@ -208,7 +257,7 @@ func (c *ChaosComm) inject() error {
 			// peers already timed out meanwhile, the inner call fails on
 			// their closed group — either way, no hang.
 		case <-c.closed:
-			return fmt.Errorf("dist: comm closed during chaos stall (rank %d)", c.inner.Rank())
+			return fmt.Errorf("%w during chaos stall (rank %d)", ErrClosed, c.inner.Rank())
 		case <-deadline:
 			// The member's deadline fired while the "NIC" was wedged: poison
 			// the group exactly as a transport-level timeout would.

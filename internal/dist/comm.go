@@ -19,6 +19,24 @@ import (
 // sentinel only identifies why.
 var ErrTimeout = errors.New("dist: collective deadline exceeded")
 
+// ErrClosed marks a collective that failed because its group was torn down
+// — by Close, by a peer's death cascading through the transport, or by the
+// chaos harness killing a wrapped rank. Together with ErrTimeout it is the
+// "the group is gone, the survivors may regroup" signal: an elastic
+// training driver treats both as recoverable membership events (probe the
+// ranks, shrink the group, resume from the last common checkpoint), while
+// any other error — a shape mismatch, a checkpoint-write failure — aborts
+// the run. Use errors.Is; see Recoverable.
+var ErrClosed = errors.New("dist: group closed")
+
+// Recoverable reports whether err is a comm-group failure an elastic
+// driver may respond to with a membership change (timeout or group
+// teardown) rather than a hard programming or I/O error that must abort
+// the run.
+func Recoverable(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrClosed)
+}
+
 // Comm is one rank's handle on a communicator group. Collectives are
 // matched by call order: every rank must issue the same sequence of
 // collective calls, exactly as NCCL requires. A Comm is not safe for

@@ -83,3 +83,47 @@ func FuzzWireViews(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMembershipFrame drives the elastic-training consensus decoder with
+// arbitrary bytes: DecodeMemberFrame must error — never panic, never
+// allocate beyond what the bytes present allow (the step count is bounded
+// by MaxMemberSteps and cross-checked against the frame length before any
+// allocation) — and every accepted frame must re-encode to its exact wire
+// bytes.
+func FuzzMembershipFrame(f *testing.F) {
+	seed := func(fr MemberFrame) []byte {
+		b, err := AppendMemberFrame(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add(seed(MemberFrame{}))
+	f.Add(seed(MemberFrame{Gen: 3, Rank: 1, Steps: []MemberStep{{Epoch: 2, Round: 40}}}))
+	f.Add(seed(MemberFrame{Gen: 1, Rank: 7, Steps: []MemberStep{{5, 0}, {4, 100}, {4, 50}}}))
+	f.Add([]byte("SPMB"))                                 // truncated after the magic
+	f.Add([]byte("XPMB\x00\x00\x00\x00\x00\x00\x00\x00")) // wrong magic
+	lying := seed(MemberFrame{Gen: 1, Rank: 0})
+	binary.LittleEndian.PutUint32(lying[12:], 1<<31) // huge claimed step count
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeMemberFrame(data)
+		if err != nil {
+			return
+		}
+		if len(fr.Steps) > MaxMemberSteps {
+			t.Fatalf("decoder accepted %d steps, max %d", len(fr.Steps), MaxMemberSteps)
+		}
+		if 8*len(fr.Steps) > len(data) {
+			t.Fatalf("decoded %d steps from %d input bytes", len(fr.Steps), len(data))
+		}
+		re, err := AppendMemberFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame %x re-encodes to %x", data, re)
+		}
+	})
+}

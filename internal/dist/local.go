@@ -132,7 +132,7 @@ func (c *localComm) AllToAll(send [][]byte) ([][]byte, error) {
 		case g.box[c.rank][dst] <- msg:
 			g.bytes[c.rank].Add(int64(len(msg)))
 		case <-g.done:
-			return nil, fmt.Errorf("dist: group closed during AllToAll send (rank %d)", c.rank)
+			return nil, fmt.Errorf("%w during AllToAll send (rank %d)", ErrClosed, c.rank)
 		case <-deadline:
 			// A timed-out collective leaves mailboxes half-exchanged, so the
 			// group can never match another collective: tear it down, exactly
@@ -153,7 +153,7 @@ func (c *localComm) AllToAll(send [][]byte) ([][]byte, error) {
 		select {
 		case recv[src] = <-g.box[src][c.rank]:
 		case <-g.done:
-			return nil, fmt.Errorf("dist: group closed during AllToAll recv (rank %d)", c.rank)
+			return nil, fmt.Errorf("%w during AllToAll recv (rank %d)", ErrClosed, c.rank)
 		case <-deadline:
 			c.Close() // see the send-side timeout: a partial exchange is unmatchable
 			return nil, fmt.Errorf("%w: AllToAll recv from rank %d after %v (rank %d)", ErrTimeout, src, c.timeout, c.rank)

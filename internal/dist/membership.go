@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Membership consensus frames.
+//
+// When a training collective fails with a recoverable error (ErrTimeout /
+// ErrClosed), the elastic driver probes each rank and then runs one
+// agreement round over the survivors: every survivor broadcasts a
+// MemberFrame carrying its identity and the checkpoint steps it holds, and
+// each computes — deterministically, from the same K′ frames — the new
+// member set and the latest step present in *every* survivor's list (the
+// barrier-consistent resume point). Like the health frames the serving
+// regroup uses, these are untrusted wire input: DecodeMemberFrame must
+// error, never panic, and never allocate more than the bytes present allow
+// (fuzzed by FuzzMembershipFrame).
+
+// memberMagic distinguishes a membership frame from a stray collective
+// payload ("SPMB": SALIENT++ membership).
+var memberMagic = [4]byte{'S', 'P', 'M', 'B'}
+
+// MaxMemberSteps bounds the checkpoint-step list one membership frame may
+// carry. Savers retain a handful of files (ckpt.Config.Retain, default 3),
+// so the bound is generous for real runs while keeping the decoder's worst
+// case allocation small and fixed.
+const MaxMemberSteps = 64
+
+// memberFrameFixed is the wire size of a frame with no steps: magic,
+// generation, rank, and the step count, each 4 bytes little-endian.
+const memberFrameFixed = 16
+
+// MemberStep identifies one barrier-consistent checkpoint position inside
+// a membership frame. It mirrors ckpt.Step without importing it — dist is
+// below ckpt in the package graph.
+type MemberStep struct {
+	Epoch int32
+	Round int32
+}
+
+// MemberFrame is one survivor's contribution to a membership agreement
+// round: which regroup generation it is answering for, which (pre-failure)
+// rank it is, and the checkpoint steps it holds locally, newest first.
+type MemberFrame struct {
+	Gen   uint32
+	Rank  int32
+	Steps []MemberStep
+}
+
+// AppendMemberFrame appends f's wire encoding to buf and returns it.
+// Frames carrying more than MaxMemberSteps steps are rejected — truncate
+// to the newest MaxMemberSteps before encoding (older checkpoints past
+// the retain window cannot win the consensus anyway).
+func AppendMemberFrame(buf []byte, f MemberFrame) ([]byte, error) {
+	if len(f.Steps) > MaxMemberSteps {
+		return nil, fmt.Errorf("dist: membership frame carries %d steps, max %d", len(f.Steps), MaxMemberSteps)
+	}
+	if f.Rank < 0 {
+		return nil, fmt.Errorf("dist: membership frame for negative rank %d", f.Rank)
+	}
+	buf = append(buf, memberMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, f.Gen)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Rank))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Steps)))
+	for _, s := range f.Steps {
+		if s.Epoch < 0 || s.Round < 0 {
+			return nil, fmt.Errorf("dist: membership frame step (%d,%d) is negative", s.Epoch, s.Round)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Epoch))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Round))
+	}
+	return buf, nil
+}
+
+// DecodeMemberFrame validates and decodes a membership frame. The step
+// count is checked against both MaxMemberSteps and the bytes actually
+// present before anything is allocated, so a lying length field can
+// neither panic the decoder nor force a large allocation.
+func DecodeMemberFrame(b []byte) (MemberFrame, error) {
+	var f MemberFrame
+	if len(b) < memberFrameFixed {
+		return f, fmt.Errorf("dist: membership frame is %d bytes, need at least %d", len(b), memberFrameFixed)
+	}
+	if [4]byte(b[:4]) != memberMagic {
+		return f, fmt.Errorf("dist: membership frame magic %q, want %q", b[:4], memberMagic[:])
+	}
+	f.Gen = binary.LittleEndian.Uint32(b[4:])
+	rank := binary.LittleEndian.Uint32(b[8:])
+	if rank > 1<<20 {
+		return f, fmt.Errorf("dist: membership frame rank %d is implausible", rank)
+	}
+	f.Rank = int32(rank)
+	count := binary.LittleEndian.Uint32(b[12:])
+	if count > MaxMemberSteps {
+		return f, fmt.Errorf("dist: membership frame claims %d steps, max %d", count, MaxMemberSteps)
+	}
+	if want := memberFrameFixed + 8*int(count); len(b) != want {
+		return f, fmt.Errorf("dist: membership frame is %d bytes, %d steps need %d", len(b), count, want)
+	}
+	if count == 0 {
+		return f, nil
+	}
+	f.Steps = make([]MemberStep, count)
+	for i := range f.Steps {
+		off := memberFrameFixed + 8*i
+		e := binary.LittleEndian.Uint32(b[off:])
+		r := binary.LittleEndian.Uint32(b[off+4:])
+		if e > 1<<30 || r > 1<<30 {
+			return MemberFrame{}, fmt.Errorf("dist: membership frame step %d (%d,%d) is implausible", i, e, r)
+		}
+		f.Steps[i] = MemberStep{Epoch: int32(e), Round: int32(r)}
+	}
+	return f, nil
+}

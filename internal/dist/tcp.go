@@ -179,7 +179,7 @@ func (c *tcpComm) BytesSent() int64 { return c.bytes.Load() }
 func (c *tcpComm) Close() {
 	c.mu.Lock()
 	if c.state == nil {
-		c.state = fmt.Errorf("dist: comm closed (rank %d)", c.rank)
+		c.state = fmt.Errorf("%w (rank %d)", ErrClosed, c.rank)
 	}
 	c.mu.Unlock()
 	for _, conn := range c.conns {
@@ -316,9 +316,16 @@ func (c *tcpComm) AllToAll(send [][]byte) ([][]byte, error) {
 	select {
 	case err := <-errCh:
 		err = wrapTimeout(err)
+		if !errors.Is(err, ErrTimeout) {
+			// A non-timeout transport failure means the stream (and with it
+			// the group) is gone — most often a peer died and its Close
+			// cascaded here. Mark it ErrClosed so elastic callers classify it
+			// as a membership event rather than a hard error.
+			err = fmt.Errorf("%w: transport failure (rank %d): %v", ErrClosed, c.rank, err)
+		}
 		c.mu.Lock()
 		if c.state == nil {
-			c.state = fmt.Errorf("dist: transport failure (rank %d): %w", c.rank, err)
+			c.state = err
 		}
 		c.mu.Unlock()
 		// A deadline can strike mid-frame; the streams are unframeable from

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"salientpp/internal/ckpt"
 	"salientpp/internal/dataset"
@@ -57,6 +58,14 @@ type AccuracyConfig struct {
 	// to a run that was never interrupted. Requires exactly one dataset
 	// (a checkpoint belongs to one training run).
 	Resume bool
+	// Elastic runs the training loop under pipeline.TrainElastic: a rank
+	// failure mid-run becomes a live membership change (probe, survivor
+	// consensus, shard re-layout, continue on K-1) instead of an error.
+	// Requires Checkpoint.Dir.
+	Elastic bool
+	// StallTimeout bounds every training collective when Elastic is set
+	// (0 uses the pipeline default).
+	StallTimeout time.Duration
 }
 
 // DefaultAccuracyConfig is sized for a few minutes on a small CPU box.
@@ -84,6 +93,13 @@ type AccuracyRow struct {
 	ValAcc         float64
 	TestAcc        float64
 	RemotePerEpoch int64
+	// Elastic-recovery counters; zero on healthy or non-elastic runs.
+	StallsDetected int
+	Regroups       int
+	RoundsReplayed int
+	// FinalK is the member count the run finished with (0 when the run
+	// was not elastic).
+	FinalK int
 }
 
 // Accuracy trains each dataset for real on the full distributed stack and
@@ -132,6 +148,9 @@ func Accuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 	if cfg.Resume && cfg.Checkpoint.Dir == "" {
 		return nil, fmt.Errorf("experiments: -resume needs a checkpoint directory")
 	}
+	if cfg.Elastic && cfg.Checkpoint.Dir == "" {
+		return nil, fmt.Errorf("experiments: -elastic needs a checkpoint directory (the survivors resume from a checkpoint they all hold)")
+	}
 	var rows []AccuracyRow
 	for _, name := range cfg.Datasets {
 		ds, err := DatasetByName(name, cfg.N, cfg.Seed)
@@ -163,38 +182,45 @@ func Accuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 			fmt.Printf("resuming %s from %s (epoch %d, round %d)\n", name, path, state.Step.Epoch, state.Step.Round)
 			ccfg.Resume = state
 		}
-		cl, err := pipeline.NewCluster(ds, ccfg)
-		if err != nil {
-			return nil, err
-		}
-		if cl.FirstEpoch() >= cfg.Epochs {
-			cl.Close()
+		if ccfg.Resume != nil && ccfg.Resume.Step.Epoch >= cfg.Epochs {
 			return nil, fmt.Errorf("experiments: checkpoint already covers epoch %d of the requested %d; raise -epochs to continue the run",
-				cl.FirstEpoch(), cfg.Epochs)
+				ccfg.Resume.Step.Epoch, cfg.Epochs)
 		}
 		row := AccuracyRow{Dataset: name}
-		for e := cl.FirstEpoch(); e < cfg.Epochs; e++ {
-			stats, err := cl.TrainEpochAll(e)
+		var cl *pipeline.Cluster
+		if cfg.Elastic {
+			ccfg.StallTimeout = cfg.StallTimeout
+			var rep *pipeline.ElasticReport
+			cl, rep, err = pipeline.TrainElastic(ds, ccfg, cfg.Epochs, pipeline.ElasticConfig{})
 			if err != nil {
-				cl.Close()
 				return nil, err
 			}
-			var loss float64
-			var n int
-			var remote int64
-			for _, s := range stats {
-				if s.Batches > 0 {
-					loss += s.Loss
-					n++
+			for e := 0; e < cfg.Epochs; e++ {
+				if stats := rep.Epochs[e]; len(stats) > 0 {
+					foldEpoch(&row, e, stats)
 				}
-				remote += int64(s.Gather.RemoteFetch)
 			}
-			loss /= float64(n)
-			if e == 0 {
-				row.FirstLoss = loss
+			row.StallsDetected = rep.StallsDetected
+			row.Regroups = rep.Regroups
+			row.RoundsReplayed = rep.RoundsReplayed
+			row.FinalK = rep.FinalK
+			if rep.Regroups > 0 {
+				fmt.Printf("elastic: %s survived %d membership change(s), finished on %d ranks, replayed %d rounds\n",
+					name, rep.Regroups, rep.FinalK, rep.RoundsReplayed)
 			}
-			row.FinalLoss = loss
-			row.RemotePerEpoch = remote
+		} else {
+			cl, err = pipeline.NewCluster(ds, ccfg)
+			if err != nil {
+				return nil, err
+			}
+			for e := cl.FirstEpoch(); e < cfg.Epochs; e++ {
+				stats, err := cl.TrainEpochAll(e)
+				if err != nil {
+					cl.Close()
+					return nil, err
+				}
+				foldEpoch(&row, e, stats)
+			}
 		}
 		val, err := cl.EvaluateAll(dataset.SplitVal, cfg.EvalFanout, cfg.Batch, cfg.Epochs)
 		if err != nil {
@@ -212,6 +238,30 @@ func Accuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// foldEpoch folds one epoch's per-rank stats into the row: rank-averaged
+// loss (ranks with no batches sit out), first/final loss bookkeeping, and
+// the summed remote-fetch count.
+func foldEpoch(row *AccuracyRow, e int, stats []pipeline.EpochStats) {
+	var loss float64
+	var n int
+	var remote int64
+	for _, s := range stats {
+		if s.Batches > 0 {
+			loss += s.Loss
+			n++
+		}
+		remote += int64(s.Gather.RemoteFetch)
+	}
+	if n > 0 {
+		loss /= float64(n)
+	}
+	if e == 0 {
+		row.FirstLoss = loss
+	}
+	row.FinalLoss = loss
+	row.RemotePerEpoch = remote
 }
 
 // RenderAccuracy formats the rows.

@@ -82,6 +82,13 @@ type EpochBenchResult struct {
 	// cluster with Config.NoGradOverlap set, so the overlap win is
 	// visible in the report itself (compare against the epoch-0 wall).
 	NoOverlapWallSeconds float64 `json:"no_overlap_wall_seconds"`
+	// Elastic-training recovery counters (metrics.CounterStallsDetected
+	// and friends). The bench runs healthy and non-elastic, so they are
+	// zero here — present so elastic runs report through the same schema
+	// and `-compare` against healthy baselines is unaffected.
+	StallsDetected int64 `json:"stalls_detected"`
+	Regroups       int64 `json:"regroups"`
+	RoundsReplayed int64 `json:"rounds_replayed"`
 }
 
 // EpochBench trains a 2-machine SALIENT++ cluster on a materialized

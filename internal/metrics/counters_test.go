@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(CounterStallsDetected, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(CounterStallsDetected); got != 8000 {
+		t.Fatalf("got %d, want 8000", got)
+	}
+	if got := c.Get("never-touched"); got != 0 {
+		t.Fatalf("untouched counter reads %d", got)
+	}
+}
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Add(CounterRegroups, 1) // must not panic
+	if c.Get(CounterRegroups) != 0 || c.Snapshot() != nil || c.Names() != nil {
+		t.Fatal("nil registry must read as empty")
+	}
+}
+
+func TestCountersSnapshotIsolated(t *testing.T) {
+	c := NewCounters()
+	c.Add(CounterRegroups, 2)
+	c.Add(CounterRoundsReplayed, 5)
+	snap := c.Snapshot()
+	snap[CounterRegroups] = 99
+	if c.Get(CounterRegroups) != 2 {
+		t.Fatal("snapshot aliases the registry")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != CounterRegroups || names[1] != CounterRoundsReplayed {
+		t.Fatalf("names %v", names)
+	}
+}

@@ -1,0 +1,469 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"salientpp/internal/ckpt"
+	"salientpp/internal/dataset"
+	"salientpp/internal/dist"
+	"salientpp/internal/metrics"
+)
+
+// Elastic training: the training-loop twin of the serving layer's
+// timeout-and-regroup machinery. A mid-epoch rank failure surfaces as a
+// recoverable collective error (dist.ErrTimeout from an armed
+// ClusterConfig.StallTimeout, or dist.ErrClosed from a crashed peer's
+// poisoned group) instead of a hang; TrainElastic then probes each rank,
+// runs one membership agreement round over the survivors, re-lays the dead
+// rank's shard and cache slice onto the K′ survivors from the latest
+// barrier-consistent checkpoint every survivor holds, rebuilds the comm
+// groups, and continues. Because the continued run consumes exactly the
+// state ckpt.ShrinkState produces — the same state a cold K′ restart from
+// that checkpoint consumes — and trainEpochFrom seeds its RNG streams by
+// absolute epoch and round, the post-regroup trajectory is bitwise
+// identical to the cold restart (pinned by the chaos matrix tests).
+
+// ErrShrinkAborted reports a membership change that would leave fewer
+// live ranks than ElasticConfig.MinRanks: the run stops instead of
+// shrinking, with all resources released.
+var ErrShrinkAborted = errors.New("pipeline: too few survivors to continue")
+
+// ElasticConfig tunes the recovery driver around a training run.
+type ElasticConfig struct {
+	// MinRanks is the smallest cluster the driver will shrink to
+	// (default 2: shrinking to one rank leaves no distribution to train).
+	// A failure leaving fewer survivors returns ErrShrinkAborted.
+	MinRanks int
+	// ProbeTimeout bounds each liveness probe and the agreement round
+	// (default: the cluster's StallTimeout, else 2s).
+	ProbeTimeout time.Duration
+	// MaxRecoveries bounds how many membership changes one run will absorb
+	// (default K-1, the most a K-rank run can survive).
+	MaxRecoveries int
+	// Counters, when set, receives the recovery counters
+	// (metrics.CounterStallsDetected / CounterRegroups /
+	// CounterRoundsReplayed). Nil is a valid no-op sink.
+	Counters *metrics.Counters
+}
+
+// ElasticReport summarizes what the recovery driver did around a run.
+type ElasticReport struct {
+	// StallsDetected counts training epochs that failed with a recoverable
+	// collective error and triggered a probe.
+	StallsDetected int
+	// Regroups counts successful membership changes (a full-K regroup
+	// after a spurious timeout counts too: the group was rebuilt).
+	Regroups int
+	// RoundsReplayed sums the consensus checkpoints' mid-epoch round
+	// cursors discarded by regroups — the work re-run because an
+	// interrupted epoch restarts from its boundary under the new layout.
+	RoundsReplayed int
+	// FinalK is the member count the run finished with.
+	FinalK int
+	// Survivors maps final ranks to their original physical ranks.
+	Survivors []int
+	// RegroupEvents records each membership change, in order.
+	RegroupEvents []RegroupEvent
+	// Epochs holds the final per-rank statistics for each epoch, keyed by
+	// epoch index. An epoch re-run after a regroup overwrites its earlier
+	// (pre-failure) entry, so the map matches what a cold K′ restart
+	// records.
+	Epochs map[int][]EpochStats
+}
+
+// RegroupEvent describes one membership change: where the survivors
+// agreed to resume, who they are, and the re-laid-out state they resumed
+// from. A cold restart consuming State reproduces the post-regroup
+// trajectory bitwise (the checkpoint *file* behind Step may later be
+// overwritten or rotated by the continued run, so State — not the file —
+// is the durable record of what was resumed).
+type RegroupEvent struct {
+	// Step is the consensus resume point: the newest barrier-consistent
+	// checkpoint every survivor held.
+	Step ckpt.Step
+	// Survivors lists the surviving members as original physical ranks,
+	// in new-rank order.
+	Survivors []int
+	// State is the ckpt.ShrinkState output the continued run consumed.
+	State *ckpt.TrainState
+}
+
+// TrainElastic runs epochs [FirstEpoch, epochs) with live membership
+// changes: any epoch failing with a recoverable collective error triggers
+// probe → agreement → shrink → rebuild → continue (see the package comment
+// above). Requires checkpointing (cfg.Checkpoint) — the consensus resume
+// point is a checkpoint every survivor holds — and a positive
+// cfg.StallTimeout (defaulted to 5s) so a wedged peer is detected rather
+// than waited on forever. On success the (possibly rebuilt) cluster is
+// returned still open, for evaluation; the caller closes it.
+func TrainElastic(ds *dataset.Dataset, cfg ClusterConfig, epochs int, ecfg ElasticConfig) (*Cluster, *ElasticReport, error) {
+	if !cfg.Checkpoint.Enabled() {
+		return nil, nil, fmt.Errorf("pipeline: elastic training requires checkpointing (the survivors' consensus resume point is a checkpoint)")
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 5 * time.Second
+	}
+	if ecfg.MinRanks <= 0 {
+		ecfg.MinRanks = 2
+	}
+	if ecfg.ProbeTimeout <= 0 {
+		ecfg.ProbeTimeout = cfg.StallTimeout
+	}
+	if ecfg.MaxRecoveries <= 0 {
+		ecfg.MaxRecoveries = cfg.K - 1
+	}
+	userWrap := cfg.WrapComm
+
+	// identity maps current ranks to original physical ranks; the fault
+	// harness (WrapComm) follows physical machines across regroups, so a
+	// schedule tripped on original rank 2 stays on that machine whatever
+	// its current rank is.
+	identity := make([]int, cfg.K)
+	for i := range identity {
+		identity[i] = i
+	}
+	wrapFor := func(ident []int) func(int, dist.Comm, dist.Comm) (dist.Comm, dist.Comm) {
+		if userWrap == nil {
+			return nil
+		}
+		return func(rank int, f, g dist.Comm) (dist.Comm, dist.Comm) {
+			return userWrap(ident[rank], f, g)
+		}
+	}
+
+	cfg.WrapComm = wrapFor(identity)
+	cl, err := NewCluster(ds, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &ElasticReport{Epochs: make(map[int][]EpochStats)}
+	var gen uint32
+	recoveries := 0
+	epoch := cl.FirstEpoch()
+	for epoch < epochs {
+		stats, err := cl.TrainEpochAll(epoch)
+		if err == nil {
+			report.Epochs[epoch] = stats
+			epoch++
+			continue
+		}
+		if !dist.Recoverable(err) {
+			cl.Close()
+			return nil, nil, err
+		}
+
+		// Stall or crash detected: the group is poisoned. Tear the cluster
+		// down (TrainEpochAll already joined every rank goroutine) and find
+		// out who is still alive.
+		report.StallsDetected++
+		ecfg.Counters.Add(metrics.CounterStallsDetected, 1)
+		cl.Close()
+		if recoveries >= ecfg.MaxRecoveries {
+			return nil, nil, fmt.Errorf("pipeline: %w after %d membership changes: %v", errTooManyRecoveries, recoveries, err)
+		}
+		recoveries++
+		gen++
+
+		agreed, survivors, aerr := probeAndAgree(cfg, ecfg, identity, gen)
+		if aerr != nil {
+			return nil, nil, aerr
+		}
+
+		// Load the consensus checkpoint and re-lay it onto the survivors.
+		st, lerr := ckpt.Load(filepath.Join(cfg.Checkpoint.Dir, ckpt.FileName(agreed)))
+		if lerr != nil {
+			return nil, nil, fmt.Errorf("pipeline: loading consensus checkpoint %v: %w", agreed, lerr)
+		}
+		newStarts, serr := ckpt.ShrinkLayout(st.Topo.Starts, survivors)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		rounds, serr := roundsForLayout(ds, st, newStarts, cfg.Train.BatchSize)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		shrunk, serr := ckpt.ShrinkState(st, survivors, rounds)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		report.RoundsReplayed += st.Step.Round
+		ecfg.Counters.Add(metrics.CounterRoundsReplayed, int64(st.Step.Round))
+
+		next := make([]int, len(survivors))
+		for i, s := range survivors {
+			next[i] = identity[s]
+		}
+		identity = next
+		report.RegroupEvents = append(report.RegroupEvents, RegroupEvent{
+			Step: agreed, Survivors: identity, State: shrunk,
+		})
+
+		cfg.K = len(survivors)
+		cfg.Resume = shrunk
+		cfg.WrapComm = wrapFor(identity)
+		cl, err = NewCluster(ds, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pipeline: rebuilding on %d survivors: %w", len(survivors), err)
+		}
+		report.Regroups++
+		ecfg.Counters.Add(metrics.CounterRegroups, 1)
+		// The interrupted epoch (and any epoch after the consensus point)
+		// re-runs; map overwrite keeps the recorded stats equal to a cold
+		// restart's.
+		epoch = cl.FirstEpoch()
+	}
+	report.FinalK = cfg.K
+	report.Survivors = identity
+	return cl, report, nil
+}
+
+var errTooManyRecoveries = errors.New("recovery budget exhausted")
+
+// probeAndAgree finds the live ranks and runs the membership agreement
+// round over them, returning the consensus resume step and the survivor
+// set (current-rank indices, strictly increasing). Retries the whole
+// sequence a bounded number of times, so a rank dying between the probe
+// and the agreement is re-probed rather than hanging the consensus.
+func probeAndAgree(cfg ClusterConfig, ecfg ElasticConfig, identity []int, gen uint32) (ckpt.Step, []int, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cfg.K; attempt++ {
+		alive := probeRanks(cfg, identity, gen, ecfg.ProbeTimeout)
+		var survivors []int
+		for r, ok := range alive {
+			if ok {
+				survivors = append(survivors, r)
+			}
+		}
+		if len(survivors) < ecfg.MinRanks {
+			return ckpt.Step{}, nil, fmt.Errorf("%w: %d of %d ranks alive, need %d",
+				ErrShrinkAborted, len(survivors), cfg.K, ecfg.MinRanks)
+		}
+		agreed, err := agreeMembers(cfg, identity, survivors, gen, ecfg.ProbeTimeout)
+		if err == nil {
+			return agreed, survivors, nil
+		}
+		if !dist.Recoverable(err) {
+			return ckpt.Step{}, nil, err
+		}
+		lastErr = err // a survivor died mid-agreement: probe again
+	}
+	return ckpt.Step{}, nil, fmt.Errorf("pipeline: membership agreement never converged: %w", lastErr)
+}
+
+// probeRanks health-checks every current rank in parallel: each probe
+// builds singleton feature and gradient groups, applies the rank's fault
+// wrapper (so a wedged or dead machine's probe inherits its faults), and
+// runs one bounded collective on each. A rank is alive only if both
+// collectives succeed — the training loop needs both its communicators.
+func probeRanks(cfg ClusterConfig, identity []int, gen uint32, timeout time.Duration) []bool {
+	alive := make([]bool, cfg.K)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.K; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			f, g, err := singletonPair(cfg.UseTCP)
+			if err != nil {
+				return
+			}
+			if cfg.WrapComm != nil {
+				f, g = cfg.WrapComm(r, f, g)
+			}
+			defer f.Close()
+			defer g.Close()
+			f.SetTimeout(timeout)
+			g.SetTimeout(timeout)
+			echo, err := f.AllToAll([][]byte{dist.AppendHealthFrame(nil, gen)})
+			if err != nil {
+				return
+			}
+			if got, err := dist.DecodeHealthFrame(echo[0]); err != nil || got != gen {
+				return
+			}
+			if err := g.AllReduceSum([]float32{1}); err != nil {
+				return
+			}
+			alive[r] = true
+		}(r)
+	}
+	wg.Wait()
+	return alive
+}
+
+func singletonPair(useTCP bool) (dist.Comm, dist.Comm, error) {
+	build := dist.NewLocalGroup
+	if useTCP {
+		build = dist.NewTCPGroup
+	}
+	fs, err := build(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	gs, err := build(1)
+	if err != nil {
+		fs[0].Close()
+		return nil, nil, err
+	}
+	return fs[0], gs[0], nil
+}
+
+// agreeMembers runs one membership agreement round: every survivor builds
+// into a fresh K′-wide group, broadcasts a MemberFrame carrying its
+// physical identity and the checkpoint steps it holds, and computes — from
+// the same K′ frames — the newest step present in every survivor's list.
+// All members must converge on the same step or the round fails.
+func agreeMembers(cfg ClusterConfig, identity []int, survivors []int, gen uint32, timeout time.Duration) (ckpt.Step, error) {
+	k := len(survivors)
+	build := dist.NewLocalGroup
+	if cfg.UseTCP {
+		build = dist.NewTCPGroup
+	}
+	feats, err := build(k)
+	if err != nil {
+		return ckpt.Step{}, err
+	}
+	grads, err := build(k)
+	if err != nil {
+		for _, c := range feats {
+			c.Close()
+		}
+		return ckpt.Step{}, err
+	}
+
+	type verdict struct {
+		step ckpt.Step
+		err  error
+	}
+	out := make(chan verdict, k)
+	for i := 0; i < k; i++ {
+		go func(i int) {
+			f, g := feats[i], grads[i]
+			if cfg.WrapComm != nil {
+				f, g = cfg.WrapComm(survivors[i], f, g)
+			}
+			defer f.Close()
+			defer g.Close()
+			f.SetTimeout(timeout)
+			g.SetTimeout(timeout)
+			step, err := agreeOne(f, cfg.Checkpoint.Dir, gen, int32(identity[survivors[i]]), survivors, identity)
+			out <- verdict{step, err}
+		}(i)
+	}
+	var steps []ckpt.Step
+	var firstErr error
+	for i := 0; i < k; i++ {
+		v := <-out
+		if v.err != nil {
+			if firstErr == nil {
+				firstErr = v.err
+			}
+			continue
+		}
+		steps = append(steps, v.step)
+	}
+	if firstErr != nil {
+		return ckpt.Step{}, firstErr
+	}
+	for _, s := range steps[1:] {
+		if s != steps[0] {
+			return ckpt.Step{}, fmt.Errorf("pipeline: membership round diverged: %v vs %v", s, steps[0])
+		}
+	}
+	return steps[0], nil
+}
+
+// agreeOne is one member's half of the agreement round: advertise the
+// locally held checkpoint steps, collect every peer's list, and return the
+// newest step present in all of them.
+func agreeOne(c dist.Comm, dir string, gen uint32, selfRank int32, survivors, identity []int) (ckpt.Step, error) {
+	held, err := ckpt.Steps(dir)
+	if err != nil {
+		return ckpt.Step{}, fmt.Errorf("pipeline: listing checkpoints: %w", err)
+	}
+	if len(held) > dist.MaxMemberSteps {
+		held = held[:dist.MaxMemberSteps]
+	}
+	frame := dist.MemberFrame{Gen: gen, Rank: selfRank}
+	for _, s := range held {
+		frame.Steps = append(frame.Steps, dist.MemberStep{Epoch: int32(s.Epoch), Round: int32(s.Round)})
+	}
+	payload, err := dist.AppendMemberFrame(nil, frame)
+	if err != nil {
+		return ckpt.Step{}, err
+	}
+	send := make([][]byte, c.Size())
+	for i := range send {
+		send[i] = payload
+	}
+	recv, err := c.AllToAll(send)
+	if err != nil {
+		return ckpt.Step{}, err
+	}
+
+	// Count how many members hold each advertised step; the resume point
+	// is the newest step held by all of them.
+	holders := make(map[ckpt.Step]int)
+	for peer, b := range recv {
+		pf, err := dist.DecodeMemberFrame(b)
+		if err != nil {
+			return ckpt.Step{}, fmt.Errorf("pipeline: membership frame from peer %d: %w", peer, err)
+		}
+		if pf.Gen != gen {
+			return ckpt.Step{}, fmt.Errorf("pipeline: membership frame from peer %d answers generation %d, round is %d", peer, pf.Gen, gen)
+		}
+		if want := int32(identity[survivors[peer]]); pf.Rank != want {
+			return ckpt.Step{}, fmt.Errorf("pipeline: membership frame from peer %d claims rank %d, want %d", peer, pf.Rank, want)
+		}
+		for _, s := range pf.Steps {
+			holders[ckpt.Step{Epoch: int(s.Epoch), Round: int(s.Round)}]++
+		}
+	}
+	var best ckpt.Step
+	found := false
+	for s, n := range holders {
+		if n != c.Size() {
+			continue
+		}
+		if !found || best.Less(s) {
+			best, found = s, true
+		}
+	}
+	if !found {
+		return ckpt.Step{}, fmt.Errorf("pipeline: no checkpoint is held by all %d survivors", c.Size())
+	}
+	return best, nil
+}
+
+// roundsForLayout derives the rounds-per-epoch for a merged layout: every
+// training vertex is assigned to its new owner and the global round count
+// is the largest per-owner batch count — the same derivation NewCluster
+// performs, run ahead of it so the shrunk state validates.
+func roundsForLayout(ds *dataset.Dataset, st *ckpt.TrainState, newStarts []int64, batchSize int) (int, error) {
+	if batchSize <= 0 {
+		return 0, fmt.Errorf("pipeline: batch size %d", batchSize)
+	}
+	counts := make([]int, len(newStarts)-1)
+	for _, v := range ds.TrainIDs() {
+		rv := int64(st.Topo.Perm[v])
+		owner := sort.Search(len(newStarts)-1, func(i int) bool { return newStarts[i+1] > rv })
+		if owner >= len(counts) {
+			return 0, fmt.Errorf("pipeline: train vertex %d outside the merged layout", v)
+		}
+		counts[owner]++
+	}
+	rounds := 0
+	for _, n := range counts {
+		if nb := (n + batchSize - 1) / batchSize; nb > rounds {
+			rounds = nb
+		}
+	}
+	if rounds == 0 {
+		return 0, fmt.Errorf("pipeline: merged layout holds no training vertices")
+	}
+	return rounds, nil
+}

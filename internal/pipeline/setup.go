@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"salientpp/internal/cache"
 	"salientpp/internal/ckpt"
@@ -80,6 +81,14 @@ type ClusterConfig struct {
 	// instead of deadlocking in the gradient all-reduce). Production
 	// deployments leave it nil.
 	WrapComm func(rank int, feat, grad dist.Comm) (dist.Comm, dist.Comm)
+	// StallTimeout, when > 0, arms a deadline on every training collective
+	// (feature gathers and gradient all-reduces alike): a collective that
+	// makes no progress for this long fails with dist.ErrTimeout and poisons
+	// its group instead of hanging the epoch. This is the detection half of
+	// elastic training — TrainElastic classifies the failure, probes the
+	// survivors, and regroups. Zero leaves collectives unbounded (the
+	// historical behavior; a dead peer hangs the loop).
+	StallTimeout time.Duration
 }
 
 // Cluster is a ready-to-train in-process deployment.
@@ -329,6 +338,10 @@ func NewCluster(ds *dataset.Dataset, cfg ClusterConfig) (*Cluster, error) {
 		fc, gc := commFeat[rank], commGrad[rank]
 		if cfg.WrapComm != nil {
 			fc, gc = cfg.WrapComm(rank, fc, gc)
+		}
+		if cfg.StallTimeout > 0 {
+			fc.SetTimeout(cfg.StallTimeout)
+			gc.SetTimeout(cfg.StallTimeout)
 		}
 		store, err := dist.NewStore(fc, layout, rds.FeatureDim, local, cc, cdata, cfg.GPUFraction)
 		if err != nil {

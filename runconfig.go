@@ -3,6 +3,7 @@ package salientpp
 import (
 	"flag"
 	"fmt"
+	"time"
 
 	"salientpp/internal/dist"
 	"salientpp/internal/tensor"
@@ -50,6 +51,17 @@ type RunConfig struct {
 	// Resume restores the newest valid checkpoint in Checkpoint.Dir and
 	// continues bitwise identically to an uninterrupted run.
 	Resume bool
+	// Elastic turns a mid-run rank failure into a live membership change
+	// instead of a fatal error: the survivors agree on the newest
+	// checkpoint they all hold, the dead rank's shard and cache slice are
+	// re-laid onto them, and training continues on K-1 machines — bitwise
+	// identical to a cold K-1 restart from that checkpoint. Requires
+	// Checkpoint.Dir.
+	Elastic bool
+	// StallTimeout bounds every training collective when Elastic is set: a
+	// collective stuck this long is declared a stall and triggers the
+	// recovery path. 0 uses the pipeline default (5s).
+	StallTimeout time.Duration
 }
 
 // RegisterFlags installs the shared -codec/-precision/-parallelism flags on
@@ -83,6 +95,16 @@ func (c *RunConfig) RegisterCheckpointFlags(fs *flag.FlagSet) {
 		"restore the newest valid checkpoint in -checkpoint-dir and continue")
 }
 
+// RegisterElasticFlags installs the elastic-training flags (-elastic,
+// -stall-timeout) on fs. Only the training harness registers these —
+// serving has its own timeout/regroup surface.
+func (c *RunConfig) RegisterElasticFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Elastic, "elastic", c.Elastic,
+		"survive a mid-run rank failure by shrinking onto the live ranks (needs -checkpoint-dir)")
+	fs.DurationVar(&c.StallTimeout, "stall-timeout", c.StallTimeout,
+		"declare a training collective stalled after this long (0 = pipeline default of 5s; needs -elastic)")
+}
+
 // Validate rejects unknown codec or precision names and negative
 // parallelism early, before any cluster assembly.
 func (c RunConfig) Validate() error {
@@ -101,6 +123,12 @@ func (c RunConfig) Validate() error {
 	if c.Resume && c.Checkpoint.Dir == "" {
 		return fmt.Errorf("-resume needs -checkpoint-dir")
 	}
+	if c.Elastic && c.Checkpoint.Dir == "" {
+		return fmt.Errorf("-elastic needs -checkpoint-dir (the survivors resume from a checkpoint they all hold)")
+	}
+	if c.StallTimeout < 0 {
+		return fmt.Errorf("-stall-timeout: negative duration %v", c.StallTimeout)
+	}
 	return nil
 }
 
@@ -112,6 +140,7 @@ func (c RunConfig) ApplyCluster(cc *ClusterConfig) {
 	cc.Checkpoint = c.Checkpoint
 	cc.Train.GradCodec = c.GradCodec
 	cc.Train.NoGradOverlap = c.NoGradOverlap
+	cc.StallTimeout = c.StallTimeout
 	if c.Parallelism > 0 {
 		cc.Train.SamplerWorkers = c.Parallelism
 		cc.Train.Parallelism = c.Parallelism

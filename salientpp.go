@@ -76,6 +76,18 @@ type (
 	// weights, Adam moments, RNG streams, the epoch/round cursor, and the
 	// partition/VIP/cache topology.
 	TrainState = ckpt.TrainState
+	// ElasticConfig tunes elastic training (TrainElastic): minimum
+	// surviving member count, probe timeout, recovery budget, and an
+	// optional counter registry.
+	ElasticConfig = pipeline.ElasticConfig
+	// ElasticReport summarizes an elastic run: stall/regroup/replay
+	// counters, the final member set, per-epoch stats, and one
+	// RegroupEvent per membership change.
+	ElasticReport = pipeline.ElasticReport
+	// RegroupEvent records one membership change: the consensus resume
+	// step, the surviving original ranks, and the shrunk training state
+	// the survivors continued from.
+	RegroupEvent = pipeline.RegroupEvent
 )
 
 // ErrShed is returned by Server.Predict when deadline-aware admission
@@ -84,6 +96,13 @@ type (
 // answers every request with either a prediction or ErrShed, never
 // silence — so callers can back off and retry.
 var ErrShed = serve.ErrShed
+
+// ErrShrinkAborted is returned by TrainElastic when a recovery attempt
+// cannot produce a viable smaller cluster — fewer than
+// ElasticConfig.MinRanks survivors answered the probe, or the survivors
+// hold no common checkpoint. The run stops rather than continuing on a
+// membership it cannot trust.
+var ErrShrinkAborted = pipeline.ErrShrinkAborted
 
 // NewPapersDataset generates the scaled ogbn-papers100M analog with n
 // vertices (features materialized when materialize is true).
@@ -144,6 +163,19 @@ func VIPProbabilities(g *Graph, trainIDs []int32, cfg VIPConfig) ([]float64, err
 // feature sharding, communicators, and per-rank models.
 func NewCluster(ds *Dataset, cfg ClusterConfig) (*Cluster, error) {
 	return pipeline.NewCluster(ds, cfg)
+}
+
+// TrainElastic trains for the given number of epochs while surviving rank
+// failures: every training collective is bounded by
+// ClusterConfig.StallTimeout; on a stall the survivors probe each other,
+// agree on the newest checkpoint they all hold, absorb the dead rank's
+// feature shard and VIP cache slice, and continue on K-1 machines —
+// bitwise identical to a cold K-1 restart from that same checkpoint.
+// Requires ClusterConfig.Checkpoint to be enabled. The returned cluster
+// is still open (evaluate on it, then Close); the report carries the
+// recovery counters and per-epoch stats.
+func TrainElastic(ds *Dataset, cfg ClusterConfig, epochs int, ecfg ElasticConfig) (*Cluster, *ElasticReport, error) {
+	return pipeline.TrainElastic(ds, cfg, epochs, ecfg)
 }
 
 // NewServer builds an online-inference server over a cluster: per rank, a
