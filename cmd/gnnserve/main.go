@@ -41,6 +41,9 @@ func main() {
 		loadsec  = flag.Float64("loadsec", 2, "seconds per offered-rate point for -load open")
 		flashF   = flag.Float64("flash", 0, "flash-crowd factor for -load open: mid-run the offered rate is multiplied by this (0 disables)")
 		deadline = flag.Int64("deadline", 25000, "per-request admission budget in µs for -load open")
+		drift    = flag.Bool("drift", false, "add the rotating-hot-set drift profile: the same seeded workload served with the static cache and with the online drift-tracking policy at equal capacity")
+		driftW   = flag.Int("driftwindows", 5, "hot-set rotations for -drift")
+		driftReq = flag.Int("driftreq", 960, "requests per drift window for -drift")
 		ckptPath = flag.String("checkpoint", "", "serve a frozen snapshot restored from this checkpoint file (gnntrain -checkpoint-dir format); dataset, seed, batch, fanouts, K, and the training codec/precision are reconstructed from the file, overriding the corresponding flags (-codec/-precision still select the serving group's settings)")
 		seed     = flag.Uint64("seed", 7, "random seed")
 		asJSON   = flag.Bool("json", false, "also write the machine-readable report (-serveout)")
@@ -85,6 +88,7 @@ func main() {
 		Codec: run.Codec, Precision: run.Precision, Checkpoint: *ckptPath,
 		Load: *load, ZipfS: *zipf, OfferedRPS: rates,
 		LoadSeconds: *loadsec, FlashFactor: *flashF, DeadlineMicros: *deadline,
+		Drift: *drift, DriftWindows: *driftW, DriftRequestsPerWindow: *driftReq,
 	})
 	if err != nil {
 		log.Fatal(err)

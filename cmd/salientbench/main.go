@@ -59,6 +59,9 @@ func main() {
 		loadsec   = flag.Float64("loadsec", 2, "seconds per offered-rate point for -load open")
 		flashF    = flag.Float64("flash", 0, "flash-crowd factor for -load open: mid-run the offered rate is multiplied by this (0 disables)")
 		deadline  = flag.Int64("deadline", 25000, "per-request admission budget in µs for -load open")
+		drift     = flag.Bool("drift", false, "for -exp serve: add the rotating-hot-set drift profile (static vs online cache at equal capacity)")
+		driftWins = flag.Int("driftwindows", 5, "hot-set rotations for -drift")
+		driftReq  = flag.Int("driftreq", 960, "requests per drift window for -drift")
 		compare   = flag.String("compare", "", "gate mode: old benchmark report; the new report follows as a positional argument")
 		tolerance = flag.Float64("tolerance", 0.25, "relative regression tolerance for -compare")
 	)
@@ -210,6 +213,7 @@ func main() {
 				Precision: runCfg.Precision,
 				Load:      *load, ZipfS: *zipf, OfferedRPS: rates,
 				LoadSeconds: *loadsec, FlashFactor: *flashF, DeadlineMicros: *deadline,
+				Drift: *drift, DriftWindows: *driftWins, DriftRequestsPerWindow: *driftReq,
 			})
 			if err != nil {
 				return "", err

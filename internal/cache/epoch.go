@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"fmt"
+
+	"salientpp/internal/tensor"
+)
+
+// Epoch is one immutable version of a rank's remote-feature cache: the
+// membership index, the fp32 feature rows (Rows.Row(i) holds the features
+// of Index.IDs()[i]), and — when a reduced compute precision is active — a
+// quantized shadow of those rows. Epochs are hydrated off the gather path
+// (EpochBuilder), finished with EnsureQuant, and installed into a store by
+// swapping a single atomic pointer; once installed an epoch is never
+// written again, so any number of concurrent gathers may read it while the
+// next version is being built in the background.
+type Epoch struct {
+	// Gen is the install generation: 0 for the setup-time epoch (the
+	// truncated static ranking), incremented by the builder for every
+	// epoch built after it.
+	Gen uint64
+	// Index is the membership index; Slot(v) gives the row of a cached id.
+	Index *Cache
+	// Rows holds the fp32 feature rows in slot order.
+	Rows *tensor.Matrix
+	// Quant is the reduced-precision shadow of Rows, built by EnsureQuant
+	// before installation and nil in fp32 deployments.
+	Quant *tensor.QuantMatrix
+
+	owner *EpochBuilder // pool owner; nil for setup epochs (never released)
+}
+
+// NewEpoch assembles the setup-time epoch (generation 0) from a built
+// index and its hydrated rows. index and rows may both be nil to disable
+// caching; otherwise rows must be parallel to index.IDs().
+func NewEpoch(index *Cache, rows *tensor.Matrix) (*Epoch, error) {
+	if (index == nil) != (rows == nil) {
+		return nil, fmt.Errorf("cache: epoch index and rows must be supplied together")
+	}
+	if index != nil && rows.Rows != index.Len() {
+		return nil, fmt.Errorf("cache: epoch has %d rows for %d cached ids", rows.Rows, index.Len())
+	}
+	return &Epoch{Index: index, Rows: rows}, nil
+}
+
+// Len returns the number of cached ids (0 for a nil epoch or empty index).
+func (e *Epoch) Len() int {
+	if e == nil || e.Index == nil {
+		return 0
+	}
+	return e.Index.Len()
+}
+
+// IDs returns the cached ids in slot order (nil for a cacheless epoch; do
+// not modify).
+func (e *Epoch) IDs() []int32 {
+	if e == nil || e.Index == nil {
+		return nil
+	}
+	return e.Index.IDs()
+}
+
+// EnsureQuant builds the epoch's reduced-precision shadow for p, so that
+// quantized gathers read cache rows as byte copies coherent with this
+// epoch's fp32 rows. Idempotent for a matching precision; PrecisionFP32
+// clears the shadow. Call before the epoch is installed — an installed
+// epoch is shared read-only with concurrent gathers.
+func (e *Epoch) EnsureQuant(p tensor.Precision) {
+	if e == nil {
+		return
+	}
+	if p == tensor.PrecisionFP32 {
+		e.Quant = nil
+		return
+	}
+	if e.Quant != nil && e.Quant.Prec == p {
+		return
+	}
+	if e.Rows == nil {
+		e.Quant = nil
+		return
+	}
+	q := new(tensor.QuantMatrix)
+	q.Quantize(p, e.Rows)
+	e.Quant = q
+}
+
+// EpochBuilder hydrates successive cache epochs for one rank: membership
+// ids in, a fully materialized Epoch out (index, feature rows pulled from
+// the row source, quantized shadow on demand). Row matrices come from a
+// builder-internal tensor.Pool so retired epochs can be handed back with
+// Release and the pool's Live gauge proves that shutdown — even mid-install
+// — leaks nothing.
+//
+// A builder serves one install stream (one store); Build/Release are not
+// safe for concurrent use with each other.
+type EpochBuilder struct {
+	n    int
+	dim  int
+	row  func(v int32) []float32
+	pool *tensor.Pool
+	gen  uint64
+}
+
+// NewEpochBuilder returns a builder over a graph with n vertices and
+// dim-wide features; row must return the fp32 feature row of any vertex
+// (it is read, never retained).
+func NewEpochBuilder(n, dim int, row func(v int32) []float32) (*EpochBuilder, error) {
+	if n <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("cache: epoch builder needs positive n (%d) and dim (%d)", n, dim)
+	}
+	if row == nil {
+		return nil, fmt.Errorf("cache: epoch builder needs a feature row source")
+	}
+	return &EpochBuilder{n: n, dim: dim, row: row, pool: tensor.NewPool()}, nil
+}
+
+// SetGen pins the generation counter so the next Build returns gen+1 —
+// used by resume to continue a checkpointed install stream.
+func (b *EpochBuilder) SetGen(gen uint64) { b.gen = gen }
+
+// Build materializes the next epoch holding exactly ids (slot order
+// preserved). The rows matrix is pooled; hand retired epochs back with
+// Release.
+func (b *EpochBuilder) Build(ids []int32) (*Epoch, error) {
+	index, err := Build(ids, b.n)
+	if err != nil {
+		return nil, err
+	}
+	rows := b.pool.Get(index.Len(), b.dim)
+	for i, v := range index.IDs() {
+		copy(rows.Row(i), b.row(v))
+	}
+	b.gen++
+	return &Epoch{Gen: b.gen, Index: index, Rows: rows, owner: b}, nil
+}
+
+// Release returns a retired epoch's row storage to the builder's pool.
+// Only epochs this builder built are released (the setup epoch and foreign
+// epochs are ignored), so callers can unconditionally release whatever an
+// install displaced. The caller must guarantee no gather still reads the
+// epoch — installs at round barriers do.
+func (b *EpochBuilder) Release(e *Epoch) {
+	if e == nil || e.owner != b {
+		return
+	}
+	e.owner = nil
+	b.pool.Put(e.Rows)
+	e.Index, e.Rows, e.Quant = nil, nil, nil
+}
+
+// Live returns the number of built-and-unreleased epochs — the leak gauge
+// the shutdown regression tests assert returns to zero.
+func (b *EpochBuilder) Live() int64 { return b.pool.Live() }

@@ -1,0 +1,285 @@
+package cache
+
+import (
+	"testing"
+
+	"salientpp/internal/tensor"
+)
+
+// testRowSource returns a row function over n synthetic dim-wide rows
+// (vertex v's row is [v*10, v*10+1, ...]), for builder tests.
+func testRowSource(dim int) func(v int32) []float32 {
+	buf := make([]float32, dim)
+	return func(v int32) []float32 {
+		for j := range buf {
+			buf[j] = float32(int(v)*10 + j)
+		}
+		return buf
+	}
+}
+
+// TestStaticPolicyBitwiseUnchanged pins the default policy to the frozen
+// pre-refactor behavior: whatever the Static policy observes, Propose
+// returns the pinned setup prefix, the installer's Next never builds an
+// epoch, and the store-side swap therefore never happens — the cache stays
+// bitwise the setup-time truncated ranking for the life of the run.
+func TestStaticPolicyBitwiseUnchanged(t *testing.T) {
+	prefix := []int32{7, 2, 9, 4}
+	pol := NewStatic(prefix)
+	if pol.Name() != "static" {
+		t.Fatalf("policy name %q", pol.Name())
+	}
+
+	builder, err := NewEpochBuilder(16, 3, testRowSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := builder.Build(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstaller(pol, builder, len(prefix))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer the policy with drifting traffic that would flip an online
+	// scorer; the static policy must not move.
+	for round := 0; round < 100; round++ {
+		hot := int32(round % 16)
+		inst.Observe(RoundAccess{Hits: []int32{hot}, Misses: [][]int32{{hot, (hot + 1) % 16}}})
+		next, churn, err := inst.Next(setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != nil || churn != 0 {
+			t.Fatalf("round %d: static policy produced an epoch (churn %d)", round, churn)
+		}
+	}
+	if inst.Installs() != 0 || inst.ChurnRows() != 0 {
+		t.Fatalf("static installer counted installs=%d churn=%d", inst.Installs(), inst.ChurnRows())
+	}
+	for _, capacity := range []int{0, 2, 4, 10} {
+		got := pol.Propose(capacity)
+		want := capacity
+		if want > len(prefix) {
+			want = len(prefix)
+		}
+		if len(got) != want {
+			t.Fatalf("Propose(%d) returned %d ids", capacity, len(got))
+		}
+		for i := range got {
+			if got[i] != prefix[i] {
+				t.Fatalf("Propose(%d)[%d] = %d, want pinned %d", capacity, i, got[i], prefix[i])
+			}
+		}
+	}
+	builder.Release(setup)
+	if live := inst.Live(); live != 0 {
+		t.Fatalf("%d epochs live after release", live)
+	}
+}
+
+// TestOnlinePolicyDeterminism feeds two independently constructed scorers
+// the identical observation stream and requires identical proposals after
+// every round — the Policy determinism contract the training installer's
+// cross-transport reproducibility rests on.
+func TestOnlinePolicyDeterminism(t *testing.T) {
+	const n = 64
+	seed := []int32{3, 1, 4, 1, 5, 9, 2, 6}
+	degrees := make([]int32, n)
+	for v := range degrees {
+		degrees[v] = int32(v%7 + 1)
+	}
+	mk := func() *Online {
+		o, err := NewOnline(n, seed, degrees, OnlineConfig{HalfLife: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	a, b := mk(), mk()
+	for round := 0; round < 200; round++ {
+		acc := RoundAccess{
+			Hits:   []int32{int32(round % n), int32((round * 7) % n)},
+			Misses: [][]int32{{int32((round * 3) % n)}, {int32((round*5 + 1) % n)}},
+		}
+		a.Observe(acc)
+		b.Observe(acc)
+		pa := a.Propose(10)
+		pb := b.Propose(10)
+		if len(pa) != len(pb) {
+			t.Fatalf("round %d: proposal lengths differ: %d vs %d", round, len(pa), len(pb))
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("round %d: proposals diverge at %d: %v vs %v", round, i, pa, pb)
+			}
+		}
+	}
+}
+
+// TestOnlineAdmissionAndEviction checks the scorer's drift response: a
+// newly hot vertex must out-score the seeded prefix once its decayed
+// frequency clears the prior, and must decay back out when the traffic
+// moves on.
+func TestOnlineAdmissionAndEviction(t *testing.T) {
+	const n = 32
+	o, err := NewOnline(n, []int32{0, 1, 2, 3}, nil, OnlineConfig{HalfLife: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(ids []int32, v int32) bool {
+		for _, x := range ids {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	// Vertex 20 gets hot: after a handful of rounds its frequency (~1 per
+	// round) beats every prior (<= PriorWeight*(1+DegreeWeight)).
+	for round := 0; round < 12; round++ {
+		o.Observe(RoundAccess{Hits: []int32{20}})
+	}
+	if got := o.Propose(2); !has(got, 20) {
+		t.Fatalf("hot vertex not admitted: proposal %v", got)
+	}
+	// Traffic moves to vertex 21; vertex 20's heat halves every 4 rounds
+	// and the prior-backed seeds plus the new hot vertex crowd it out.
+	for round := 0; round < 64; round++ {
+		o.Observe(RoundAccess{Misses: [][]int32{{21}}})
+	}
+	got := o.Propose(2)
+	if has(got, 20) {
+		t.Fatalf("cold vertex still proposed after 64 idle rounds: %v", got)
+	}
+	if !has(got, 21) {
+		t.Fatalf("new hot vertex not admitted: %v", got)
+	}
+}
+
+// TestOnlineTieBreakAscendingID pins the full ordering: equal scores must
+// order by ascending vertex id, never map/iteration order.
+func TestOnlineTieBreakAscendingID(t *testing.T) {
+	o, err := NewOnline(16, nil, nil, OnlineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One access each, same round: identical decayed frequency, zero prior.
+	o.Observe(RoundAccess{Hits: []int32{9, 3, 12, 5}})
+	got := o.Propose(4)
+	want := []int32{3, 5, 9, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tied proposal order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestInstallerChurnAndRelease exercises the build/install/release cycle:
+// churn counts only newly admitted ids, an unchanged membership builds
+// nothing, and releasing every retired epoch drains the builder's pool.
+func TestInstallerChurnAndRelease(t *testing.T) {
+	const n, dim = 16, 3
+	builder, err := NewEpochBuilder(n, dim, testRowSource(dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := NewOnline(n, []int32{1, 2}, nil, OnlineConfig{HalfLife: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstaller(pol, builder, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := builder.Build([]int32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Gen != 1 {
+		t.Fatalf("first build gen %d", cur.Gen)
+	}
+	// Rows must be hydrated from the row source in slot order.
+	for i, v := range cur.IDs() {
+		if cur.Rows.At(i, 0) != float32(v*10) {
+			t.Fatalf("row %d not hydrated for vertex %d", i, v)
+		}
+	}
+
+	// Same membership proposed -> no build, no install counted.
+	if next, churn, err := inst.BuildFor([]int32{1, 2}, cur); err != nil || next != nil || churn != 0 {
+		t.Fatalf("unchanged membership built an epoch: %v %d %v", next, churn, err)
+	}
+
+	// Heat vertex 9 until it displaces a seed: churn 1 (only 9 is new).
+	for round := 0; round < 16; round++ {
+		inst.Observe(RoundAccess{Hits: []int32{9, 1}})
+	}
+	next, churn, err := inst.Next(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == nil || churn != 1 {
+		t.Fatalf("expected a 1-churn install, got %v churn %d", next, churn)
+	}
+	if next.Gen != cur.Gen+1 {
+		t.Fatalf("generation did not advance: %d after %d", next.Gen, cur.Gen)
+	}
+	inst.Release(cur)
+	if inst.Installs() != 1 || inst.ChurnRows() != 1 {
+		t.Fatalf("accounting: installs=%d churn=%d", inst.Installs(), inst.ChurnRows())
+	}
+	inst.Release(next)
+	if live := inst.Live(); live != 0 {
+		t.Fatalf("%d epochs live after releasing everything", live)
+	}
+	// Double release and foreign/nil release are no-ops.
+	inst.Release(next)
+	inst.Release(nil)
+	setup, err := NewEpoch(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Release(setup)
+	if live := inst.Live(); live != 0 {
+		t.Fatalf("release no-ops disturbed the gauge: %d", live)
+	}
+}
+
+// TestEpochEnsureQuant covers the quantized-shadow lifecycle: built on
+// demand, idempotent for a matching precision, rebuilt on change, cleared
+// by fp32.
+func TestEpochEnsureQuant(t *testing.T) {
+	builder, err := NewEpochBuilder(8, 4, testRowSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := builder.Build([]int32{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer builder.Release(ep)
+
+	ep.EnsureQuant(tensor.PrecisionInt8)
+	if ep.Quant == nil || ep.Quant.Prec != tensor.PrecisionInt8 {
+		t.Fatalf("int8 shadow not built: %+v", ep.Quant)
+	}
+	first := ep.Quant
+	ep.EnsureQuant(tensor.PrecisionInt8)
+	if ep.Quant != first {
+		t.Fatal("matching-precision EnsureQuant rebuilt the shadow")
+	}
+	ep.EnsureQuant(tensor.PrecisionFP16)
+	if ep.Quant == nil || ep.Quant.Prec != tensor.PrecisionFP16 {
+		t.Fatalf("fp16 shadow not rebuilt: %+v", ep.Quant)
+	}
+	ep.EnsureQuant(tensor.PrecisionFP32)
+	if ep.Quant != nil {
+		t.Fatal("fp32 did not clear the shadow")
+	}
+	var nilEp *Epoch
+	nilEp.EnsureQuant(tensor.PrecisionInt8) // must not panic
+}

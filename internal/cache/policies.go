@@ -12,10 +12,10 @@ import (
 // ignores the sampling process entirely.
 type Degree struct{}
 
-// Name implements Policy.
+// Name implements Ranker.
 func (Degree) Name() string { return "deg." }
 
-// Rank implements Policy.
+// Rank implements Ranker.
 func (Degree) Rank(ctx *Context) ([]int32, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
@@ -37,10 +37,10 @@ func (Degree) Rank(ctx *Context) ([]int32, error) {
 // halo is ranked by degree.
 type Halo struct{}
 
-// Name implements Policy.
+// Name implements Ranker.
 func (Halo) Name() string { return "1-hop" }
 
-// Rank implements Policy.
+// Rank implements Ranker.
 func (Halo) Rank(ctx *Context) ([]int32, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
@@ -82,10 +82,10 @@ type WeightedPageRank struct {
 	Damping    float64
 }
 
-// Name implements Policy.
+// Name implements Ranker.
 func (WeightedPageRank) Name() string { return "wPR" }
 
-// Rank implements Policy.
+// Rank implements Ranker.
 func (p WeightedPageRank) Rank(ctx *Context) ([]int32, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
@@ -132,10 +132,10 @@ func (p WeightedPageRank) Rank(ctx *Context) ([]int32, error) {
 // probabilities.
 type NumPaths struct{}
 
-// Name implements Policy.
+// Name implements Ranker.
 func (NumPaths) Name() string { return "#paths" }
 
-// Rank implements Policy.
+// Rank implements Ranker.
 func (NumPaths) Rank(ctx *Context) ([]int32, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
@@ -173,10 +173,10 @@ type Simulated struct {
 	Epochs int
 }
 
-// Name implements Policy.
+// Name implements Ranker.
 func (Simulated) Name() string { return "sim." }
 
-// Rank implements Policy.
+// Rank implements Ranker.
 func (p Simulated) Rank(ctx *Context) ([]int32, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
@@ -198,10 +198,10 @@ func (p Simulated) Rank(ctx *Context) ([]int32, error) {
 // minibatch distribution.
 type VIP struct{}
 
-// Name implements Policy.
+// Name implements Ranker.
 func (VIP) Name() string { return "VIP" }
 
-// Rank implements Policy.
+// Rank implements Ranker.
 func (VIP) Rank(ctx *Context) ([]int32, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
@@ -224,10 +224,10 @@ type Oracle struct {
 	EvalSeed uint64
 }
 
-// Name implements Policy.
+// Name implements Ranker.
 func (Oracle) Name() string { return "oracle" }
 
-// Rank implements Policy.
+// Rank implements Ranker.
 func (p Oracle) Rank(ctx *Context) ([]int32, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
@@ -247,10 +247,10 @@ func (p Oracle) Rank(ctx *Context) ([]int32, error) {
 // None is the no-caching baseline; it ranks nothing.
 type None struct{}
 
-// Name implements Policy.
+// Name implements Ranker.
 func (None) Name() string { return "none" }
 
-// Rank implements Policy.
+// Rank implements Ranker.
 func (None) Rank(ctx *Context) ([]int32, error) { return nil, nil }
 
 // simulateCounts runs the partition's sampled epochs and returns per-vertex

@@ -71,8 +71,13 @@ func (c *Context) remoteIDs() []int32 {
 	return out
 }
 
-// Policy ranks remote vertices for one partition, best candidates first.
-type Policy interface {
+// Ranker produces the setup-time ranking of remote vertices for one
+// partition, best candidates first. The seven Figure 2 policies implement
+// it; the truncated ranking becomes the first cache epoch (and, under the
+// default Static online policy, every epoch after it). The online
+// admission/eviction interface that evolves the cache after setup is
+// Policy (online.go).
+type Ranker interface {
 	// Name is the short label used in tables (matching Figure 2's legend).
 	Name() string
 	// Rank returns remote vertex ids in descending cache priority. The
@@ -86,8 +91,8 @@ type Policy interface {
 // order. simEpochs and oracleEpochs control the two empirical policies
 // (the paper uses 2 simulated epochs for "sim." and the evaluation epochs
 // themselves for "oracle").
-func Registry(simEpochs, oracleEpochs int, oracleSeed uint64) []Policy {
-	return []Policy{
+func Registry(simEpochs, oracleEpochs int, oracleSeed uint64) []Ranker {
+	return []Ranker{
 		Degree{},
 		Halo{},
 		WeightedPageRank{Iterations: 5, Damping: 0.85},

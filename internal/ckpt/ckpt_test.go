@@ -192,6 +192,68 @@ func TestDecodeAcceptsOldVersions(t *testing.T) {
 	}
 }
 
+// TestDecodeAcceptsVersion4 pins the upgrade seam the online cache layer
+// introduced: a v4 file is byte-for-byte a v5 file without the cache-state
+// section, so patching the version field of a cacheless v5 encoding yields
+// a genuine v4 file. It must decode with a nil CacheState — the static
+// setup prefix in Topology.CacheIDs, exactly the pre-refactor behavior —
+// and match the source state in every other field.
+func TestDecodeAcceptsVersion4(t *testing.T) {
+	st := testState()
+	if st.Cache != nil {
+		t.Fatal("testState unexpectedly carries cache state")
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	v4 := append([]byte(nil), buf.Bytes()...)
+	v4[4] = 4 // version u32, little-endian, after the 4-byte magic
+	got, err := Decode(bytes.NewReader(v4))
+	if err != nil {
+		t.Fatalf("v4 checkpoint no longer decodes: %v", err)
+	}
+	if got.Cache != nil {
+		t.Fatalf("v4 decode invented cache state: %+v", got.Cache)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("v4 decode mismatch:\nwant %+v\ngot  %+v", st, got)
+	}
+}
+
+// TestCacheStateRoundTrip covers the v5 cache-state section: an online
+// run's installed epochs (policy name, per-rank generation and membership)
+// must round-trip exactly, and a static run (nil CacheState) must encode
+// without the section at all so its bytes stay v4-shaped.
+func TestCacheStateRoundTrip(t *testing.T) {
+	st := testState()
+	st.Cache = &CacheState{
+		Policy: "online",
+		Gens:   []uint64{3, 0},
+		IDs:    [][]int32{{5, 1, 3}, {}},
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("cache-state round trip mismatch:\nwant %+v\ngot  %+v", st.Cache, got.Cache)
+	}
+
+	// A cache member outside the vertex space must fail validation.
+	st.Cache.IDs[0][0] = int32(st.Topo.NumVertices)
+	if err := st.Validate(); err == nil {
+		t.Fatal("out-of-range cache member validated")
+	}
+}
+
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	st := testState()
 	var buf bytes.Buffer

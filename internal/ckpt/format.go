@@ -43,20 +43,27 @@ const (
 	// per-stage compute attribution (aggregate/transform/backward) to the
 	// partial-epoch statistics; v4 added the gradient-codec identity,
 	// per-parameter error-feedback residuals, and gradient
-	// synchronization accounting to the partial-epoch statistics.
-	version uint32 = 4
+	// synchronization accounting to the partial-epoch statistics; v5
+	// added the optional cache-state section recording the online cache
+	// layer's installed epochs (policy name, per-rank generation and
+	// membership).
+	version uint32 = 5
 	// minVersion is the oldest format Decode still reads: v1 files lack
 	// the header codec string and decode with the "fp32" default — every
 	// v1 run trained under the only wire format that existed then. v2
 	// files likewise lack the precision string and stage timers; they
 	// decode with precision "fp32" and zero stage attribution. v3 files
 	// lack the gradient codec and residuals; they decode with gradient
-	// codec "fp32" (the only one that existed) and empty residuals.
+	// codec "fp32" (the only one that existed) and empty residuals. v4
+	// files lack the cache-state section; they decode with a nil
+	// CacheState — the static-prefix default, which is exactly how every
+	// v≤4 run cached.
 	minVersion uint32 = 1
 
-	tagHeader   uint32 = 1
-	tagTopology uint32 = 2
-	tagRank     uint32 = 3
+	tagHeader     uint32 = 1
+	tagTopology   uint32 = 2
+	tagRank       uint32 = 3
+	tagCacheState uint32 = 4
 
 	// maxSection bounds a single section payload; anything larger is
 	// treated as corruption rather than allocated.
@@ -154,6 +161,23 @@ type Topology struct {
 	CacheIDs    [][]int32
 }
 
+// CacheState records the online cache layer's installed epochs at the
+// checkpoint barrier: the policy name and, per rank, the installed epoch
+// generation and the cache membership in slot order. A nil CacheState (all
+// files older than v5, and every run under the default static policy)
+// means the cache is the static setup prefix in Topology.CacheIDs — the
+// v≤4 behavior, unchanged.
+//
+// Only membership is persisted, not the policy's scorer state: a resumed
+// online run re-warms its frequency statistics from live traffic, so its
+// later installs may differ from the uninterrupted run's. The restored
+// epoch itself (membership and generation) is exact.
+type CacheState struct {
+	Policy string
+	Gens   []uint64
+	IDs    [][]int32
+}
+
 // TrainState is a complete coordinated checkpoint.
 type TrainState struct {
 	Step   Step
@@ -187,6 +211,9 @@ type TrainState struct {
 	GradCodec string
 	Topo      *Topology
 	Ranks     []*RankState
+	// Cache, when non-nil, is the online cache layer's installed state
+	// (v5+); nil means the static setup cache in Topo.CacheIDs.
+	Cache *CacheState
 }
 
 // Validate checks the internal consistency a decoder or resume path relies
@@ -257,6 +284,21 @@ func (t *TrainState) Validate() error {
 		for _, v := range ids {
 			if v < 0 || int64(v) >= n {
 				return fmt.Errorf("ckpt: rank %d caches vertex %d outside [0,%d)", r, v, n)
+			}
+		}
+	}
+	if cs := t.Cache; cs != nil {
+		if cs.Policy == "" || len(cs.Policy) > 32 {
+			return fmt.Errorf("ckpt: missing or oversized cache policy name")
+		}
+		if len(cs.Gens) != k || len(cs.IDs) != k {
+			return fmt.Errorf("ckpt: cache state covers %d/%d ranks for K=%d", len(cs.Gens), len(cs.IDs), k)
+		}
+		for r, ids := range cs.IDs {
+			for _, v := range ids {
+				if v < 0 || int64(v) >= n {
+					return fmt.Errorf("ckpt: cache state rank %d holds vertex %d outside [0,%d)", r, v, n)
+				}
 			}
 		}
 	}
@@ -378,6 +420,18 @@ func AppendEncode(dst []byte, t *TrainState) ([]byte, error) {
 		p.i32s(ids)
 	}
 	out = p.section(out, tagTopology)
+
+	// Cache state (v5+), only when an online policy has installed epochs;
+	// static runs omit the section and decode back to a nil CacheState.
+	if cs := t.Cache; cs != nil {
+		p.b = p.b[:0]
+		p.str(cs.Policy)
+		for r := range cs.Gens {
+			p.u64(cs.Gens[r])
+			p.i32s(cs.IDs[r])
+		}
+		out = p.section(out, tagCacheState)
+	}
 
 	// Rank sections, in rank order.
 	for _, rs := range t.Ranks {
@@ -725,6 +779,26 @@ func Decode(r io.Reader) (*TrainState, error) {
 					return nil, err
 				}
 			}
+		case tagCacheState:
+			if !sawHeader {
+				return nil, fmt.Errorf("ckpt: cache state before header")
+			}
+			if t.Cache != nil {
+				return nil, fmt.Errorf("ckpt: duplicate cache-state section")
+			}
+			cs := &CacheState{Gens: make([]uint64, t.Topo.K), IDs: make([][]int32, t.Topo.K)}
+			if cs.Policy, err = c.str(); err != nil {
+				return nil, err
+			}
+			for i := range cs.Gens {
+				if cs.Gens[i], err = c.u64(); err != nil {
+					return nil, err
+				}
+				if cs.IDs[i], err = c.i32s(); err != nil {
+					return nil, err
+				}
+			}
+			t.Cache = cs
 		case tagRank:
 			if !sawHeader {
 				return nil, fmt.Errorf("ckpt: rank section before header")

@@ -39,3 +39,51 @@ func FuzzCheckpointDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCacheStateDecode targets the v5 cache-state section specifically:
+// the seed corpus carries cache-bearing checkpoints (plus truncated and
+// bit-flipped variants, and a version-patched v4 file without the
+// section), so the fuzzer mutates around the newest decode path. The
+// contract is the same as FuzzCheckpointDecode's — error, never panic, and
+// anything accepted must validate and re-encode.
+func FuzzCacheStateDecode(f *testing.F) {
+	st := testState()
+	st.Cache = &CacheState{
+		Policy: "online",
+		Gens:   []uint64{4, 2},
+		IDs:    [][]int32{{0, 5, 2}, {1}},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)*2/3])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	v4 := append([]byte(nil), valid...)
+	v4[4] = 4
+	f.Add(v4)
+	empty := testState()
+	empty.Cache = &CacheState{Policy: "online", Gens: []uint64{0, 0}, IDs: [][]int32{{}, {}}}
+	buf.Reset()
+	if err := Encode(&buf, empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf.Bytes()...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("Decode accepted a state that fails validation: %v", verr)
+		}
+		if _, err := AppendEncode(nil, got); err != nil {
+			t.Fatalf("accepted state does not re-encode: %v", err)
+		}
+	})
+}

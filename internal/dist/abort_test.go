@@ -48,7 +48,7 @@ func testAbortUnblocksGather(t *testing.T, mk func(k int) ([]Comm, error)) {
 		t.Fatal(err)
 	}
 	local := tensor.New(n/2, dim)
-	st, err := NewStore(comms[0], layout, dim, local, nil, nil, 1)
+	st, err := NewStore(comms[0], layout, dim, local, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestSiblingSharesDataNotScratch(t *testing.T) {
 		for i := range local.Data {
 			local.Data[i] = float32(i)
 		}
-		st, err := NewStore(comms[0], layout, dim, local, nil, nil, 0.5)
+		st, err := NewStore(comms[0], layout, dim, local, nil, 0.5)
 		if err != nil {
 			t.Fatal(err)
 		}

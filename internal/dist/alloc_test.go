@@ -27,7 +27,7 @@ func TestGatherAllocationFree(t *testing.T) {
 	for i := range local.Data {
 		local.Data[i] = float32(i)
 	}
-	st, err := NewStore(comms[0], layout, dim, local, nil, nil, 0.5)
+	st, err := NewStore(comms[0], layout, dim, local, nil, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func BenchmarkGatherWarm(b *testing.B) {
 		b.Fatal(err)
 	}
 	local := tensor.New(n, dim)
-	st, err := NewStore(comms[0], layout, dim, local, nil, nil, 1)
+	st, err := NewStore(comms[0], layout, dim, local, nil, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestGatherSortedRequestsCorrect(t *testing.T) {
 		for i := 0; i < 8; i++ {
 			copy(local.Row(i), full.Row(r*8+i))
 		}
-		st, err := NewStore(comms[r], layout, dim, local, nil, nil, 1)
+		st, err := NewStore(comms[r], layout, dim, local, nil, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

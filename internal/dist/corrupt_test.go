@@ -28,7 +28,7 @@ func TestGatherRejectsCorruptPeerRequests(t *testing.T) {
 			t.Fatal(err)
 		}
 		local := tensor.New(n/2, dim)
-		st, err := NewStore(comms[0], layout, dim, local, nil, nil, 1)
+		st, err := NewStore(comms[0], layout, dim, local, nil, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

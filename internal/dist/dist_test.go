@@ -160,7 +160,11 @@ func TestStoreGather(t *testing.T) {
 		}
 		cdata := tensor.New(1, dim)
 		copy(cdata.Row(0), full.Row(int(cachedID)))
-		st, err := NewStore(comms[r], layout, dim, local, cc, cdata, 0.5)
+		ep, err := cache.NewEpoch(cc, cdata)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewStore(comms[r], layout, dim, local, ep, 0.5)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -33,18 +33,21 @@ func buildQuantStores(t *testing.T, codec Codec) ([]*Store, *tensor.Matrix, []Co
 		for i := 0; i < 8; i++ {
 			copy(local.Row(i), full.Row(rank*8+i))
 		}
-		var cc *cache.Cache
-		var cdata *tensor.Matrix
+		var ep *cache.Epoch
 		if rank == 0 {
-			if cc, err = cache.Build([]int32{10, 13}, n); err != nil {
+			cc, err := cache.Build([]int32{10, 13}, n)
+			if err != nil {
 				t.Fatal(err)
 			}
-			cdata = tensor.New(2, dim)
+			cdata := tensor.New(2, dim)
 			for i, v := range cc.IDs() {
 				copy(cdata.Row(i), full.Row(int(v)))
 			}
+			if ep, err = cache.NewEpoch(cc, cdata); err != nil {
+				t.Fatal(err)
+			}
 		}
-		st, err := NewStore(comms[rank], layout, dim, local, cc, cdata, 1)
+		st, err := NewStore(comms[rank], layout, dim, local, ep, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +125,7 @@ func TestGatherQuantMatchesQuantizedReference(t *testing.T) {
 				for i, v := range ids {
 					src := full.Row(int(v))
 					if v >= 8 && stores[0].layout.Owner(v) != 0 {
-						if _, cached := stores[0].cache.Slot(v); !cached && codec != CodecFP32 && !codecMatches {
+						if _, cached := stores[0].Epoch().Index.Slot(v); !cached && codec != CodecFP32 && !codecMatches {
 							codec.roundTripRow(ref, src)
 							src = ref
 						}
@@ -164,7 +167,7 @@ func TestGatherQuantAllocationFree(t *testing.T) {
 	for i := range local.Data {
 		local.Data[i] = float32(r.NormFloat64())
 	}
-	st, err := NewStore(comms[0], layout, 6, local, nil, nil, 1)
+	st, err := NewStore(comms[0], layout, 6, local, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

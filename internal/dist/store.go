@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"salientpp/internal/cache"
@@ -30,13 +31,27 @@ type GatherStats struct {
 	// the store's reusable scratch and is valid only until the next Gather
 	// on the same store; copy it to retain it.
 	RemoteByPeer []int
+	// CacheHitIDs lists the ids behind CacheHits in access order, and
+	// RemoteIDs the ids behind RemoteFetch (for GatherLocal: Missing),
+	// grouped per owning rank with each list ascending. Both alias the
+	// store's reusable scratch, valid only until the next gather — the
+	// online cache policy folds them into its own state via Observe
+	// (cache.RoundAccess) before the next round.
+	CacheHitIDs []int32
+	RemoteIDs   [][]int32
 }
 
 // Store is one rank's partitioned feature store: the local shard (split
-// into a GPU-resident prefix and a CPU remainder), an optional static
-// cache of remote rows, and the communicator over which remote rows are
-// fetched with three matched collectives per Gather — request counts,
-// request ids, and feature payloads (§4.2).
+// into a GPU-resident prefix and a CPU remainder), the current cache epoch
+// of remote rows, and the communicator over which remote rows are fetched
+// with three matched collectives per Gather — request counts, request ids,
+// and feature payloads (§4.2).
+//
+// The cache is versioned: gathers read whichever cache.Epoch was current
+// when they started (one atomic pointer load per gather), and InstallEpoch
+// swaps in a new immutable epoch between rounds without touching in-flight
+// readers. The default deployment installs the setup-time epoch once and
+// never again, which is bitwise the historical frozen cache.
 //
 // The gather path is allocation-free at steady state: output matrices come
 // from a pooled tensor arena (return them with Release), request ids and
@@ -48,18 +63,17 @@ type Store struct {
 	layout  *Layout
 	dim     int
 	local   *tensor.Matrix
-	cache   *cache.Cache
-	cdata   *tensor.Matrix
+	epoch   atomic.Pointer[cache.Epoch] // current cache version; nil only when caching is disabled
 	gpuRows int
 	pool    *tensor.Pool
 	codec   Codec
 
-	// Reduced-precision gather state (SetPrecision): quantized shadows of
-	// the local shard and cache, shared read-only with siblings, plus the
-	// store-owned output scratch GatherQuant hands out.
+	// Reduced-precision gather state (SetPrecision): a quantized shadow of
+	// the local shard, shared read-only with siblings (the cache shadow
+	// lives inside each epoch), plus the store-owned output scratch
+	// GatherQuant hands out.
 	prec       tensor.Precision
 	qlocal     *tensor.QuantMatrix
-	qcache     *tensor.QuantMatrix
 	qscratch   tensor.QuantMatrix
 	rowScratch []float32
 
@@ -74,8 +88,19 @@ type Store struct {
 	idEnc    [][]byte    // per-peer varint id encodings (collective 2, fp16/int8)
 	featEnc  [][]byte    // per-peer encoded feature payloads (collective 3, fp16/int8)
 	byPeer   []int       // RemoteByPeer scratch
+	hitIDs   []int32     // CacheHitIDs scratch
 	sorter   idRowSorter
+	idsort   idSorter
 }
+
+// idSorter sorts a request list ascending with no parallel row list (the
+// degraded path has no output-row bookkeeping to carry along). Held in the
+// Store so sorting allocates nothing.
+type idSorter struct{ ids []int32 }
+
+func (s *idSorter) Len() int           { return len(s.ids) }
+func (s *idSorter) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *idSorter) Swap(i, j int)      { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] }
 
 // idRowSorter sorts a peer's request ids ascending, carrying the matching
 // output-row list along. Held in the Store so sorting allocates nothing.
@@ -92,10 +117,10 @@ func (s *idRowSorter) Swap(i, j int) {
 }
 
 // NewStore validates shapes and returns the store. local holds the rows of
-// this rank's layout interval; cc and cdata (parallel: cdata.Row(i) is the
-// feature row of cc.IDs()[i]) may both be nil to disable caching.
+// this rank's layout interval; ep is the initial cache epoch (generation 0,
+// the truncated setup ranking) and may be nil to disable caching.
 // gpuFraction in [0,1] sets the GPU-resident prefix of the local shard.
-func NewStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cache.Cache, cdata *tensor.Matrix, gpuFraction float64) (*Store, error) {
+func NewStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, ep *cache.Epoch, gpuFraction float64) (*Store, error) {
 	if comm == nil || layout == nil {
 		return nil, fmt.Errorf("dist: store needs comm and layout")
 	}
@@ -112,29 +137,40 @@ func NewStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cach
 	if local.Rows != layout.PartSize(rank) {
 		return nil, fmt.Errorf("dist: local shard has %d rows, layout owns %d", local.Rows, layout.PartSize(rank))
 	}
-	if (cc == nil) != (cdata == nil) {
-		return nil, fmt.Errorf("dist: cache index and cache data must be supplied together")
-	}
-	if cc != nil && cdata.Rows != cc.Len() {
-		return nil, fmt.Errorf("dist: cache data has %d rows for %d cached ids", cdata.Rows, cc.Len())
-	}
-	if cc != nil && cdata.Cols != dim {
-		return nil, fmt.Errorf("dist: cache data width %d != feature dim %d", cdata.Cols, dim)
+	if err := validateEpoch(ep, dim); err != nil {
+		return nil, err
 	}
 	if gpuFraction < 0 || gpuFraction > 1 {
 		return nil, fmt.Errorf("dist: gpuFraction %v outside [0,1]", gpuFraction)
 	}
-	return newStore(comm, layout, dim, local, cc, cdata, int(gpuFraction*float64(local.Rows))), nil
+	s := newStore(comm, layout, dim, local, int(gpuFraction*float64(local.Rows)))
+	s.epoch.Store(ep)
+	return s, nil
+}
+
+// validateEpoch checks an epoch's internal shape agreement against the
+// store's feature dimension. nil epochs (caching disabled) are valid.
+func validateEpoch(ep *cache.Epoch, dim int) error {
+	if ep == nil || ep.Index == nil {
+		return nil
+	}
+	if ep.Rows == nil || ep.Rows.Rows != ep.Index.Len() {
+		return fmt.Errorf("dist: cache epoch gen %d has %d data rows for %d cached ids", ep.Gen, ep.Rows.Rows, ep.Index.Len())
+	}
+	if ep.Rows.Cols != dim {
+		return fmt.Errorf("dist: cache epoch gen %d width %d != feature dim %d", ep.Gen, ep.Rows.Cols, dim)
+	}
+	return nil
 }
 
 // newStore assembles a validated store with fresh per-Gather scratch. Both
 // construction sites (NewStore and Sibling) go through here so a new
 // scratch field cannot be initialized in one and forgotten in the other.
-func newStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cache.Cache, cdata *tensor.Matrix, gpuRows int) *Store {
+func newStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, gpuRows int) *Store {
 	k := layout.K()
 	return &Store{
 		comm: comm, layout: layout, dim: dim,
-		local: local, cache: cc, cdata: cdata,
+		local:    local,
 		gpuRows:  gpuRows,
 		pool:     tensor.NewPool(),
 		reqIDs:   make([][]int32, k),
@@ -151,6 +187,37 @@ func newStore(comm Comm, layout *Layout, dim int, local *tensor.Matrix, cc *cach
 	}
 }
 
+// InstallEpoch atomically swaps in a new cache epoch and returns the one
+// it displaced. Gathers already in flight keep reading the old epoch;
+// gathers started after the swap read the new one — so the caller must
+// only release the returned epoch's storage once it can no longer be read,
+// which installs at round barriers (between a store's gathers) guarantee
+// for free. When the store runs a reduced precision the epoch's quantized
+// shadow is built here, before the swap, so quantized gathers are coherent
+// with the install. The zero-alloc warm gather path is untouched: a swap
+// costs readers exactly one pointer load.
+func (s *Store) InstallEpoch(ep *cache.Epoch) (*cache.Epoch, error) {
+	if err := validateEpoch(ep, s.dim); err != nil {
+		return nil, err
+	}
+	ep.EnsureQuant(s.prec)
+	return s.epoch.Swap(ep), nil
+}
+
+// Epoch returns the store's current cache epoch (nil when caching is
+// disabled). The epoch is immutable; its IDs and Gen are safe to read from
+// any goroutine.
+func (s *Store) Epoch() *cache.Epoch { return s.epoch.Load() }
+
+// CacheGen returns the current cache epoch's install generation (0 for the
+// setup epoch or when caching is disabled).
+func (s *Store) CacheGen() uint64 {
+	if ep := s.epoch.Load(); ep != nil {
+		return ep.Gen
+	}
+	return 0
+}
+
 // SetCodec selects the wire codec for this store's gathers. All members of
 // the comm group must agree (the decode paths reject mismatched payload
 // sizes). CodecFP32, the default, keeps the historical byte-for-byte wire
@@ -163,35 +230,39 @@ func (s *Store) Codec() Codec { return s.codec }
 
 // SetPrecision selects the compute precision GatherQuant assembles feature
 // matrices in and eagerly quantizes read-only shadows of the local shard
-// and cache (one-time cost; per-gather local and cache rows then move as
-// byte copies). PrecisionFP32 clears the shadows and disables GatherQuant.
-// Install before the first GatherQuant; do not call concurrently with
-// gathers. Siblings taken afterwards share the shadows (they are never
-// written again).
+// and the current cache epoch (one-time cost; per-gather local and cache
+// rows then move as byte copies). Later epochs are shadowed by
+// InstallEpoch at install time, so the quantized cache always matches the
+// fp32 cache it was built from. PrecisionFP32 clears the shadows and
+// disables GatherQuant. Install before the first GatherQuant; do not call
+// concurrently with gathers or installs. Siblings taken afterwards share
+// the shadows (they are never written again).
 func (s *Store) SetPrecision(p tensor.Precision) {
-	s.prec, s.qlocal, s.qcache = p, nil, nil
+	s.prec, s.qlocal = p, nil
 	if p == tensor.PrecisionFP32 {
 		return
 	}
 	s.qlocal = new(tensor.QuantMatrix)
 	s.qlocal.Quantize(p, s.local)
-	if s.cdata != nil {
-		s.qcache = new(tensor.QuantMatrix)
-		s.qcache.Quantize(p, s.cdata)
-	}
+	s.epoch.Load().EnsureQuant(p)
 }
 
 // Precision returns the store's compute precision.
 func (s *Store) Precision() tensor.Precision { return s.prec }
 
 // Sibling returns a second store over the same read-only feature data —
-// local shard, cache index, cache rows, layout, and GPU split — but a
-// fresh communicator and private per-Gather scratch. This is the
-// concurrent read path: the underlying matrices are never written after
-// construction, so any number of sibling stores (an online-serving loop
-// next to the training pipeline, several serving replicas) may Gather
-// concurrently, each from its own goroutine, as long as each sibling's
-// comm belongs to a distinct matched group.
+// local shard, current cache epoch, layout, and GPU split — but a fresh
+// communicator and private per-Gather scratch. This is the concurrent read
+// path: the underlying matrices are never written after construction, so
+// any number of sibling stores (an online-serving loop next to the
+// training pipeline, several serving replicas) may Gather concurrently,
+// each from its own goroutine, as long as each sibling's comm belongs to a
+// distinct matched group.
+//
+// The sibling starts on the parent's current epoch but versions
+// independently afterwards: an InstallEpoch on either store is invisible
+// to the other, so a serving sibling can track drift while the training
+// store's trajectory stays untouched.
 func (s *Store) Sibling(comm Comm) (*Store, error) {
 	if comm == nil {
 		return nil, fmt.Errorf("dist: sibling needs a comm")
@@ -202,11 +273,12 @@ func (s *Store) Sibling(comm Comm) (*Store, error) {
 	}
 	// gpuRows is copied outright (not re-derived from a fraction) so access
 	// classification matches the original store exactly.
-	sib := newStore(comm, s.layout, s.dim, s.local, s.cache, s.cdata, s.gpuRows)
+	sib := newStore(comm, s.layout, s.dim, s.local, s.gpuRows)
 	sib.codec = s.codec
-	// The quantized shadows are read-only after SetPrecision, so siblings
-	// share them rather than re-quantizing the shard.
-	sib.prec, sib.qlocal, sib.qcache = s.prec, s.qlocal, s.qcache
+	sib.epoch.Store(s.epoch.Load())
+	// The quantized shadow is read-only after SetPrecision, so siblings
+	// share it rather than re-quantizing the shard.
+	sib.prec, sib.qlocal = s.prec, s.qlocal
 	return sib, nil
 }
 
@@ -317,6 +389,14 @@ func (s *Store) GatherLocalQuant(ids []int32) (*tensor.QuantMatrix, GatherStats,
 // prediction.
 func (s *Store) gatherLocalInto(ids []int32, out *tensor.Matrix, qout *tensor.QuantMatrix) GatherStats {
 	rank := s.comm.Rank()
+	k := s.layout.K()
+	// One pointer load pins the cache version for the whole gather; an
+	// install racing this call flips either all of its lookups or none.
+	ep := s.epoch.Load()
+	s.hitIDs = s.hitIDs[:0]
+	for p := 0; p < k; p++ {
+		s.reqIDs[p] = s.reqIDs[p][:0]
+	}
 	var stats GatherStats
 	for i, v := range ids {
 		owner := s.layout.Owner(v)
@@ -334,18 +414,20 @@ func (s *Store) gatherLocalInto(ids []int32, out *tensor.Matrix, qout *tensor.Qu
 			}
 			continue
 		}
-		if s.cache != nil {
-			if slot, ok := s.cache.Slot(v); ok {
+		if ep != nil && ep.Index != nil {
+			if slot, ok := ep.Index.Slot(v); ok {
 				stats.CacheHits++
+				s.hitIDs = append(s.hitIDs, v)
 				if qout != nil {
-					qout.CopyRow(i, s.qcache, int(slot))
+					qout.CopyRow(i, ep.Quant, int(slot))
 				} else {
-					copy(out.Row(i), s.cdata.Row(int(slot)))
+					copy(out.Row(i), ep.Rows.Row(int(slot)))
 				}
 				continue
 			}
 		}
 		stats.Missing++
+		s.reqIDs[owner] = append(s.reqIDs[owner], v)
 		if qout != nil {
 			for j := range s.rowScratch {
 				s.rowScratch[j] = 0
@@ -358,6 +440,17 @@ func (s *Store) gatherLocalInto(ids []int32, out *tensor.Matrix, qout *tensor.Qu
 			}
 		}
 	}
+	// Degraded rounds still feed the online policy: the zero-filled ids
+	// are exactly the misses a healthy gather would have fetched. Sort for
+	// the same deterministic per-peer order gatherInto produces.
+	for p := 0; p < k; p++ {
+		if len(s.reqIDs[p]) > 1 {
+			s.idsort.ids = s.reqIDs[p]
+			sort.Sort(&s.idsort)
+		}
+	}
+	stats.CacheHitIDs = s.hitIDs
+	stats.RemoteIDs = s.reqIDs[:k]
 	return stats
 }
 
@@ -372,6 +465,10 @@ func (s *Store) gatherInto(ids []int32, out *tensor.Matrix, qout *tensor.QuantMa
 		s.byPeer[p] = 0
 	}
 	stats := GatherStats{RemoteByPeer: s.byPeer[:k]}
+	// One pointer load pins the cache version for the whole gather; an
+	// install racing this call flips either all of its lookups or none.
+	ep := s.epoch.Load()
+	s.hitIDs = s.hitIDs[:0]
 
 	// Classify accesses, satisfy local/cached rows immediately, and build
 	// per-peer request lists for the rest.
@@ -395,13 +492,14 @@ func (s *Store) gatherInto(ids []int32, out *tensor.Matrix, qout *tensor.QuantMa
 			}
 			continue
 		}
-		if s.cache != nil {
-			if slot, ok := s.cache.Slot(v); ok {
+		if ep != nil && ep.Index != nil {
+			if slot, ok := ep.Index.Slot(v); ok {
 				stats.CacheHits++
+				s.hitIDs = append(s.hitIDs, v)
 				if qout != nil {
-					qout.CopyRow(i, s.qcache, int(slot))
+					qout.CopyRow(i, ep.Quant, int(slot))
 				} else {
-					copy(out.Row(i), s.cdata.Row(int(slot)))
+					copy(out.Row(i), ep.Rows.Row(int(slot)))
 				}
 				continue
 			}
@@ -411,6 +509,8 @@ func (s *Store) gatherInto(ids []int32, out *tensor.Matrix, qout *tensor.QuantMa
 		s.rowOf[owner] = append(s.rowOf[owner], int32(i))
 		s.reqIDs[owner] = append(s.reqIDs[owner], v)
 	}
+	stats.CacheHitIDs = s.hitIDs
+	stats.RemoteIDs = s.reqIDs[:k]
 
 	// Collective 1: request counts, so every rank knows how many ids each
 	// peer will ask of it (sized like the paper's first all-to-all).

@@ -73,7 +73,7 @@ func TestGatherTimeoutUnblocksStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := NewStore(comms[0], layout, dim, tensor.New(n/2, dim), nil, nil, 1)
+	st, err := NewStore(comms[0], layout, dim, tensor.New(n/2, dim), nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestGatherLocalZeroFillsMissing(t *testing.T) {
 	for i := range local.Data {
 		local.Data[i] = float32(i + 1)
 	}
-	st, err := NewStore(comms[0], layout, dim, local, nil, nil, 1)
+	st, err := NewStore(comms[0], layout, dim, local, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -303,7 +303,70 @@ func compareServe(oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Com
 			}
 		}
 	}
-	return compareLoadCurve(out, oldRaw, newRaw, tol)
+	out, err = compareLoadCurve(out, oldRaw, newRaw, tol)
+	if err != nil {
+		return nil, err
+	}
+	return compareDrift(out, oldRaw, newRaw, tol)
+}
+
+// compareDrift gates the rotating-hot-set drift columns: the online
+// policy's steady-state hit rate (higher is better, multiplicative
+// tolerance), the online-minus-static gain (which must stay positive —
+// the adaptive cache layer's entire claim), and that the online pass
+// actually installed epochs. A baseline from before the drift profile
+// existed lacks the "drift_online" field and skips these gates; a
+// baseline that has it pins the columns — a new report without them
+// errors rather than silently shrinking coverage.
+func compareDrift(out []Comparison, oldRaw, newRaw map[string]json.RawMessage, tol float64) ([]Comparison, error) {
+	if oldRaw["drift_online"] == nil {
+		return out, nil // pre-drift baseline: nothing to gate against
+	}
+	oldHit, err := jsonFloat(oldRaw, "drift_online_hit_rate")
+	if err != nil {
+		return nil, err
+	}
+	newHit, err := jsonFloat(newRaw, "drift_online_hit_rate")
+	if err != nil {
+		return nil, err
+	}
+	out, err = gate(out, "drift_online_hit_rate", oldHit, newHit, tol, true)
+	if err != nil {
+		return nil, err
+	}
+	oldGain, err := jsonFloat(oldRaw, "drift_hit_rate_gain")
+	if err != nil {
+		return nil, err
+	}
+	newGain, err := jsonFloat(newRaw, "drift_hit_rate_gain")
+	if err != nil {
+		return nil, err
+	}
+	gainCmp := Comparison{
+		Metric: "drift_hit_rate_gain>0", Old: oldGain, New: newGain,
+		HigherIsBetter: true, Regressed: newGain <= 0,
+	}
+	if oldGain != 0 {
+		gainCmp.Change = (newGain - oldGain) / oldGain
+	}
+	out = append(out, gainCmp)
+	oldInst, err := jsonFloat(oldRaw, "drift_cache_installs")
+	if err != nil {
+		return nil, err
+	}
+	newInst, err := jsonFloat(newRaw, "drift_cache_installs")
+	if err != nil {
+		return nil, err
+	}
+	instCmp := Comparison{
+		Metric: "drift_cache_installs>0", Old: oldInst, New: newInst,
+		HigherIsBetter: true, Regressed: newInst <= 0,
+	}
+	if oldInst != 0 {
+		instCmp.Change = (newInst - oldInst) / oldInst
+	}
+	out = append(out, instCmp)
+	return out, nil
 }
 
 // serveLoadGateRow is the gated subset of a ServeLoadRow.

@@ -69,7 +69,11 @@ func TestModelMatchesRuntime(t *testing.T) {
 		for i, v := range scen.Caches[m].IDs() {
 			copy(cdata.Row(i), rds.FeatureRow(v))
 		}
-		st, err := dist.NewStore(comms[m], dep.Layout, rds.FeatureDim, local, scen.Caches[m], cdata, gpuFrac)
+		ep, err := cache.NewEpoch(scen.Caches[m], cdata)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := dist.NewStore(comms[m], dep.Layout, rds.FeatureDim, local, ep, gpuFrac)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -141,7 +141,7 @@ func DeployWithParts(ds *dataset.Dataset, assignment []int32, k int, dims ModelD
 
 // Rankings computes the per-partition remote-vertex rankings of a policy
 // once; they are independent of cache capacity, so α sweeps reuse them.
-func (d *Deployment) Rankings(policy cache.Policy) ([][]int32, error) {
+func (d *Deployment) Rankings(policy cache.Ranker) ([][]int32, error) {
 	out := make([][]int32, d.K)
 	for p := 0; p < d.K; p++ {
 		ctx := d.cacheContext(int32(p))

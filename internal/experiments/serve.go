@@ -100,6 +100,36 @@ type ServeBenchResult struct {
 	DeadlineMicros int64          `json:"deadline_micros,omitempty"`
 	FlashFactor    float64        `json:"flash_factor,omitempty"`
 	LoadCurve      []ServeLoadRow `json:"load_curve,omitempty"`
+
+	// Drift profile (present when the bench ran with -drift): the same
+	// seeded rotating-hot-set workload served twice over one cluster —
+	// once with the pinned static cache, once with the online
+	// drift-tracking policy at equal capacity — with per-window hit rates.
+	// The steady-state rates skip window 0 (the online scorer starts cold
+	// on the static prefix); the gain is online minus static, the number
+	// the adaptive cache layer exists to make positive. Old baselines
+	// predate these columns; the -compare gate skips them in that case.
+	DriftWindows           int             `json:"drift_windows,omitempty"`
+	DriftRequestsPerWindow int             `json:"drift_requests_per_window,omitempty"`
+	DriftHotFrac           float64         `json:"drift_hot_frac,omitempty"`
+	DriftAlpha             float64         `json:"drift_alpha,omitempty"`
+	DriftStatic            []ServeDriftRow `json:"drift_static,omitempty"`
+	DriftOnline            []ServeDriftRow `json:"drift_online,omitempty"`
+	DriftStaticHitRate     float64         `json:"drift_static_hit_rate,omitempty"`
+	DriftOnlineHitRate     float64         `json:"drift_online_hit_rate,omitempty"`
+	DriftHitRateGain       float64         `json:"drift_hit_rate_gain,omitempty"`
+	DriftCacheInstalls     int64           `json:"drift_cache_installs,omitempty"`
+}
+
+// ServeDriftRow is one hot-set window of a drift run: the window's cache
+// hit rate over remote accesses, its raw hit/miss counts, and the cache
+// epochs installed during it (always zero for the static run).
+type ServeDriftRow struct {
+	Window        int     `json:"window"`
+	HitRate       float64 `json:"hit_rate"`
+	CacheHits     int64   `json:"cache_hits"`
+	RemoteFetches int64   `json:"remote_fetches"`
+	CacheInstalls int64   `json:"cache_installs"`
 }
 
 // ServeLoadRow is one offered-load point of the open-loop curve. Offered
@@ -174,6 +204,34 @@ type ServeConfig struct {
 	// DeadlineMicros is the per-request admission budget of the open-loop
 	// runs (default 25000 = 25ms).
 	DeadlineMicros int64
+	// Drift adds the rotating-hot-set drift profile after the sweep: each
+	// window draws most requests from a fresh hot set (a rotating slice of
+	// a seeded vertex permutation), and the workload is replayed twice —
+	// static cache, then online policy — so the per-window hit rates
+	// isolate what drift tracking buys.
+	Drift bool
+	// DriftWindows is the number of hot-set rotations (default 5).
+	DriftWindows int
+	// DriftRequestsPerWindow is the total requests per window, spread
+	// across Clients (default 960 — enough repeats per hot seed that the
+	// window's heat clears the online scorer's frequency prior).
+	DriftRequestsPerWindow int
+	// DriftHotFrac sizes each window's hot set as a fraction of the vertex
+	// space (default 0.0001, clamped to at least 4 seeds). The hot set is
+	// deliberately tiny: its sampled 2-hop footprint must fit within the
+	// cache capacity for adaptation to pay, because the wider 3-hop
+	// frontier is uncacheable at any policy.
+	DriftHotFrac float64
+	// DriftHotBias is the probability a request targets the window's hot
+	// set rather than a uniform vertex (default 1 — pure hot traffic).
+	DriftHotBias float64
+	// DriftRefreshRounds is the online policy's proposal cadence during
+	// the drift run (default 8 — several installs per window).
+	DriftRefreshRounds int
+	// DriftAlpha is the replication factor of the drift cluster (default
+	// 0.08 — enough capacity to matter, little enough that placement
+	// does). A checkpointed run uses the checkpoint's own cache instead.
+	DriftAlpha float64
 	// Checkpoint, when set, serves a frozen snapshot restored from this
 	// checkpoint file (the format cmd/gnntrain -checkpoint-dir writes):
 	// the cluster — dataset, partition layout, cache contents, trained
@@ -210,6 +268,24 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	}
 	if c.DeadlineMicros <= 0 {
 		c.DeadlineMicros = 25000
+	}
+	if c.DriftWindows <= 0 {
+		c.DriftWindows = 5
+	}
+	if c.DriftRequestsPerWindow <= 0 {
+		c.DriftRequestsPerWindow = 960
+	}
+	if c.DriftHotFrac <= 0 {
+		c.DriftHotFrac = 0.0001
+	}
+	if c.DriftHotBias <= 0 {
+		c.DriftHotBias = 1.0
+	}
+	if c.DriftRefreshRounds <= 0 {
+		c.DriftRefreshRounds = 8
+	}
+	if c.DriftAlpha <= 0 {
+		c.DriftAlpha = 0.08
 	}
 	return c
 }
@@ -347,7 +423,156 @@ func ServeBench(scale Scale, cfg ServeConfig) (*ServeBenchResult, error) {
 			return nil, fmt.Errorf("serve load curve at alpha=%v: %w", alpha, err)
 		}
 	}
+	if cfg.Drift {
+		alpha := cfg.DriftAlpha
+		if state != nil {
+			alpha = res.Alphas[0].Alpha
+		}
+		if err := serveDrift(ds, scale, cfg, dims, k, alpha, state, res); err != nil {
+			return nil, fmt.Errorf("serve drift profile at alpha=%v: %w", alpha, err)
+		}
+	}
 	return res, nil
+}
+
+// serveDrift measures the drift profile: one cluster, two serving
+// deployments over it (static, then online at the same capacity), each
+// replaying the identical seeded rotating-hot-set workload window by
+// window. Only the cache policy differs between the two passes, so the
+// per-window hit-rate gap is attributable to drift tracking alone.
+func serveDrift(ds *dataset.Dataset, scale Scale, cfg ServeConfig, dims ModelDims, k int, alpha float64, resume *ckpt.TrainState, res *ServeBenchResult) error {
+	ccfg := serveClusterConfig(scale, cfg.UseTCP, dims, k, alpha)
+	ccfg.Resume = resume
+	cl, err := pipeline.NewCluster(ds, ccfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	run := func(mode string) ([]ServeDriftRow, error) {
+		srv, err := serve.New(cl, serve.Config{
+			MaxBatch:           cfg.MaxBatch,
+			MaxWait:            time.Duration(cfg.MaxWaitMicros) * time.Microsecond,
+			Seed:               scale.Seed,
+			UseTCP:             cfg.UseTCP,
+			Codec:              cfg.Codec,
+			Precision:          cfg.Precision,
+			Cache:              mode,
+			CacheRefreshRounds: cfg.DriftRefreshRounds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		return driveDriftWindows(srv, ds.NumVertices(), scale.Seed, cfg)
+	}
+	static, err := run("static")
+	if err != nil {
+		return err
+	}
+	online, err := run("online")
+	if err != nil {
+		return err
+	}
+	res.DriftWindows = cfg.DriftWindows
+	res.DriftRequestsPerWindow = cfg.DriftRequestsPerWindow
+	res.DriftHotFrac = cfg.DriftHotFrac
+	res.DriftAlpha = alpha
+	res.DriftStatic, res.DriftOnline = static, online
+	res.DriftStaticHitRate = driftSteadyHitRate(static)
+	res.DriftOnlineHitRate = driftSteadyHitRate(online)
+	res.DriftHitRateGain = res.DriftOnlineHitRate - res.DriftStaticHitRate
+	for _, w := range online {
+		res.DriftCacheInstalls += w.CacheInstalls
+	}
+	return nil
+}
+
+// driftSteadyHitRate aggregates hit rate over the steady-state windows:
+// all but window 0, which is the online scorer's cold-start transient
+// (the static pass skips the same window so the comparison stays paired).
+func driftSteadyHitRate(rows []ServeDriftRow) float64 {
+	var hits, remote int64
+	for _, r := range rows {
+		if r.Window == 0 && len(rows) > 1 {
+			continue
+		}
+		hits += r.CacheHits
+		remote += r.RemoteFetches
+	}
+	if hits+remote == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+remote)
+}
+
+// driveDriftWindows replays the rotating-hot-set workload: window w draws
+// DriftHotBias of its requests from hot set w (a disjoint rotating slice
+// of a seeded vertex permutation, so each window's heat is genuinely new)
+// and the rest uniformly. Client streams are seeded per (window, client),
+// so both serving passes see identical request sequences. Per-window
+// hit/miss/install counts come from snapshot deltas taken at the quiesced
+// window boundaries.
+func driveDriftWindows(srv *serve.Server, n int, seed uint64, cfg ServeConfig) ([]ServeDriftRow, error) {
+	hotN := int(cfg.DriftHotFrac * float64(n))
+	if hotN < 4 {
+		hotN = 4
+	}
+	if hotN > n {
+		hotN = n
+	}
+	perm := rng.New(seed ^ 0xd41f7).Perm(n)
+	perClient := cfg.DriftRequestsPerWindow / cfg.Clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	var rows []ServeDriftRow
+	var prevHits, prevRemote, prevInstalls int64
+	for w := 0; w < cfg.DriftWindows; w++ {
+		base := (w * hotN) % n
+		var wg sync.WaitGroup
+		errCh := make(chan error, cfg.Clients)
+		for c := 0; c < cfg.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				r := rng.New(seed ^ 0xdf1).Split(uint64(w)).Split(uint64(c))
+				out := make([]float32, srv.Classes())
+				for i := 0; i < perClient; i++ {
+					var v int32
+					if r.Float64() < cfg.DriftHotBias {
+						v = perm[(base+r.Intn(hotN))%n]
+					} else {
+						v = int32(r.Intn(n))
+					}
+					if _, err := srv.Predict(v, out); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+		snap := srv.Snapshot()
+		dh := snap.CacheHits - prevHits
+		dr := snap.RemoteFetches - prevRemote
+		di := snap.CacheInstalls - prevInstalls
+		prevHits, prevRemote, prevInstalls = snap.CacheHits, snap.RemoteFetches, snap.CacheInstalls
+		hitRate := 0.0
+		if dh+dr > 0 {
+			hitRate = float64(dh) / float64(dh+dr)
+		}
+		rows = append(rows, ServeDriftRow{
+			Window: w, HitRate: hitRate,
+			CacheHits: dh, RemoteFetches: dr, CacheInstalls: di,
+		})
+	}
+	return rows, nil
 }
 
 // serveLoadCurve measures the open-loop p99-vs-offered-load profile: one
@@ -604,6 +829,25 @@ func RenderServeBench(r *ServeBenchResult) string {
 				fmt.Sprintf("%.2f", row.MeanBatch))
 		}
 		out += "\n\n" + lt.String()
+	}
+	if len(r.DriftOnline) > 0 {
+		dt := metrics.NewTable(
+			fmt.Sprintf("Rotating-hot-set drift (α=%.2f, %d windows × %d reqs, hot frac %g)",
+				r.DriftAlpha, r.DriftWindows, r.DriftRequestsPerWindow, r.DriftHotFrac),
+			"window", "static hit rate", "online hit rate", "installs")
+		for i, o := range r.DriftOnline {
+			staticRate := 0.0
+			if i < len(r.DriftStatic) {
+				staticRate = r.DriftStatic[i].HitRate
+			}
+			dt.AddRow(o.Window,
+				fmt.Sprintf("%.3f", staticRate),
+				fmt.Sprintf("%.3f", o.HitRate),
+				o.CacheInstalls)
+		}
+		out += "\n\n" + dt.String()
+		out += fmt.Sprintf("\nsteady-state hit rate: online %.3f vs static %.3f (gain %+.3f, %d installs)",
+			r.DriftOnlineHitRate, r.DriftStaticHitRate, r.DriftHitRateGain, r.DriftCacheInstalls)
 	}
 	return out
 }

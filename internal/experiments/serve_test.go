@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -124,6 +125,66 @@ func TestServeBenchOpenLoadCurve(t *testing.T) {
 		if row.AchievedRPS <= 0 {
 			t.Fatalf("non-positive achieved rate: %+v", row)
 		}
+	}
+	if RenderServeBench(res) == "" {
+		t.Fatal("empty rendering")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := CompareBenchFiles(path, path, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegressed(cs) {
+		t.Fatalf("self-comparison regressed: %+v", cs)
+	}
+}
+
+// TestServeBenchDrift runs the rotating-hot-set drift profile at test
+// scale and checks the property the online cache layer exists for: under
+// a workload whose hot set moves, the drift-tracking policy's steady-state
+// hit rate must beat the pinned static prefix at equal capacity — and the
+// report carrying those columns must gate against itself.
+func TestServeBenchDrift(t *testing.T) {
+	scale := SmallScale()
+	scale.PapersN = 4000
+	res, err := ServeBench(scale, ServeConfig{
+		Alphas: []float64{0.08}, Clients: 4, RequestsPerClient: 10,
+		Drift: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DriftStatic) != 5 || len(res.DriftOnline) != 5 {
+		t.Fatalf("got %d static / %d online drift windows, want 5/5",
+			len(res.DriftStatic), len(res.DriftOnline))
+	}
+	var staticAccesses, onlineAccesses int64
+	for i := range res.DriftStatic {
+		st, on := res.DriftStatic[i], res.DriftOnline[i]
+		if st.Window != i || on.Window != i {
+			t.Fatalf("window numbering off: static %d online %d at index %d", st.Window, on.Window, i)
+		}
+		if st.CacheInstalls != 0 {
+			t.Fatalf("static pass installed %d cache epochs in window %d", st.CacheInstalls, i)
+		}
+		staticAccesses += st.CacheHits + st.RemoteFetches
+		onlineAccesses += on.CacheHits + on.RemoteFetches
+	}
+	if staticAccesses == 0 || onlineAccesses == 0 {
+		t.Fatal("drift windows recorded no remote-classified accesses")
+	}
+	if res.DriftCacheInstalls <= 0 {
+		t.Fatalf("online pass installed no cache epochs: %+v", res)
+	}
+	if res.DriftOnlineHitRate <= res.DriftStaticHitRate {
+		t.Fatalf("online cache did not beat static under drift: online %.4f <= static %.4f",
+			res.DriftOnlineHitRate, res.DriftStaticHitRate)
+	}
+	if got := res.DriftOnlineHitRate - res.DriftStaticHitRate; math.Abs(got-res.DriftHitRateGain) > 1e-12 {
+		t.Fatalf("gain column inconsistent: %v != %v", res.DriftHitRateGain, got)
 	}
 	if RenderServeBench(res) == "" {
 		t.Fatal("empty rendering")

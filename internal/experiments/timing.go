@@ -557,7 +557,7 @@ func Fig9(scale Scale) ([]Fig9Row, error) {
 		{"papers-sim", []float64{0.16, 0.32, 0.64, 0.96, 1.28}, 0.9},
 		{"mag240-sim", []float64{0.08, 0.16, 0.32, 0.48}, 0.1},
 	}
-	policies := []cache.Policy{cache.VIP{}, cache.Simulated{Epochs: 2}}
+	policies := []cache.Ranker{cache.VIP{}, cache.Simulated{Epochs: 2}}
 	var rows []Fig9Row
 	for _, c := range configs {
 		ds, err := scale.makeDataset(c.name)

@@ -69,7 +69,7 @@ func TestTrainEpochSurfacesTransportFailure(t *testing.T) {
 		// ranks share the counter so the failure lands mid-collective.
 		var fc dist.Comm = feat[r]
 		fc = &flakyComm{Comm: fc, calls: &calls, failAt: 8}
-		store, err := dist.NewStore(fc, layout, d.FeatureDim, local, nil, nil, 1)
+		store, err := dist.NewStore(fc, layout, d.FeatureDim, local, nil, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"salientpp/internal/rng"
+)
+
+// testOnlineCacheSwapUnderLoad hammers an online-cache server from many
+// goroutines with a drifting hot set, so cache epochs are proposed, built
+// in the background, and swapped while sibling gathers are in flight —
+// the exact interleaving the -race CI job is pointed at. Afterwards it
+// checks that swaps actually happened, that every answer stayed finite,
+// and that shutdown releases every epoch and pooled matrix.
+func testOnlineCacheSwapUnderLoad(t *testing.T, useTCP bool) {
+	cl := serveCluster(t, 2, 0.2, useTCP)
+	defer cl.Close()
+	srv, err := New(cl, Config{
+		MaxBatch: 8, MaxWait: 200 * time.Microsecond, Seed: 3, UseTCP: useTCP,
+		Cache: "online", CacheRefreshRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, perClient = 8, 40
+	n := int32(cl.Data.NumVertices())
+	var wg sync.WaitGroup
+	var maxGen atomic.Uint64
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.New(41).Split(uint64(c))
+			out := make([]float32, srv.Classes())
+			for i := 0; i < perClient; i++ {
+				// Drifting hot window: most requests hit a small rotating
+				// slice of the vertex space so the online scorer keeps
+				// re-proposing membership.
+				hotBase := int32(i/8) * 37 % n
+				v := (hotBase + int32(r.Intn(24))) % n
+				if r.Float64() < 0.2 {
+					v = int32(r.Intn(int(n)))
+				}
+				st, err := srv.Predict(v, out)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for g := maxGen.Load(); st.CacheGen > g; g = maxGen.Load() {
+					if maxGen.CompareAndSwap(g, st.CacheGen) {
+						break
+					}
+				}
+				for _, x := range out {
+					if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+						errCh <- errors.New("non-finite logit under cache swaps")
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	snap := srv.Snapshot()
+	if snap.Requests != clients*perClient {
+		t.Fatalf("served %d requests, want %d", snap.Requests, clients*perClient)
+	}
+	if snap.CacheInstalls == 0 {
+		t.Fatal("no cache epochs installed under drifting load")
+	}
+	if snap.CacheChurnRows == 0 {
+		t.Fatal("installs reported but zero churn rows")
+	}
+	if maxGen.Load() == 0 {
+		t.Fatal("no request ever observed an installed generation")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range srv.engines {
+		if e.installer == nil {
+			t.Fatalf("engine %d lost its installer", i)
+		}
+		if live := e.installer.Live(); live != 0 {
+			t.Fatalf("engine %d leaked %d cache epochs at shutdown", i, live)
+		}
+		if live := e.store.Live(); live != 0 {
+			t.Fatalf("engine %d leaked %d pooled matrices at shutdown", i, live)
+		}
+	}
+}
+
+func TestOnlineCacheSwapUnderLoad(t *testing.T)    { testOnlineCacheSwapUnderLoad(t, false) }
+func TestOnlineCacheSwapUnderLoadTCP(t *testing.T) { testOnlineCacheSwapUnderLoad(t, true) }
+
+// testOnlineCacheShutdownReleasesEpochs pulls the plug mid-install: Close
+// races the background epoch builders, which may deliver one last epoch
+// after shutdown begins. Every built epoch — installed, in the channel, or
+// displaced — must land back in its builder's pool, and no serving
+// goroutine may linger.
+func testOnlineCacheShutdownReleasesEpochs(t *testing.T, useTCP bool) {
+	cl := serveCluster(t, 2, 0.2, useTCP)
+	defer cl.Close()
+	baseline := runtime.NumGoroutine()
+	srv, err := New(cl, Config{
+		MaxBatch: 4, MaxWait: 100 * time.Microsecond, Seed: 9, UseTCP: useTCP,
+		Cache: "online", CacheRefreshRounds: 1, // propose every round: maximal in-flight builds
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 6
+	n := int32(cl.Data.NumVertices())
+	served := make(chan struct{}, clients*1000)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.New(17).Split(uint64(c))
+			out := make([]float32, srv.Classes())
+			for {
+				// Rotating hot set keeps proposals churning.
+				v := (int32(r.Intn(32)) + int32(r.Intn(4))*400) % n
+				if _, err := srv.Predict(v, out); err != nil {
+					return
+				}
+				select {
+				case served <- struct{}{}:
+				default:
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < 30; i++ {
+		<-served
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	unwound := make(chan struct{})
+	go func() { wg.Wait(); close(unwound) }()
+	select {
+	case <-unwound:
+	case <-time.After(10 * time.Second):
+		t.Fatal("clients still blocked 10s after Close")
+	}
+
+	for i, e := range srv.engines {
+		if e.installer == nil {
+			continue
+		}
+		if live := e.installer.Live(); live != 0 {
+			t.Fatalf("engine %d: %d cache epochs still live after Close mid-install", i, live)
+		}
+		if live := e.store.Live(); live != 0 {
+			t.Fatalf("engine %d: %d pooled matrices still live after Close", i, live)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			nb := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after Close: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:nb])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestOnlineCacheShutdownReleasesEpochs(t *testing.T) {
+	testOnlineCacheShutdownReleasesEpochs(t, false)
+}
+func TestOnlineCacheShutdownReleasesEpochsTCP(t *testing.T) {
+	testOnlineCacheShutdownReleasesEpochs(t, true)
+}
+
+// TestServeStaticCacheDefaultUnchanged pins the refactor's compatibility
+// promise at the serving surface: a server with no cache mode configured
+// and one with Cache: "static" must answer a same-seed sequential workload
+// with bitwise-identical logits, never install an epoch, and never advance
+// the cache generation — the versioned cache layer is invisible until
+// opted into.
+func TestServeStaticCacheDefaultUnchanged(t *testing.T) {
+	cl := serveCluster(t, 2, 0.2, false)
+	defer cl.Close()
+	run := func(mode string) [][]float32 {
+		srv, err := New(cl, Config{MaxBatch: 4, Seed: 6, Cache: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		r := rng.New(23)
+		n := int32(cl.Data.NumVertices())
+		var outs [][]float32
+		for i := 0; i < 40; i++ {
+			out := make([]float32, srv.Classes())
+			st, err := srv.Predict(int32(r.Intn(int(n))), out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.CacheGen != 0 {
+				t.Fatalf("static serve advanced the cache generation to %d", st.CacheGen)
+			}
+			outs = append(outs, out)
+		}
+		snap := srv.Snapshot()
+		if snap.CacheInstalls != 0 || snap.CacheChurnRows != 0 {
+			t.Fatalf("static serve installed epochs: %+v", snap)
+		}
+		return outs
+	}
+	def, static := run(""), run("static")
+	for i := range def {
+		for j := range def[i] {
+			if def[i][j] != static[i][j] {
+				t.Fatalf("request %d logit %d: default %v != static %v", i, j, def[i][j], static[i][j])
+			}
+		}
+	}
+}
+
+// TestServeRejectsUnknownCacheMode covers the config validation path.
+func TestServeRejectsUnknownCacheMode(t *testing.T) {
+	cl := serveCluster(t, 2, 0.2, false)
+	defer cl.Close()
+	if _, err := New(cl, Config{Cache: "lru"}); err == nil {
+		t.Fatal("unknown cache mode accepted")
+	}
+}

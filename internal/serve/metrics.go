@@ -41,6 +41,11 @@ type Metrics struct {
 	missingRows    atomic.Int64
 	gatherTimeouts atomic.Int64
 	regroups       atomic.Int64
+
+	// Online cache layer: epochs installed across engines and the rows
+	// newly admitted by those installs. Both stay zero in static mode.
+	cacheInstalls atomic.Int64
+	cacheChurn    atomic.Int64
 }
 
 func newMetrics(maxBatch int) *Metrics {
@@ -102,8 +107,13 @@ type Snapshot struct {
 	CacheHits     int64 `json:"cache_hits"`
 	RemoteFetches int64 `json:"remote_fetches"`
 	// CacheHitRate is hits/(hits+remote): the fraction of would-be remote
-	// accesses the static cache absorbed.
+	// accesses the cache absorbed.
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CacheInstalls counts online cache-epoch swaps across all engines and
+	// CacheChurnRows the feature rows newly admitted by those swaps; both
+	// are zero under the default static policy.
+	CacheInstalls  int64 `json:"cache_installs"`
+	CacheChurnRows int64 `json:"cache_churn_rows"`
 	// BytesSent is the cumulative feature-collective payload volume.
 	BytesSent int64 `json:"bytes_sent"`
 	// ComputeSeconds is the cumulative forward-pass time across non-empty
@@ -165,6 +175,8 @@ func (m *Metrics) snapshot(bytes int64) Snapshot {
 		CacheHits:      hits,
 		RemoteFetches:  remote,
 		CacheHitRate:   hitRate,
+		CacheInstalls:  m.cacheInstalls.Load(),
+		CacheChurnRows: m.cacheChurn.Load(),
 		BytesSent:      bytes,
 		ComputeSeconds: float64(m.computeNS.Load()) / 1e9,
 		Shed:           shed,

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"salientpp/internal/cache"
 	"salientpp/internal/dist"
 	"salientpp/internal/nn"
 	"salientpp/internal/pipeline"
@@ -127,6 +128,22 @@ type Config struct {
 	// keeps biting until the harness clears it, exactly as real broken
 	// hardware would.
 	WrapComm func(rank int, c dist.Comm) dist.Comm
+
+	// Cache selects the serving cache mode. "" or "static" pins the cache
+	// epoch the cluster handed over — no observation, no installs, bitwise
+	// the historical behavior. "online" runs a drift-tracking
+	// cache.Online policy per engine at the same capacity: every round's
+	// hits and misses feed the scorer, and every CacheRefreshRounds rounds
+	// the engine proposes a new membership, builds the epoch on a
+	// background goroutine (feature copies never block a round), and swaps
+	// it in between rounds.
+	Cache string
+	// CacheRefreshRounds is the online proposal cadence in rounds; 0 means
+	// 32. Ignored unless Cache is "online".
+	CacheRefreshRounds int
+	// CacheConfig tunes the online scorer (zero value = defaults). Ignored
+	// unless Cache is "online".
+	CacheConfig cache.OnlineConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +167,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.CacheRefreshRounds <= 0 {
+		c.CacheRefreshRounds = 32
 	}
 	return c
 }
@@ -180,6 +200,11 @@ type Stats struct {
 	// of the round's batch.
 	Degraded bool
 	Missing  int
+	// CacheGen is the install generation of the cache epoch that served
+	// the round: 0 until the online policy's first install (and always 0
+	// in static mode, unless the cluster itself trained with an online
+	// cache).
+	CacheGen uint64
 }
 
 // request is a pooled in-flight prediction.
@@ -269,6 +294,14 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 	if k == 0 {
 		return nil, fmt.Errorf("serve: cluster has no ranks")
 	}
+	online := false
+	switch cfg.Cache {
+	case "", "static":
+	case "online":
+		online = true
+	default:
+		return nil, fmt.Errorf("serve: unknown cache mode %q (want static or online)", cfg.Cache)
+	}
 	fanouts := cfg.Fanouts
 	if len(fanouts) == 0 {
 		fanouts = cl.Ranks[0].Sampler().Fanouts()
@@ -307,6 +340,7 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 		s.closeComms()
 		return nil, err
 	}
+	var degrees []int32 // hybrid-prior input, computed once across engines
 	for r := 0; r < k; r++ {
 		s.parents = append(s.parents, cl.Ranks[r].Store())
 		frozen := cl.Ranks[r].Model().FreezePrecision(prec)
@@ -333,6 +367,33 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 			start:  make(chan roundMsg),
 			ended:  make(chan struct{}, 1),
 		}
+		// Online mode: an installer per engine at the parent epoch's
+		// capacity, seeded with its membership (the static VIP prefix, or
+		// whatever the training installer last swapped in) so a cold scorer
+		// proposes roughly the cache it inherited. A rank whose parent
+		// caches nothing has nothing to adapt — it stays static.
+		if pep := s.parents[r].Epoch(); online && pep.Len() > 0 {
+			if degrees == nil {
+				degrees = cl.Data.Graph.Degrees()
+			}
+			builder, err := cache.NewEpochBuilder(s.numVerts, cl.Data.FeatureDim, cl.Data.FeatureRow)
+			if err != nil {
+				return fail(err)
+			}
+			builder.SetGen(pep.Gen)
+			policy, err := cache.NewOnline(s.numVerts, pep.IDs(), degrees, cfg.CacheConfig)
+			if err != nil {
+				return fail(err)
+			}
+			installer, err := cache.NewInstaller(policy, builder, pep.Len())
+			if err != nil {
+				return fail(err)
+			}
+			e.installer = installer
+			e.refreshEvery = cfg.CacheRefreshRounds
+			e.proposals = make(chan cacheProposal, 1)
+			e.built = make(chan cacheBuilt, 1)
+		}
 		s.engines = append(s.engines, e)
 		s.classes = frozen.Classes()
 	}
@@ -349,6 +410,10 @@ func New(cl *pipeline.Cluster, cfg Config) (*Server, error) {
 	s.wg.Add(1 + k)
 	for _, e := range s.engines {
 		go e.loop()
+		if e.installer != nil {
+			s.wg.Add(1)
+			go e.cacheLoop()
+		}
 	}
 	go s.driver()
 	return s, nil
@@ -548,6 +613,21 @@ func (s *Server) Close() error {
 		g.close()
 	default:
 	}
+	// Release builder-owned cache epochs — the installed one and any build
+	// that finished without being delivered — so every pooled feature
+	// matrix returns and the installers' Live gauges drop to zero. Safe
+	// after wg.Wait: the executors and cacheLoops have exited.
+	for _, e := range s.engines {
+		if e.installer == nil {
+			continue
+		}
+		select {
+		case b := <-e.built:
+			e.installer.Release(b.ep)
+		default:
+		}
+		e.installer.Release(e.store.Epoch())
+	}
 	s.closeComms()
 	return nil
 }
@@ -728,6 +808,16 @@ func (s *Server) installGroup(g *commGroup) {
 	s.comms = g.comms
 	s.cmu.Unlock()
 	for r, e := range s.engines {
+		// A fresh sibling starts on its parent's epoch; carry the engine's
+		// installed epoch over so a regroup doesn't roll the cache back.
+		// The displaced parent epoch is foreign to the installer's builder,
+		// so there is nothing to release; the quant shadow already matches
+		// the serving precision, so InstallEpoch cannot fail here.
+		if e.installer != nil {
+			if _, err := g.stores[r].InstallEpoch(e.store.Epoch()); err != nil {
+				panic(fmt.Sprintf("serve: regroup epoch carry-over: %v", err))
+			}
+		}
 		e.store = g.stores[r]
 	}
 	s.met.regroups.Add(1)
@@ -824,8 +914,86 @@ type engine struct {
 	rowOf    []int32  // (v-lo) -> seed row in the current round
 	roundRNG rng.RNG  // per-round sampling stream, derived in place
 
+	// Online cache state (nil installer in static mode). The executor
+	// goroutine observes every round and proposes memberships; the
+	// cacheLoop goroutine builds epochs off the round path; the executor
+	// installs delivered epochs between its gathers. At most one proposal
+	// is outstanding, so both channels (cap 1) never block.
+	installer    *cache.Installer
+	refreshEvery int
+	sinceRefresh int
+	proposalOut  bool
+	proposeBuf   []int32 // reused proposal copy handed to cacheLoop
+	proposals    chan cacheProposal
+	built        chan cacheBuilt
+
 	start chan roundMsg
 	ended chan struct{}
+}
+
+// cacheProposal is one membership the executor hands to its cacheLoop;
+// cur is the epoch the churn is counted against (stable until the built
+// epoch is installed, because only the executor installs).
+type cacheProposal struct {
+	ids []int32
+	cur *cache.Epoch
+}
+
+// cacheBuilt is the cacheLoop's reply: the built epoch (nil when the
+// membership was unchanged or the build failed) and its admission churn.
+type cacheBuilt struct {
+	ep    *cache.Epoch
+	churn int
+}
+
+// cacheLoop is the engine's background epoch builder: it turns proposed
+// memberships into materialized epochs (index + feature rows + quant
+// shadow) so the feature copies never extend a serving round.
+func (e *engine) cacheLoop() {
+	defer e.srv.wg.Done()
+	for {
+		select {
+		case <-e.srv.shutdown:
+			return
+		case p := <-e.proposals:
+			ep, churn, err := e.installer.BuildFor(p.ids, p.cur)
+			if err != nil {
+				ep, churn = nil, 0
+			}
+			e.built <- cacheBuilt{ep: ep, churn: churn}
+		}
+	}
+}
+
+// maybeRefreshCache runs the executor's half of the online cache cycle,
+// once per round after the gather: install a delivered epoch (pointer
+// swap, between this engine's gathers by construction), then, on the
+// refresh cadence, propose the next membership and hand it to cacheLoop.
+func (e *engine) maybeRefreshCache() {
+	s := e.srv
+	select {
+	case b := <-e.built:
+		e.proposalOut = false
+		if b.ep != nil {
+			prev, err := e.store.InstallEpoch(b.ep)
+			if err != nil {
+				e.installer.Release(b.ep)
+				break
+			}
+			e.installer.Release(prev)
+			s.met.cacheInstalls.Add(1)
+			s.met.cacheChurn.Add(int64(b.churn))
+		}
+	default:
+	}
+	e.sinceRefresh++
+	if e.proposalOut || e.sinceRefresh < e.refreshEvery {
+		return
+	}
+	e.sinceRefresh = 0
+	e.proposeBuf = append(e.proposeBuf[:0], e.installer.Propose()...)
+	e.proposals <- cacheProposal{ids: e.proposeBuf, cur: e.store.Epoch()}
+	e.proposalOut = true
 }
 
 // roundMsg is the driver's round order. gather tells every engine of the
@@ -975,8 +1143,17 @@ func (e *engine) run(m roundMsg) {
 		}
 	}
 	tGather := time.Since(t0)
-	// RemoteByPeer aliases store scratch; only scalars may outlive the round.
+	// Feed the online policy every successful round — hits and misses both,
+	// degraded rounds included (their zero-filled ids were still wanted, and
+	// the policy clock must advance with the rounds).
+	if e.installer != nil && err == nil {
+		e.installer.Observe(cache.RoundAccess{Hits: gstats.CacheHitIDs, Misses: gstats.RemoteIDs})
+	}
+	// RemoteByPeer/CacheHitIDs/RemoteIDs alias store scratch; only scalars
+	// may outlive the round.
 	gstats.RemoteByPeer = nil
+	gstats.CacheHitIDs = nil
+	gstats.RemoteIDs = nil
 
 	var tCompute time.Duration
 	var logits *tensor.Matrix
@@ -1003,6 +1180,7 @@ func (e *engine) run(m roundMsg) {
 				Total:       now.Sub(r.arrive),
 				RemoteFetch: gstats.RemoteFetch, CacheHits: gstats.CacheHits,
 				Degraded: degraded, Missing: gstats.Missing,
+				CacheGen: e.store.CacheGen(),
 			}
 			s.met.observeRequest(&r.stats)
 		}
@@ -1018,4 +1196,7 @@ func (e *engine) run(m roundMsg) {
 	}
 	mfg.Release()
 	e.model.ReleaseBatch()
+	if e.installer != nil {
+		e.maybeRefreshCache()
+	}
 }

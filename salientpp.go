@@ -54,8 +54,13 @@ type (
 	PartitionResult = partition.Result
 	// VIPConfig parametrizes Proposition 1.
 	VIPConfig = vip.Config
-	// CachePolicy ranks remote vertices for static caching.
-	CachePolicy = cache.Policy
+	// CachePolicy ranks remote vertices for the setup-time cache.
+	CachePolicy = cache.Ranker
+	// OnlineCachePolicy is the online admission/eviction interface the
+	// versioned cache layer consults between rounds.
+	OnlineCachePolicy = cache.Policy
+	// CacheEpoch is one immutable installed version of a rank's cache.
+	CacheEpoch = cache.Epoch
 	// Cluster is an in-process K-machine SALIENT++ deployment.
 	Cluster = pipeline.Cluster
 	// ClusterConfig configures NewCluster.
